@@ -1,0 +1,48 @@
+//! Criterion bench for Fig. 7 — sequential buffer reading, local vs remote.
+//!
+//! Throttled clock: wall time reflects the calibrated fabric cost model,
+//! so Criterion's throughput numbers land near the paper's plateau
+//! (~6.5 GiB/s local, ~5.75 GiB/s remote) for large objects and below it
+//! for small ones, where per-access latency dominates.
+
+use bench::READ_CHUNK;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use disagg::{Cluster, ClusterConfig};
+use plasma::ObjectId;
+use std::time::Duration;
+use tfsim::ClockMode;
+
+fn bench_read(c: &mut Criterion) {
+    let mut cfg = ClusterConfig::paper_testbed(256 << 20);
+    cfg.clock_mode = ClockMode::Throttle;
+    let cluster = Cluster::launch(cfg).expect("launch cluster");
+    let producer = cluster.client(0).expect("producer");
+    let local = cluster.client(0).expect("local client");
+    let remote = cluster.client(1).expect("remote client");
+
+    let mut group = c.benchmark_group("read_throughput");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // One object per size: 10 kB (latency-bound) to 10 MB (plateau).
+    for &size in &[10_000usize, 1_000_000, 10_000_000] {
+        let id = ObjectId::from_name(&format!("read-bench-{size}"));
+        producer.put(id, &vec![0xA7; size], &[]).expect("put");
+        group.throughput(Throughput::Bytes(size as u64));
+
+        let lbuf = local.get_one(id, Duration::from_secs(60)).expect("local get");
+        group.bench_with_input(BenchmarkId::new("local", size), &lbuf, |b, buf| {
+            b.iter(|| buf.data().read_sequential(READ_CHUNK).expect("read"));
+        });
+        local.release(id).expect("release");
+
+        let rbuf = remote.get_one(id, Duration::from_secs(60)).expect("remote get");
+        group.bench_with_input(BenchmarkId::new("remote", size), &rbuf, |b, buf| {
+            b.iter(|| buf.data().read_sequential(READ_CHUNK).expect("read"));
+        });
+        remote.release(id).expect("release");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read);
+criterion_main!(benches);

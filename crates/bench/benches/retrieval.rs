@@ -1,0 +1,58 @@
+//! Criterion bench for Fig. 6 — buffer retrieval latency, local vs remote.
+//!
+//! Runs the paper's 2-node configuration with a *throttled* clock, so the
+//! modeled IPC/RPC costs appear in wall-clock time and Criterion reports
+//! the same shape as the paper: µs-scale local retrievals that grow with
+//! object count vs ms-scale, jittery remote retrievals.
+
+use bench::{commit_objects, BenchSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use disagg::{Cluster, ClusterConfig};
+use plasma::{ObjectId, PlasmaClient};
+use std::time::Duration;
+use tfsim::ClockMode;
+
+fn throttled_cluster() -> Cluster {
+    let mut cfg = ClusterConfig::paper_testbed(256 << 20);
+    cfg.clock_mode = ClockMode::Throttle;
+    Cluster::launch(cfg).expect("launch cluster")
+}
+
+fn get_and_release(client: &PlasmaClient, ids: &[ObjectId]) {
+    let bufs = client.get(ids, Duration::from_secs(60)).expect("get");
+    for b in bufs.iter().flatten() {
+        client.release(b.id).expect("release");
+    }
+}
+
+fn bench_retrieval(c: &mut Criterion) {
+    let cluster = throttled_cluster();
+    let producer = cluster.client(0).expect("producer");
+    let local = cluster.client(0).expect("local client");
+    let remote = cluster.client(1).expect("remote client");
+
+    let mut group = c.benchmark_group("retrieval");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    // Object data size is irrelevant for retrieval (locations, not data),
+    // so use 1 kB objects at the paper's object counts.
+    for &count in &[10usize, 100, 1000] {
+        let spec = BenchSpec {
+            index: count, // namespaces the ids
+            num_objects: count,
+            object_size: 1000,
+        };
+        let ids = commit_objects(&producer, &spec, "crit", 7).expect("commit");
+
+        group.bench_with_input(BenchmarkId::new("local", count), &ids, |b, ids| {
+            b.iter(|| get_and_release(&local, ids));
+        });
+        group.bench_with_input(BenchmarkId::new("remote", count), &ids, |b, ids| {
+            b.iter(|| get_and_release(&remote, ids));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

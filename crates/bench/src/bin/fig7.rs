@@ -1,0 +1,72 @@
+//! Figure 7 — Plasma object buffer reading performance comparison.
+//!
+//! For each Table I benchmark, measures the throughput of sequentially
+//! reading all retrieved buffers (including access latency) for local and
+//! remote clients, reporting the distribution over N repetitions as
+//! box-plot statistics.
+//!
+//! Expected shape (paper): both paths stabilize for benchmarks 4-6 at
+//! ~6.5 GiB/s local and ~5.75 GiB/s remote (≈11.5% penalty); benchmarks
+//! 1-3 display more variation (5.5-7.1 GiB/s) because small objects do
+//! not saturate bandwidth.
+//!
+//! Usage: `cargo run -p bench --bin fig7 --release [-- --small --reps N]`
+
+use bench::{render_table, run_benchmark, HarnessOpts, Summary};
+use disagg::{Cluster, ClusterConfig};
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let cluster = Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory()))
+        .expect("launch cluster");
+
+    println!(
+        "Figure 7: sequential buffer read throughput (GiB/s), {} reps{}",
+        opts.reps,
+        if opts.small { ", scaled objects" } else { "" }
+    );
+    let mut rows = Vec::new();
+    let mut plateau = (0.0f64, 0.0f64, 0usize); // (local, remote, count) for benches 4-6
+    for spec in opts.specs() {
+        let r = run_benchmark(&cluster, spec, opts.reps, opts.seed).expect("benchmark");
+        let local: Vec<f64> = r.local.iter().map(|s| s.read_gibps).collect();
+        let remote: Vec<f64> = r.remote.iter().map(|s| s.read_gibps).collect();
+        let l = Summary::of(&local);
+        let m = Summary::of(&remote);
+        if spec.index >= 4 {
+            plateau.0 += l.median;
+            plateau.1 += m.median;
+            plateau.2 += 1;
+        }
+        for (label, s) in [("local", &l), ("remote", &m)] {
+            rows.push(vec![
+                spec.index.to_string(),
+                label.to_string(),
+                format!("{:.2}", s.min),
+                format!("{:.2}", s.p25),
+                format!("{:.2}", s.median),
+                format!("{:.2}", s.p75),
+                format!("{:.2}", s.max),
+            ]);
+        }
+        eprintln!("  bench {} done", spec.index);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["#", "path", "min", "p25", "median", "p75", "max"],
+            &rows
+        )
+    );
+    if plateau.2 > 0 {
+        let l = plateau.0 / plateau.2 as f64;
+        let m = plateau.1 / plateau.2 as f64;
+        println!(
+            "Plateau (benchmarks 4-6): local {:.2} GiB/s, remote {:.2} GiB/s, penalty {:.1}%",
+            l,
+            m,
+            (l - m) / l * 100.0
+        );
+        println!("Paper reports:            local ~6.5 GiB/s, remote ~5.75 GiB/s, penalty ~11.5%");
+    }
+}

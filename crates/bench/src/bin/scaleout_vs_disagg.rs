@@ -1,0 +1,91 @@
+//! Figure 1 — scale-out copying vs. memory disaggregation.
+//!
+//! The paper's motivating argument: in a classic scale-out design (Fig.
+//! 1a) consumers copy object data over the shared local network into their
+//! own memory, contending for LAN bandwidth; with disaggregation (Fig. 1b)
+//! they read the data in place over dedicated point-to-point fabric links.
+//!
+//! This harness models both data paths for one dataset consumed by 1..=8
+//! consumer nodes:
+//!
+//! * **scale-out** — every consumer pulls every object over one shared
+//!   10 GbE link (netsim token bucket ⇒ queueing under contention), writes
+//!   it to local memory, then reads it locally;
+//! * **disaggregated** — every consumer performs one RPC lookup, then
+//!   streams the objects over its own fabric link at the remote-path rate.
+//!
+//! Expected shape: at 1 consumer the two are comparable (the LAN and the
+//! fabric have similar line rates); as consumers multiply, scale-out
+//! completion time grows ~linearly with consumer count while
+//! disaggregated completion stays flat.
+//!
+//! Usage: `cargo run -p bench --bin scaleout_vs_disagg --release [-- --small]`
+
+use bench::{render_table, HarnessOpts};
+use netsim::{LinkModel, SharedLink, TokenBucket};
+use std::time::Duration;
+use tfsim::{CostModel, MemOp, Path};
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    // Dataset: benchmark 4 of Table I (100 x 1 MB) unless --small.
+    let spec = opts.specs()[3];
+    let cost = CostModel::thymesisflow();
+    let lan = LinkModel::tcp_scaleout();
+    let grpc = SharedLink::new(LinkModel::grpc_lan(), opts.seed);
+
+    println!(
+        "Figure 1 model: {} objects x {} bytes consumed by N nodes",
+        spec.num_objects, spec.object_size
+    );
+    let mut rows = Vec::new();
+    for consumers in [1usize, 2, 4, 8] {
+        // --- Scale-out: shared 10 GbE, copy then read locally. ---
+        let bucket = TokenBucket::new(1.0 / lan.secs_per_byte);
+        let link = SharedLink::new(lan, opts.seed ^ consumers as u64);
+        let mut finish = Duration::ZERO;
+        for _c in 0..consumers {
+            let mut t = Duration::ZERO;
+            for _ in 0..spec.num_objects {
+                // Request latency + queueing + serialization on the shared
+                // link (token bucket orders transfers across consumers).
+                t += link.delay(0); // per-object request/base latency
+                t += bucket.reserve(t, spec.object_size as u64);
+                // Copy into local memory, then the consumer reads it.
+                t += cost.cost(Path::Local, MemOp::Write, spec.object_size);
+                t += cost.cost(Path::Local, MemOp::Read, spec.object_size);
+            }
+            finish = finish.max(t);
+        }
+        let scaleout = finish;
+        let lan_bytes = spec.total_bytes() * consumers as u64;
+
+        // --- Disaggregated: one lookup RPC, then stream over the fabric.---
+        let mut finish = Duration::ZERO;
+        for _c in 0..consumers {
+            let mut t = grpc.delay(spec.num_objects * 40); // batched lookup
+            for _ in 0..spec.num_objects {
+                t += cost.cost(Path::Remote, MemOp::Read, spec.object_size);
+            }
+            finish = finish.max(t);
+        }
+        let disagg = finish;
+
+        rows.push(vec![
+            consumers.to_string(),
+            format!("{:.1}", scaleout.as_secs_f64() * 1e3),
+            format!("{:.1}", disagg.as_secs_f64() * 1e3),
+            format!("{:.2}x", scaleout.as_secs_f64() / disagg.as_secs_f64()),
+            format!("{:.0} MB", lan_bytes as f64 / 1e6),
+            "0 MB".to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["consumers", "scale-out (ms)", "disagg (ms)", "speedup", "LAN traffic", "LAN traffic (disagg)"],
+            &rows
+        )
+    );
+    println!("(disaggregated reads traverse dedicated fabric links; the shared LAN carries only lookups)");
+}

@@ -1,0 +1,58 @@
+//! Table I — benchmark specifications, plus a commit-phase validation run.
+//!
+//! Prints the paper's Table I and, for each benchmark, commits the objects
+//! to a paper-shaped 2-node cluster and reports the measured creation +
+//! write + seal time (the paper measures "creation, writing, and sealing
+//! of the objects" but does not plot it; this regenerates the table and
+//! records that phase).
+//!
+//! Usage: `cargo run -p bench --bin table1 --release [-- --small --reps N]`
+
+use bench::{commit_objects, render_table, HarnessOpts};
+use disagg::{Cluster, ClusterConfig};
+
+fn main() {
+    let opts = HarnessOpts::parse();
+    let specs = opts.specs();
+
+    println!("TABLE I: Benchmark Specifications{}", if opts.small { " (scaled 1/100)" } else { "" });
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .map(|s| {
+            vec![
+                s.index.to_string(),
+                s.num_objects.to_string(),
+                format!("{}", s.object_size as f64 / 1000.0),
+                format!("{:.1}", s.total_bytes() as f64 / 1e6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["#", "Number of Objects", "Object Size (kB)", "Total (MB)"], &rows)
+    );
+
+    println!("Commit phase (create + write + seal), measured on the simulated testbed:");
+    let cluster = Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory()))
+        .expect("launch cluster");
+    let producer = cluster.client(0).expect("client");
+    let mut rows = Vec::new();
+    for spec in specs {
+        let (ids, commit) = cluster
+            .clock()
+            .time(|| commit_objects(&producer, spec, "table1", opts.seed).expect("commit"));
+        let per_object_us = commit.as_secs_f64() * 1e6 / spec.num_objects as f64;
+        rows.push(vec![
+            spec.index.to_string(),
+            format!("{:.3}", commit.as_secs_f64() * 1e3),
+            format!("{per_object_us:.1}"),
+        ]);
+        for id in ids {
+            producer.delete(id).expect("cleanup");
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["#", "commit total (ms)", "per object (µs)"], &rows)
+    );
+}

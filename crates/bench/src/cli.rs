@@ -1,0 +1,74 @@
+//! Minimal argument parsing shared by the harness binaries.
+
+use crate::workload::{BenchSpec, TABLE_I, TABLE_I_SMALL};
+
+/// Options common to the figure harnesses.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Use the scaled-down Table I (sizes ÷ 100) — for smoke runs.
+    pub small: bool,
+    /// Repetitions per benchmark (paper: 100).
+    pub reps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HarnessOpts {
+    /// Parse from `std::env::args`: `[--small] [--reps N] [--seed N]`.
+    /// Defaults: full sizes, 10 reps (use `--reps 100` for the paper's
+    /// repetition count), seed 42.
+    pub fn parse() -> HarnessOpts {
+        let mut opts = HarnessOpts {
+            small: false,
+            reps: 10,
+            seed: 42,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--small" => opts.small = true,
+                "--reps" => {
+                    opts.reps = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--reps needs a number");
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--small] [--reps N] [--seed N]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    /// The Table I variant selected by `--small`.
+    pub fn specs(&self) -> &'static [BenchSpec; 6] {
+        if self.small {
+            &TABLE_I_SMALL
+        } else {
+            &TABLE_I
+        }
+    }
+
+    /// Store memory needed for the largest benchmark plus headroom.
+    pub fn store_memory(&self) -> usize {
+        let largest = self
+            .specs()
+            .iter()
+            .map(|s| s.total_bytes())
+            .max()
+            .unwrap_or(0) as usize;
+        largest + largest / 4 + (16 << 20)
+    }
+}

@@ -1,0 +1,21 @@
+//! # bench — harnesses regenerating every table and figure of the paper
+//!
+//! Library pieces shared by the harness binaries (`src/bin/*.rs`) and the
+//! Criterion benches (`benches/*.rs`):
+//!
+//! * [`workload`] — Table I benchmark specs and object commit routines;
+//! * [`measure`] — summary statistics and text-table rendering;
+//! * [`runner`] — the paper's retrieval/read measurement procedure.
+//!
+//! See DESIGN.md §4 for the experiment index (which binary regenerates
+//! which table/figure) and EXPERIMENTS.md for paper-vs-measured results.
+
+pub mod cli;
+pub mod measure;
+pub mod runner;
+pub mod workload;
+
+pub use cli::HarnessOpts;
+pub use measure::{gibps, percentile, render_table, Summary};
+pub use runner::{one_rep, run_benchmark, BenchResult, RepSample, READ_CHUNK};
+pub use workload::{commit_objects, random_data, BenchSpec, TABLE_I, TABLE_I_SMALL};

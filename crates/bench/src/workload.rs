@@ -1,0 +1,120 @@
+//! Benchmark workloads.
+//!
+//! Table I of the paper defines six microbenchmarks varying object size by
+//! orders of magnitude while scaling the object count down, "to mitigate
+//! any potential influence of caching of smaller objects". This module
+//! encodes those specs and the routines that commit and consume the
+//! corresponding objects.
+
+use plasma::{ObjectId, PlasmaClient, PlasmaError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchSpec {
+    /// Benchmark number (1-6).
+    pub index: usize,
+    /// Number of objects committed and retrieved.
+    pub num_objects: usize,
+    /// Size of each object in bytes (decimal kB as in the paper).
+    pub object_size: usize,
+}
+
+impl BenchSpec {
+    /// Total bytes across all objects.
+    pub fn total_bytes(&self) -> u64 {
+        self.num_objects as u64 * self.object_size as u64
+    }
+
+    /// Deterministic ids for this benchmark's objects, namespaced by `tag`
+    /// so repeated runs / stores don't collide.
+    pub fn ids(&self, tag: &str) -> Vec<ObjectId> {
+        (0..self.num_objects)
+            .map(|i| ObjectId::from_name(&format!("bench{}-{}-{}", self.index, tag, i)))
+            .collect()
+    }
+}
+
+/// The paper's Table I: (1000, 1 kB), (500, 10 kB), (200, 100 kB),
+/// (100, 1 MB), (50, 10 MB), (10, 100 MB).
+pub const TABLE_I: [BenchSpec; 6] = [
+    BenchSpec { index: 1, num_objects: 1000, object_size: 1_000 },
+    BenchSpec { index: 2, num_objects: 500, object_size: 10_000 },
+    BenchSpec { index: 3, num_objects: 200, object_size: 100_000 },
+    BenchSpec { index: 4, num_objects: 100, object_size: 1_000_000 },
+    BenchSpec { index: 5, num_objects: 50, object_size: 10_000_000 },
+    BenchSpec { index: 6, num_objects: 10, object_size: 100_000_000 },
+];
+
+/// A scaled-down Table I (sizes ÷ 100) for quick smoke runs and tests.
+pub const TABLE_I_SMALL: [BenchSpec; 6] = [
+    BenchSpec { index: 1, num_objects: 1000, object_size: 10 },
+    BenchSpec { index: 2, num_objects: 500, object_size: 100 },
+    BenchSpec { index: 3, num_objects: 200, object_size: 1_000 },
+    BenchSpec { index: 4, num_objects: 100, object_size: 10_000 },
+    BenchSpec { index: 5, num_objects: 50, object_size: 100_000 },
+    BenchSpec { index: 6, num_objects: 10, object_size: 1_000_000 },
+];
+
+/// Generate `len` bytes of random data ("objects with random data"; the
+/// contents "should not influence the system performance").
+pub fn random_data(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut v = vec![0u8; len];
+    rng.fill(&mut v[..]);
+    v
+}
+
+/// Commit all of a benchmark's objects through `client` (create + write +
+/// seal), reusing one random payload across objects to bound generation
+/// cost. Returns the ids.
+pub fn commit_objects(
+    client: &PlasmaClient,
+    spec: &BenchSpec,
+    tag: &str,
+    seed: u64,
+) -> Result<Vec<ObjectId>, PlasmaError> {
+    let payload = random_data(spec.object_size, seed);
+    let ids = spec.ids(tag);
+    for id in &ids {
+        client.put(*id, &payload, &[])?;
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_matches_paper() {
+        assert_eq!(TABLE_I.len(), 6);
+        assert_eq!(TABLE_I[0].num_objects, 1000);
+        assert_eq!(TABLE_I[0].object_size, 1_000);
+        assert_eq!(TABLE_I[5].num_objects, 10);
+        assert_eq!(TABLE_I[5].object_size, 100_000_000);
+        // Total volume per benchmark is 1 MB, 5 MB, 20 MB, 100 MB, 500 MB, 1 GB.
+        let totals: Vec<u64> = TABLE_I.iter().map(BenchSpec::total_bytes).collect();
+        assert_eq!(
+            totals,
+            vec![1_000_000, 5_000_000, 20_000_000, 100_000_000, 500_000_000, 1_000_000_000]
+        );
+    }
+
+    #[test]
+    fn ids_are_distinct_per_tag_and_index() {
+        let a = TABLE_I[0].ids("x");
+        let b = TABLE_I[0].ids("y");
+        assert_eq!(a.len(), 1000);
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+        let set: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn random_data_is_seed_deterministic() {
+        assert_eq!(random_data(64, 7), random_data(64, 7));
+        assert_ne!(random_data(64, 7), random_data(64, 8));
+    }
+}

@@ -1,0 +1,243 @@
+//! Simulated cluster harness.
+//!
+//! Launches an N-node memory-disaggregated Plasma deployment inside one
+//! process: a shared [`Fabric`], one [`DisaggStore`] per node, a full mesh
+//! of interconnect RPC channels (with gRPC-calibrated delay injection),
+//! and a Plasma IPC endpoint per store for clients. The paper's testbed is
+//! the 2-node instance of this; the design — and this harness — support
+//! "rack-scale solutions [with] multiple nodes" (paper §V-B).
+
+use crate::idcache::CacheMode;
+use crate::store::{DisaggConfig, DisaggStore, Peer};
+use ipc::InprocHub;
+use netsim::{LinkModel, SharedLink};
+use plasma::{
+    AllocatorKind, ClientCost, Notifications, PlasmaClient, PlasmaError, PlasmaServer,
+    StoreConfig, StoreCore,
+};
+use rpclite::{NetCost, RpcClient, ServerHandle};
+use std::sync::Arc;
+use tfsim::{Clock, ClockMode, CostModel, Fabric, NodeId};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (each runs one store).
+    pub nodes: usize,
+    /// Bytes of disaggregated memory donated per store.
+    pub memory_per_node: usize,
+    /// Allocator used by every store.
+    pub allocator: AllocatorKind,
+    /// Virtual (deterministic accounting) or Throttle (wall-clock) time.
+    pub clock_mode: ClockMode,
+    /// Delay model of the store-to-store RPC channel.
+    pub rpc_link: LinkModel,
+    /// Whether Plasma clients charge modeled IPC costs to the clock.
+    pub model_client_cost: bool,
+    /// Optional remote-id cache on every store.
+    pub id_cache: Option<(CacheMode, usize)>,
+    /// Optional per-store growth policy: (increment bytes, max total bytes).
+    pub growth: Option<(usize, usize)>,
+    /// RNG seed for all delay sampling.
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed shape: two nodes, gRPC-calibrated interconnect,
+    /// deterministic virtual time, modeled IPC costs, no id cache.
+    pub fn paper_testbed(memory_per_node: usize) -> Self {
+        ClusterConfig {
+            nodes: 2,
+            memory_per_node,
+            allocator: AllocatorKind::SizeMap,
+            clock_mode: ClockMode::Virtual,
+            rpc_link: LinkModel::grpc_lan(),
+            model_client_cost: true,
+            id_cache: None,
+            growth: None,
+            seed: 0x7F1A,
+        }
+    }
+
+    /// Functional-test shape: free clocks, no delays, no cost modeling.
+    pub fn functional(nodes: usize, memory_per_node: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            memory_per_node,
+            allocator: AllocatorKind::SizeMap,
+            clock_mode: ClockMode::Virtual,
+            rpc_link: LinkModel::instant(),
+            model_client_cost: false,
+            id_cache: None,
+            growth: None,
+            seed: 1,
+        }
+    }
+}
+
+struct NodeRuntime {
+    node: NodeId,
+    store: DisaggStore,
+    _plasma_server: PlasmaServer,
+    _rpc_server: ServerHandle,
+}
+
+/// A running simulated cluster.
+pub struct Cluster {
+    fabric: Fabric,
+    hub: InprocHub,
+    nodes: Vec<NodeRuntime>,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Launch a cluster per `config`.
+    pub fn launch(config: ClusterConfig) -> Result<Cluster, PlasmaError> {
+        assert!(config.nodes >= 1, "cluster needs at least one node");
+        let clock = Clock::new(config.clock_mode);
+        let fabric = Fabric::new(clock, CostModel::thymesisflow());
+        let hub = InprocHub::new();
+
+        // Stage 1: stores + their RPC and Plasma endpoints.
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let node = fabric.register_node();
+            let core = StoreCore::new(
+                &fabric,
+                node,
+                StoreConfig {
+                    name: format!("store-{i}"),
+                    memory_bytes: config.memory_per_node,
+                    allocator: config.allocator,
+                    enable_eviction: true,
+                    growth: config.growth.map(|(increment_bytes, max_total_bytes)| {
+                        plasma::store::GrowthPolicy {
+                            increment_bytes,
+                            max_total_bytes,
+                        }
+                    }),
+                },
+            )?;
+            let store = DisaggStore::new(
+                core,
+                DisaggConfig {
+                    lookup_remote: true,
+                    id_cache: config.id_cache,
+                },
+            );
+            let rpc_listener = hub.bind(&format!("rpc-{i}"))?;
+            let rpc_server = rpclite::serve(Box::new(rpc_listener), store.interconnect_service());
+            let plasma_listener = hub.bind(&format!("plasma-{i}"))?;
+            let plasma_server =
+                plasma::serve_store(Box::new(plasma_listener), Arc::new(store.clone()));
+            nodes.push(NodeRuntime {
+                node,
+                store,
+                _plasma_server: plasma_server,
+                _rpc_server: rpc_server,
+            });
+        }
+
+        // Stage 2: full-mesh interconnect with per-pair delay injection.
+        for i in 0..config.nodes {
+            for j in 0..config.nodes {
+                if i == j {
+                    continue;
+                }
+                let conn = hub.connect(&format!("rpc-{j}"))?;
+                let net = NetCost {
+                    link: SharedLink::new(
+                        config.rpc_link,
+                        config.seed ^ ((i as u64) << 32) ^ j as u64,
+                    ),
+                    clock: fabric.clock().clone(),
+                };
+                let client = RpcClient::with_net(Box::new(conn), Some(net));
+                nodes[i].store.add_peer(Peer {
+                    node: nodes[j].node,
+                    name: format!("store-{j}"),
+                    client: Arc::new(client),
+                });
+            }
+        }
+
+        Ok(Cluster {
+            fabric,
+            hub,
+            nodes,
+            config,
+        })
+    }
+
+    /// The shared fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The simulation clock.
+    pub fn clock(&self) -> &Clock {
+        self.fabric.clock()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The store running on node index `i`.
+    pub fn store(&self, i: usize) -> &DisaggStore {
+        &self.nodes[i].store
+    }
+
+    /// The fabric node id of node index `i`.
+    pub fn node_id(&self, i: usize) -> NodeId {
+        self.nodes[i].node
+    }
+
+    /// Connect a new Plasma client to the store on node `store_idx`,
+    /// running on node `client_node_idx` of the fabric (which determines
+    /// local-vs-remote buffer read costs).
+    pub fn client_at(
+        &self,
+        store_idx: usize,
+        client_node_idx: usize,
+    ) -> Result<PlasmaClient, PlasmaError> {
+        let conn = self.hub.connect(&format!("plasma-{store_idx}"))?;
+        let cost = self.config.model_client_cost.then(|| {
+            ClientCost::local_plasma(
+                self.fabric.clock().clone(),
+                self.config.seed ^ 0xC11E ^ store_idx as u64,
+            )
+        });
+        Ok(PlasmaClient::with_cost(
+            Box::new(conn),
+            self.fabric.clone(),
+            self.nodes[client_node_idx].node,
+            cost,
+        ))
+    }
+
+    /// Connect a client to its node-local store (the normal deployment:
+    /// clients always talk to the store on their own node).
+    pub fn client(&self, node_idx: usize) -> Result<PlasmaClient, PlasmaError> {
+        self.client_at(node_idx, node_idx)
+    }
+
+    /// Subscribe to seal notifications from the store on node `i`.
+    pub fn notifications(&self, i: usize) -> Result<Notifications, PlasmaError> {
+        let conn = self.hub.connect(&format!("plasma-{i}"))?;
+        Notifications::subscribe(Box::new(conn))
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}

@@ -1,0 +1,192 @@
+//! Remote-identifier cache (paper future work: "a caching mechanism for
+//! previously requested remote objects ... would increase the performance
+//! of repeated requests for identifiers").
+//!
+//! Two modes, reflecting the paper's safety discussion:
+//!
+//! * [`CacheMode::Pinning`] — the cache only remembers *which peer* owns an
+//!   id, so a repeat `get` issues one targeted lookup (which pins the
+//!   object) instead of broadcasting to every peer. Safe, saves
+//!   `(peers - 1)` RPCs per repeat get.
+//! * [`CacheMode::Direct`] — the cache remembers the full
+//!   [`ObjectLocation`] and a repeat `get` skips RPC entirely, reading the
+//!   remote buffer straight through the fabric. Fastest possible repeat
+//!   path, but the object is *not pinned*: the owner may evict it under
+//!   pressure and the reader observes whatever bytes replaced it — exactly
+//!   the "corrupted object buffers if not handled carefully" hazard the
+//!   paper warns about. The integration tests demonstrate that hazard.
+
+use parking_lot::Mutex;
+use plasma::{ObjectId, ObjectLocation};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tfsim::NodeId;
+
+/// Safety mode of the id cache (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    Pinning,
+    Direct,
+}
+
+#[derive(Debug, Clone)]
+pub struct CachedEntry {
+    pub location: ObjectLocation,
+    pub peer: NodeId,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<ObjectId, (CachedEntry, u64)>,
+    order: BTreeMap<u64, ObjectId>,
+    next_stamp: u64,
+}
+
+/// An LRU cache of remote object ids.
+#[derive(Debug)]
+pub struct IdCache {
+    mode: CacheMode,
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl IdCache {
+    pub fn new(mode: CacheMode, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        IdCache {
+            mode,
+            capacity,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Record a remote object's location.
+    pub fn insert(&self, entry: CachedEntry) {
+        let mut inner = self.inner.lock();
+        let id = entry.location.id;
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some((_, old)) = inner.map.insert(id, (entry, stamp)) {
+            inner.order.remove(&old);
+        }
+        inner.order.insert(stamp, id);
+        while inner.map.len() > self.capacity {
+            let (&victim_stamp, &victim) = inner.order.iter().next().expect("order in sync");
+            inner.order.remove(&victim_stamp);
+            inner.map.remove(&victim);
+        }
+    }
+
+    /// Look up a cached id, refreshing its recency.
+    pub fn lookup(&self, id: ObjectId) -> Option<CachedEntry> {
+        let mut inner = self.inner.lock();
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        match inner.map.get_mut(&id) {
+            Some((entry, old)) => {
+                let prev = *old;
+                *old = stamp;
+                let entry = entry.clone();
+                inner.order.remove(&prev);
+                inner.order.insert(stamp, id);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Drop a cached id (e.g. after a stale hit).
+    pub fn invalidate(&self, id: ObjectId) {
+        let mut inner = self.inner.lock();
+        if let Some((_, stamp)) = inner.map.remove(&id) {
+            inner.order.remove(&stamp);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (hits, misses).
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfsim::SegKey;
+
+    fn entry(n: u8) -> CachedEntry {
+        CachedEntry {
+            location: ObjectLocation {
+                id: ObjectId::from_bytes([n; 20]),
+                seg: SegKey {
+                    owner: NodeId(1),
+                    index: 0,
+                },
+                offset: u64::from(n) * 100,
+                data_size: 10,
+                metadata_size: 0,
+            },
+            peer: NodeId(1),
+        }
+    }
+
+    #[test]
+    fn insert_lookup_invalidate() {
+        let c = IdCache::new(CacheMode::Pinning, 8);
+        let e = entry(1);
+        c.insert(e.clone());
+        let got = c.lookup(e.location.id).unwrap();
+        assert_eq!(got.location, e.location);
+        c.invalidate(e.location.id);
+        assert!(c.lookup(e.location.id).is_none());
+        assert_eq!(c.counters(), (1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let c = IdCache::new(CacheMode::Direct, 2);
+        c.insert(entry(1));
+        c.insert(entry(2));
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.lookup(entry(1).location.id).is_some());
+        c.insert(entry(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(entry(2).location.id).is_none(), "LRU evicted");
+        assert!(c.lookup(entry(1).location.id).is_some());
+        assert!(c.lookup(entry(3).location.id).is_some());
+    }
+
+    #[test]
+    fn reinsert_updates_entry() {
+        let c = IdCache::new(CacheMode::Pinning, 4);
+        let mut e = entry(1);
+        c.insert(e.clone());
+        e.location.offset = 999;
+        c.insert(e.clone());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(e.location.id).unwrap().location.offset, 999);
+    }
+}

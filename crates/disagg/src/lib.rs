@@ -1,0 +1,458 @@
+//! # disagg — the memory-disaggregated distributed Plasma store
+//!
+//! The paper's contribution: Plasma stores on different nodes are
+//! interconnected (gRPC-style RPC for control, the ThymesisFlow fabric for
+//! data), giving clients transparent access to objects anywhere in the
+//! cluster. Objects are sharded — each lives in exactly one store's
+//! disaggregated memory — and consumers read them in place through the
+//! fabric rather than copying them over the network.
+//!
+//! * [`DisaggStore`] — the distributed store engine (implements
+//!   [`plasma::ObjectStore`], so the stock Plasma client and server work
+//!   unchanged on top).
+//! * [`Cluster`] — one-call harness that launches an N-node simulated
+//!   deployment.
+//! * [`IdCache`] — the paper's future-work remote-identifier cache, in a
+//!   safe (pinning) and an unsafe (direct) variant.
+//!
+//! ## Example: two nodes sharing an object
+//!
+//! ```
+//! use disagg::{Cluster, ClusterConfig};
+//! use plasma::ObjectId;
+//! use std::time::Duration;
+//!
+//! let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+//! let producer = cluster.client(0).unwrap();
+//! let consumer = cluster.client(1).unwrap();
+//!
+//! let id = ObjectId::from_name("shared-table");
+//! producer.put(id, b"column data", &[]).unwrap();
+//!
+//! // The consumer's local store RPCs store 0, then the buffer is read
+//! // directly from node 0's disaggregated memory over the fabric.
+//! let buf = consumer.get_one(id, Duration::from_secs(1)).unwrap();
+//! assert_eq!(buf.read_all().unwrap(), b"column data");
+//! consumer.release(id).unwrap();
+//! ```
+
+pub mod cluster;
+pub mod idcache;
+pub mod proto;
+pub mod store;
+pub mod usage;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use idcache::{CacheMode, CachedEntry, IdCache};
+pub use store::{DisaggConfig, DisaggStats, DisaggStore, Peer};
+pub use usage::{RemoteRefs, Reservations, ReserveOutcome};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma::{ObjectId, ObjectStore, PlasmaError};
+    use std::time::Duration;
+    use tfsim::Path;
+
+    fn two_nodes() -> Cluster {
+        Cluster::launch(ClusterConfig::functional(2, 4 << 20)).unwrap()
+    }
+
+    #[test]
+    fn remote_get_reads_through_fabric() {
+        let c = two_nodes();
+        let producer = c.client(0).unwrap();
+        let consumer = c.client(1).unwrap();
+        let id = ObjectId::from_name("obj");
+        producer.put(id, &vec![0xEE; 50_000], b"meta").unwrap();
+
+        let buf = consumer.get_one(id, Duration::from_secs(1)).unwrap();
+        assert_eq!(buf.data().path(), Path::Remote);
+        assert!(buf.read_all().unwrap().iter().all(|&b| b == 0xEE));
+        assert_eq!(buf.metadata().read_all().unwrap(), b"meta");
+
+        let snap = c.fabric().stats().snapshot();
+        assert_eq!(snap.remote_read_bytes, 50_004);
+        // Control went over RPC; data did not.
+        assert_eq!(c.store(1).disagg_stats().lookup_rpcs, 1);
+        consumer.release(id).unwrap();
+    }
+
+    #[test]
+    fn local_get_needs_no_rpc() {
+        let c = two_nodes();
+        let client = c.client(0).unwrap();
+        let id = ObjectId::from_name("local");
+        client.put(id, b"here", &[]).unwrap();
+        let _ = client.get_one(id, Duration::from_secs(1)).unwrap();
+        assert_eq!(c.store(0).disagg_stats().lookup_rpcs, 0);
+    }
+
+    #[test]
+    fn id_uniqueness_enforced_across_stores() {
+        let c = two_nodes();
+        let a = c.client(0).unwrap();
+        let b = c.client(1).unwrap();
+        let id = ObjectId::from_name("unique");
+        a.put(id, b"first", &[]).unwrap();
+        let err = b.create(id, 5, 0).unwrap_err();
+        assert_eq!(err, PlasmaError::ObjectExists(id));
+        // Store 0's create reserved the id on its peer.
+        assert!(c.store(0).disagg_stats().reserve_rpcs >= 1);
+    }
+
+    #[test]
+    fn remote_pin_blocks_eviction_until_release() {
+        // Store 0 is small; a remote reader pins an object, then store 0
+        // comes under memory pressure.
+        let c = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+        let producer = c.client(0).unwrap();
+        let consumer = c.client(1).unwrap();
+        let pinned = ObjectId::from_name("pinned");
+        producer.put(pinned, &vec![1; 600 << 10], &[]).unwrap();
+        let buf = consumer.get_one(pinned, Duration::from_secs(1)).unwrap();
+        assert_eq!(c.store(0).remote_pin_count(), 1);
+
+        // Pressure: this create cannot evict the pinned object.
+        let big = ObjectId::from_name("big");
+        let err = producer.create(big, 600 << 10, 0).unwrap_err();
+        assert!(matches!(err, PlasmaError::OutOfMemory { .. }));
+        assert!(buf.read_all().unwrap().iter().all(|&b| b == 1));
+
+        // After release the usage feedback frees it for eviction.
+        consumer.release(pinned).unwrap();
+        assert_eq!(c.store(0).remote_pin_count(), 0);
+        assert_eq!(c.store(1).disagg_stats().releases_forwarded, 1);
+        producer.put(big, &vec![2; 600 << 10], &[]).unwrap();
+        assert!(!producer.contains(pinned).unwrap());
+    }
+
+    #[test]
+    fn contains_and_delete_forward_to_owner() {
+        let c = two_nodes();
+        let a = c.client(0).unwrap();
+        let b = c.client(1).unwrap();
+        let id = ObjectId::from_name("owned-by-0");
+        a.put(id, b"x", &[]).unwrap();
+        assert!(b.contains(id).unwrap());
+        b.delete(id).unwrap();
+        assert!(!a.contains(id).unwrap());
+        assert!(!b.contains(id).unwrap());
+    }
+
+    #[test]
+    fn delete_of_missing_object_errors_everywhere() {
+        let c = two_nodes();
+        let b = c.client(1).unwrap();
+        let id = ObjectId::from_name("ghost");
+        assert_eq!(b.delete(id).unwrap_err(), PlasmaError::ObjectNotFound(id));
+    }
+
+    #[test]
+    fn pinning_id_cache_reduces_rpc_fanout() {
+        let mut cfg = ClusterConfig::functional(4, 4 << 20);
+        cfg.id_cache = Some((CacheMode::Pinning, 1024));
+        let c = Cluster::launch(cfg).unwrap();
+        let producer = c.client(3).unwrap();
+        let consumer = c.client(0).unwrap();
+        let id = ObjectId::from_name("cached");
+        producer.put(id, b"warm", &[]).unwrap();
+
+        // Cold get: broadcast (up to 3 lookup RPCs, owner may come last).
+        let _ = consumer.get_one(id, Duration::from_secs(1)).unwrap();
+        let cold = c.store(0).disagg_stats().lookup_rpcs;
+        consumer.release(id).unwrap();
+
+        // Warm get: exactly one targeted RPC.
+        let _ = consumer.get_one(id, Duration::from_secs(1)).unwrap();
+        let warm = c.store(0).disagg_stats().lookup_rpcs - cold;
+        assert_eq!(warm, 1, "warm get should target the cached owner");
+        let (hits, _) = c.store(0).idcache_counters().unwrap();
+        assert!(hits >= 1);
+        consumer.release(id).unwrap();
+    }
+
+    #[test]
+    fn direct_id_cache_skips_rpc_but_does_not_pin() {
+        let mut cfg = ClusterConfig::functional(2, 4 << 20);
+        cfg.id_cache = Some((CacheMode::Direct, 1024));
+        let c = Cluster::launch(cfg).unwrap();
+        let producer = c.client(0).unwrap();
+        let consumer = c.client(1).unwrap();
+        let id = ObjectId::from_name("direct");
+        producer.put(id, b"zoom", &[]).unwrap();
+
+        let _ = consumer.get_one(id, Duration::from_secs(1)).unwrap();
+        consumer.release(id).unwrap();
+        let rpcs_after_cold = c.store(1).disagg_stats().lookup_rpcs;
+
+        let buf = consumer.get_one(id, Duration::from_secs(1)).unwrap();
+        assert_eq!(c.store(1).disagg_stats().lookup_rpcs, rpcs_after_cold);
+        assert_eq!(c.store(1).disagg_stats().direct_cache_reads, 1);
+        // No pin was taken — the hazard the paper warns about.
+        assert_eq!(c.store(0).remote_pin_count(), 0);
+        assert_eq!(buf.read_all().unwrap(), b"zoom");
+        consumer.release(id).unwrap();
+    }
+
+    #[test]
+    fn rack_scale_all_pairs_share() {
+        let c = Cluster::launch(ClusterConfig::functional(5, 4 << 20)).unwrap();
+        let clients: Vec<_> = (0..5).map(|i| c.client(i).unwrap()).collect();
+        for (i, client) in clients.iter().enumerate() {
+            let id = ObjectId::from_name(&format!("from-{i}"));
+            client.put(id, format!("payload-{i}").as_bytes(), &[]).unwrap();
+        }
+        for (j, client) in clients.iter().enumerate() {
+            for i in 0..5 {
+                let id = ObjectId::from_name(&format!("from-{i}"));
+                let buf = client.get_one(id, Duration::from_secs(2)).unwrap();
+                assert_eq!(buf.read_all().unwrap(), format!("payload-{i}").as_bytes());
+                let expected_path = if i == j { Path::Local } else { Path::Remote };
+                assert_eq!(buf.data().path(), expected_path);
+                client.release(id).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn migration_moves_object_and_flips_read_path() {
+        let c = two_nodes();
+        let producer = c.client(0).unwrap();
+        let consumer = c.client(1).unwrap();
+        let id = ObjectId::from_name("hot-object");
+        let payload = vec![0xC3; 64 << 10];
+        producer.put(id, &payload, b"hot-meta").unwrap();
+
+        // Before migration: consumer reads remotely.
+        let buf = consumer.get_one(id, Duration::from_secs(1)).unwrap();
+        assert_eq!(buf.data().path(), Path::Remote);
+        consumer.release(id).unwrap();
+
+        // Migrate to node 1's store.
+        let loc = c
+            .store(1)
+            .migrate_to_local(id, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(loc.seg.owner, c.node_id(1));
+
+        // After migration: local path, data + metadata intact, owner copy
+        // gone.
+        let buf = consumer.get_one(id, Duration::from_secs(1)).unwrap();
+        assert_eq!(buf.data().path(), Path::Local);
+        assert_eq!(buf.read_all().unwrap(), payload);
+        assert_eq!(buf.metadata().read_all().unwrap(), b"hot-meta");
+        consumer.release(id).unwrap();
+        assert!(!c.store(0).core().contains(id));
+        // Idempotent: migrating again is a no-op.
+        let again = c
+            .store(1)
+            .migrate_to_local(id, Duration::from_secs(1))
+            .unwrap();
+        assert_eq!(again.seg.owner, c.node_id(1));
+    }
+
+    #[test]
+    fn migration_aborts_cleanly_when_object_is_in_use() {
+        let c = two_nodes();
+        let producer = c.client(0).unwrap();
+        let id = ObjectId::from_name("busy-object");
+        producer.put(id, &[7; 1024], &[]).unwrap();
+        // A reader on node 0 pins the owner's copy.
+        let pin = producer.get_one(id, Duration::from_secs(1)).unwrap();
+
+        let err = c
+            .store(1)
+            .migrate_to_local(id, Duration::from_secs(5))
+            .unwrap_err();
+        assert_eq!(err, PlasmaError::ObjectInUse(id));
+        // Nothing changed: owner still serves it; node 1 has no copy.
+        assert!(c.store(0).core().contains(id));
+        assert!(!c.store(1).core().exists_any_state(id));
+        assert_eq!(pin.read_all().unwrap(), vec![7; 1024]);
+        producer.release(id).unwrap();
+    }
+
+    #[test]
+    fn global_list_covers_all_nodes() {
+        let c = Cluster::launch(ClusterConfig::functional(3, 4 << 20)).unwrap();
+        for i in 0..3 {
+            let client = c.client(i).unwrap();
+            for j in 0..(i + 1) {
+                let id = ObjectId::from_name(&format!("inv/{i}/{j}"));
+                client.put(id, &[0; 100], &[]).unwrap();
+            }
+        }
+        let inventory = c.store(0).global_list().unwrap();
+        assert_eq!(inventory.len(), 3);
+        let mut counts: Vec<usize> = inventory.iter().map(|(_, e)| e.len()).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2, 3]);
+        let total_bytes: u64 = inventory
+            .iter()
+            .flat_map(|(_, e)| e.iter().map(|x| x.data_size))
+            .sum();
+        assert_eq!(total_bytes, 600);
+    }
+
+    #[test]
+    fn direct_cache_hazard_serves_stale_bytes_after_delete() {
+        // The corruption scenario the paper warns about for unmanaged
+        // caching: a Direct-mode cache keeps serving a location after the
+        // owner deleted the object and reused its memory.
+        let mut cfg = ClusterConfig::functional(2, 1 << 20);
+        cfg.id_cache = Some((CacheMode::Direct, 64));
+        let c = Cluster::launch(cfg).unwrap();
+        let producer = c.client(0).unwrap();
+        let consumer = c.client(1).unwrap();
+
+        let victim = ObjectId::from_name("victim");
+        producer.put(victim, &[0xAA; 1000], &[]).unwrap();
+        // Warm the consumer's direct cache.
+        let buf = consumer.get_one(victim, Duration::from_secs(1)).unwrap();
+        assert!(buf.read_all().unwrap().iter().all(|&b| b == 0xAA));
+        consumer.release(victim).unwrap();
+
+        // Owner deletes the object and a new object reuses the region.
+        producer.delete(victim).unwrap();
+        let squatter = ObjectId::from_name("squatter");
+        producer.put(squatter, &[0xBB; 1000], &[]).unwrap();
+
+        // The consumer's cached get still "succeeds" — and reads the
+        // squatter's bytes. No pin, no validation: silent corruption.
+        let stale = consumer.get_one(victim, Duration::from_secs(1)).unwrap();
+        let bytes = stale.read_all().unwrap();
+        assert!(
+            bytes.iter().all(|&b| b == 0xBB),
+            "direct cache must expose the reused memory (the documented hazard)"
+        );
+        assert_eq!(c.store(1).disagg_stats().direct_cache_reads, 1);
+    }
+
+    #[test]
+    fn get_times_out_when_object_is_nowhere() {
+        let c = two_nodes();
+        let client = c.client(0).unwrap();
+        let id = ObjectId::from_name("nowhere");
+        let out = client.get(&[id], Duration::from_millis(40)).unwrap();
+        assert!(out[0].is_none());
+    }
+
+    #[test]
+    fn batch_get_mixes_local_and_remote() {
+        let c = two_nodes();
+        let a = c.client(0).unwrap();
+        let b = c.client(1).unwrap();
+        let local = ObjectId::from_name("on-1");
+        let remote = ObjectId::from_name("on-0");
+        b.put(local, b"local-data", &[]).unwrap();
+        a.put(remote, b"remote-data", &[]).unwrap();
+        let got = b
+            .get(&[local, remote], Duration::from_secs(1))
+            .unwrap();
+        let bufs: Vec<_> = got.into_iter().flatten().collect();
+        assert_eq!(bufs.len(), 2);
+        assert_eq!(bufs[0].read_all().unwrap(), b"local-data");
+        assert_eq!(bufs[1].read_all().unwrap(), b"remote-data");
+        assert_eq!(bufs[0].data().path(), Path::Local);
+        assert_eq!(bufs[1].data().path(), Path::Remote);
+    }
+
+    #[test]
+    fn unavailable_peer_surfaces_as_transport_error_on_create() {
+        use plasma::{StoreConfig, StoreCore};
+        use rpclite::{Status, StatusCode};
+        use std::sync::Arc;
+
+        let fabric = tfsim::Fabric::virtual_thymesisflow();
+        let node = fabric.register_node();
+        let core = StoreCore::new(&fabric, node, StoreConfig::new("lonely", 1 << 20)).unwrap();
+        let store = DisaggStore::new(core, DisaggConfig::default());
+
+        // A peer whose service always fails (stand-in for an unreachable
+        // or crashing store).
+        let hub = ipc::InprocHub::new();
+        let listener = hub.bind("dead-peer").unwrap();
+        let svc = Arc::new(|_m: u32, _b: bytes::Bytes| -> Result<bytes::Bytes, Status> {
+            Err(Status::new(StatusCode::Unavailable, "peer down"))
+        });
+        let _srv = rpclite::serve(Box::new(listener), svc);
+        store.add_peer(Peer {
+            node: tfsim::NodeId(99),
+            name: "dead".into(),
+            client: Arc::new(rpclite::RpcClient::new(Box::new(
+                hub.connect("dead-peer").unwrap(),
+            ))),
+        });
+
+        // Strict uniqueness: if a peer cannot confirm the reservation, the
+        // create fails rather than risking a duplicate id.
+        let err = plasma::ObjectStore::create(&store, ObjectId::from_name("x"), 8, 0)
+            .unwrap_err();
+        assert!(
+            matches!(err, PlasmaError::Protocol(_) | PlasmaError::Transport(_)),
+            "{err:?}"
+        );
+        // The failed create left no residue: a later local-only create of
+        // the same id works once the peer is removed from the quorum.
+        assert!(!store.core().exists_any_state(ObjectId::from_name("x")));
+    }
+
+    #[test]
+    fn interconnect_thread_and_local_clients_share_the_store_safely() {
+        // The paper's §IV thread-safety concern: the store's main servicing
+        // path and the RPC server thread access the object table
+        // concurrently. Hammer both sides at once.
+        let c = two_nodes();
+        let local = c.store(0).clone();
+        let remote_client = c.client(1).unwrap();
+
+        std::thread::scope(|s| {
+            // Local churn on store 0 (the "main thread").
+            s.spawn(move || {
+                for i in 0..200u32 {
+                    let id = ObjectId::from_name(&format!("churn/{i}"));
+                    let loc = local.core().create(id, 64, 0).unwrap();
+                    let map = local.core().local_mapping().unwrap();
+                    map.write_at(loc.offset, &[i as u8; 64]).unwrap();
+                    local.core().seal(id).unwrap();
+                    local.core().release(id).unwrap();
+                }
+            });
+            // Remote lookups hitting store 0's interconnect service.
+            s.spawn(move || {
+                for i in 0..200u32 {
+                    let id = ObjectId::from_name(&format!("churn/{i}"));
+                    let buf = remote_client
+                        .get_one(id, Duration::from_secs(30))
+                        .unwrap();
+                    assert!(buf.read_all().unwrap().iter().all(|&b| b == i as u8));
+                    remote_client.release(id).unwrap();
+                }
+            });
+        });
+        assert_eq!(c.store(0).remote_pin_count(), 0, "all remote pins released");
+    }
+
+    #[test]
+    fn concurrent_create_same_id_yields_one_winner() {
+        // Drive the reservation race deterministically through the store
+        // API on both nodes concurrently, many rounds.
+        let c = two_nodes();
+        let s0 = c.store(0).clone();
+        let s1 = c.store(1).clone();
+        for round in 0..20 {
+            let id = ObjectId::from_name(&format!("race-{round}"));
+            let (r0, r1) = std::thread::scope(|scope| {
+                let t0 = scope.spawn(|| s0.create(id, 8, 0));
+                let t1 = scope.spawn(|| s1.create(id, 8, 0));
+                (t0.join().unwrap(), t1.join().unwrap())
+            });
+            let winners = [&r0, &r1].iter().filter(|r| r.is_ok()).count();
+            assert_eq!(winners, 1, "round {round}: {r0:?} vs {r1:?}");
+            // Clean up for the next round.
+            let winner = if r0.is_ok() { &s0 } else { &s1 };
+            winner.abort(id).unwrap();
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Store-to-store interconnect protocol.
+//!
+//! The messages Plasma stores exchange over the (simulated) gRPC channel:
+//! object-id lookup (with optional pinning for distributed usage
+//! tracking), id reservation for system-wide uniqueness, reference
+//! release feedback, and forwarded delete. Encoded with the
+//! protobuf-style wire format from [`rpclite::wire`].
+
+use bytes::Bytes;
+use plasma::{ObjectId, ObjectLocation, OBJECT_ID_LEN};
+use rpclite::wire::{MsgDec, MsgEnc, WireError};
+use tfsim::{NodeId, SegKey};
+
+/// Interconnect method ids.
+pub mod method {
+    /// Batched object lookup (`LookupReq` → `LookupResp`).
+    pub const LOOKUP: u32 = 1;
+    /// Reserve an object id for creation (`ReserveReq` → `ReserveResp`).
+    pub const RESERVE: u32 = 2;
+    /// Release references held on behalf of a remote node (`ReleaseReq`).
+    pub const RELEASE: u32 = 3;
+    /// Does a sealed object exist here? (`ContainsReq` → `ContainsResp`).
+    pub const CONTAINS: u32 = 4;
+    /// Forwarded delete (`DeleteReq` → empty).
+    pub const DELETE: u32 = 5;
+    /// List the responder's sealed objects (empty → `ListResp`).
+    pub const LIST: u32 = 6;
+    /// Forwarded deferred delete (`IdReq` → `BoolResp` deleted-now).
+    pub const DELETE_DEFERRED: u32 = 7;
+}
+
+fn enc_id(e: &mut MsgEnc, field: u32, id: &ObjectId) {
+    e.bytes(field, id.as_bytes());
+}
+
+fn dec_id(b: &Bytes) -> Result<ObjectId, WireError> {
+    let arr: [u8; OBJECT_ID_LEN] = b[..]
+        .try_into()
+        .map_err(|_| WireError::MissingField(0))?;
+    Ok(ObjectId::from_bytes(arr))
+}
+
+fn enc_location(loc: &ObjectLocation) -> MsgEnc {
+    let mut e = MsgEnc::new();
+    enc_id(&mut e, 1, &loc.id);
+    e.uint(2, u64::from(loc.seg.owner.0))
+        .uint(3, u64::from(loc.seg.index))
+        .uint(4, loc.offset)
+        .uint(5, loc.data_size)
+        .uint(6, loc.metadata_size);
+    e
+}
+
+fn dec_location(b: Bytes) -> Result<ObjectLocation, WireError> {
+    let f = MsgDec::new(b).collect()?;
+    Ok(ObjectLocation {
+        id: dec_id(&f.bytes(1)?)?,
+        seg: SegKey {
+            owner: NodeId(
+                u16::try_from(f.uint(2)?).map_err(|_| WireError::MissingField(2))?,
+            ),
+            index: u32::try_from(f.uint(3)?).map_err(|_| WireError::MissingField(3))?,
+        },
+        offset: f.uint(4)?,
+        data_size: f.uint(5)?,
+        metadata_size: f.uint(6)?,
+    })
+}
+
+/// Batched lookup request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupReq {
+    /// Node issuing the lookup (for usage tracking).
+    pub requester: NodeId,
+    /// If true, found objects are pinned on behalf of the requester.
+    pub pin: bool,
+    pub ids: Vec<ObjectId>,
+}
+
+impl LookupReq {
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0))
+            .uint(2, u64::from(self.pin));
+        for id in &self.ids {
+            enc_id(&mut e, 3, id);
+        }
+        e.finish()
+    }
+
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let ids = f
+            .get_all(3)
+            .map(|v| v.as_bytes().ok_or(WireError::MissingField(3)).and_then(dec_id))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LookupReq {
+            requester: NodeId(
+                u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?,
+            ),
+            pin: f.uint_or(2, 0) != 0,
+            ids,
+        })
+    }
+}
+
+/// Lookup response: the subset of requested objects present (sealed) here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupResp {
+    pub found: Vec<ObjectLocation>,
+}
+
+impl LookupResp {
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        for loc in &self.found {
+            e.message(1, enc_location(loc));
+        }
+        e.finish()
+    }
+
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let found = f
+            .get_all(1)
+            .map(|v| {
+                v.as_bytes()
+                    .cloned()
+                    .ok_or(WireError::MissingField(1))
+                    .and_then(dec_location)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LookupResp { found })
+    }
+}
+
+/// Id-reservation request (system-wide identifier uniqueness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReserveReq {
+    pub requester: NodeId,
+    pub id: ObjectId,
+}
+
+impl ReserveReq {
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0));
+        enc_id(&mut e, 2, &self.id);
+        e.finish()
+    }
+
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(ReserveReq {
+            requester: NodeId(
+                u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?,
+            ),
+            id: dec_id(&f.bytes(2)?)?,
+        })
+    }
+}
+
+/// Id-reservation response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReserveResp {
+    /// The requester may proceed with this id.
+    pub granted: bool,
+}
+
+impl ReserveResp {
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.granted));
+        e.finish()
+    }
+
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(ReserveResp {
+            granted: f.uint_or(1, 0) != 0,
+        })
+    }
+}
+
+/// Release references the responder holds on behalf of `requester`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseReq {
+    pub requester: NodeId,
+    pub id: ObjectId,
+}
+
+impl ReleaseReq {
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0));
+        enc_id(&mut e, 2, &self.id);
+        e.finish()
+    }
+
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(ReleaseReq {
+            requester: NodeId(
+                u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?,
+            ),
+            id: dec_id(&f.bytes(2)?)?,
+        })
+    }
+}
+
+/// Contains / delete requests carry just an id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdReq {
+    pub id: ObjectId,
+}
+
+impl IdReq {
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        enc_id(&mut e, 1, &self.id);
+        e.finish()
+    }
+
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(IdReq {
+            id: dec_id(&f.bytes(1)?)?,
+        })
+    }
+}
+
+/// Per-object info in a list response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListEntry {
+    pub id: ObjectId,
+    pub data_size: u64,
+    pub metadata_size: u64,
+    pub ref_count: u64,
+}
+
+/// Response to a LIST: the responder's sealed objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListResp {
+    pub node: NodeId,
+    pub entries: Vec<ListEntry>,
+}
+
+impl ListResp {
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.node.0));
+        for entry in &self.entries {
+            let mut m = MsgEnc::new();
+            enc_id(&mut m, 1, &entry.id);
+            m.uint(2, entry.data_size)
+                .uint(3, entry.metadata_size)
+                .uint(4, entry.ref_count);
+            e.message(2, m);
+        }
+        e.finish()
+    }
+
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let node = NodeId(
+            u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?,
+        );
+        let entries = f
+            .get_all(2)
+            .map(|v| -> Result<ListEntry, WireError> {
+                let m = MsgDec::new(
+                    v.as_bytes().cloned().ok_or(WireError::MissingField(2))?,
+                )
+                .collect()?;
+                Ok(ListEntry {
+                    id: dec_id(&m.bytes(1)?)?,
+                    data_size: m.uint(2)?,
+                    metadata_size: m.uint(3)?,
+                    ref_count: m.uint_or(4, 0),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ListResp { node, entries })
+    }
+}
+
+/// Boolean response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoolResp {
+    pub value: bool,
+}
+
+impl BoolResp {
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.value));
+        e.finish()
+    }
+
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(BoolResp {
+            value: f.uint_or(1, 0) != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(n: u8) -> ObjectLocation {
+        ObjectLocation {
+            id: ObjectId::from_bytes([n; 20]),
+            seg: SegKey {
+                owner: NodeId(2),
+                index: 0,
+            },
+            offset: 128,
+            data_size: 1 << 20,
+            metadata_size: 64,
+        }
+    }
+
+    #[test]
+    fn lookup_req_roundtrip() {
+        let r = LookupReq {
+            requester: NodeId(1),
+            pin: true,
+            ids: vec![ObjectId::from_name("a"), ObjectId::from_name("b")],
+        };
+        assert_eq!(LookupReq::decode(r.encode()).unwrap(), r);
+        let empty = LookupReq {
+            requester: NodeId(0),
+            pin: false,
+            ids: vec![],
+        };
+        assert_eq!(LookupReq::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn lookup_resp_roundtrip() {
+        let r = LookupResp {
+            found: vec![loc(1), loc(2), loc(3)],
+        };
+        assert_eq!(LookupResp::decode(r.encode()).unwrap(), r);
+        let none = LookupResp { found: vec![] };
+        assert_eq!(LookupResp::decode(none.encode()).unwrap(), none);
+    }
+
+    #[test]
+    fn reserve_roundtrip() {
+        let r = ReserveReq {
+            requester: NodeId(3),
+            id: ObjectId::from_name("new"),
+        };
+        assert_eq!(ReserveReq::decode(r.encode()).unwrap(), r);
+        for granted in [true, false] {
+            let resp = ReserveResp { granted };
+            assert_eq!(ReserveResp::decode(resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn release_and_id_reqs_roundtrip() {
+        let r = ReleaseReq {
+            requester: NodeId(1),
+            id: ObjectId::from_name("x"),
+        };
+        assert_eq!(ReleaseReq::decode(r.encode()).unwrap(), r);
+        let i = IdReq {
+            id: ObjectId::from_name("y"),
+        };
+        assert_eq!(IdReq::decode(i.encode()).unwrap(), i);
+        let b = BoolResp { value: true };
+        assert_eq!(BoolResp::decode(b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn list_resp_roundtrip() {
+        let r = ListResp {
+            node: NodeId(4),
+            entries: vec![
+                ListEntry {
+                    id: ObjectId::from_name("l1"),
+                    data_size: 100,
+                    metadata_size: 4,
+                    ref_count: 2,
+                },
+                ListEntry {
+                    id: ObjectId::from_name("l2"),
+                    data_size: 0,
+                    metadata_size: 0,
+                    ref_count: 0,
+                },
+            ],
+        };
+        assert_eq!(ListResp::decode(r.encode()).unwrap(), r);
+        let empty = ListResp {
+            node: NodeId(0),
+            entries: vec![],
+        };
+        assert_eq!(ListResp::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(LookupReq::decode(Bytes::from_static(&[0xFF, 0xFF])).is_err());
+        assert!(ReserveReq::decode(Bytes::new()).is_err());
+    }
+}

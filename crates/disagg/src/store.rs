@@ -1,0 +1,800 @@
+//! The memory-disaggregated distributed Plasma store.
+//!
+//! [`DisaggStore`] wraps a local [`StoreCore`] (whose objects already live
+//! in fabric-donated memory) and interconnects it with peer stores over
+//! RPC, implementing the paper's two new constraints:
+//!
+//! * **Identifier uniqueness** — `create` reserves the id on every peer
+//!   before allocating; concurrent reservations resolve deterministically
+//!   (lowest node id wins).
+//! * **Distributed object-usage sharing** — a pinning remote lookup takes a
+//!   store-side reference attributed to the requesting node, and `release`
+//!   feeds back over RPC, so owners never evict objects remote clients are
+//!   reading (the future-work feature the paper defers).
+//!
+//! `get` control flow mirrors §IV-A2: look locally first; on a miss, RPC
+//! the peers to look up the identifier; the object *data* is then read by
+//! the client directly through the disaggregated fabric — never copied
+//! over the network. An optional [`IdCache`] accelerates repeat lookups.
+
+use crate::idcache::{CacheMode, CachedEntry, IdCache};
+use crate::proto::{
+    method, BoolResp, IdReq, ListEntry, ListResp, LookupReq, LookupResp, ReleaseReq, ReserveReq,
+    ReserveResp,
+};
+use crate::usage::{RemoteRefs, Reservations, ReserveOutcome};
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use parking_lot::{Mutex, RwLock};
+use plasma::{
+    ObjectId, ObjectInfo, ObjectLocation, ObjectStore, PlasmaError, StoreCore, StoreStats,
+};
+use rpclite::{RpcClient, RpcError, Service, Status, StatusCode};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tfsim::NodeId;
+
+/// How long a blocked `get` waits locally between remote lookup rounds,
+/// so objects sealed on a peer *after* the previous lookup are discovered
+/// promptly.
+const REMOTE_POLL: Duration = Duration::from_millis(50);
+
+/// A connected peer store.
+#[derive(Clone)]
+pub struct Peer {
+    /// The fabric node the peer store runs on.
+    pub node: NodeId,
+    /// Its human-readable name (diagnostics).
+    pub name: String,
+    /// RPC channel to its interconnect service.
+    pub client: Arc<RpcClient>,
+}
+
+/// Interconnect-layer counters.
+#[derive(Debug, Default)]
+pub struct DisaggCounters {
+    /// Lookup RPCs issued to peers.
+    pub lookup_rpcs: AtomicU64,
+    /// Objects resolved via remote lookup.
+    pub remote_found: AtomicU64,
+    /// Reserve RPCs issued on create.
+    pub reserve_rpcs: AtomicU64,
+    /// Releases forwarded to owning peers.
+    pub releases_forwarded: AtomicU64,
+    /// Gets served from the Direct-mode id cache (no RPC, no pin).
+    pub direct_cache_reads: AtomicU64,
+}
+
+/// Snapshot of [`DisaggCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DisaggStats {
+    pub lookup_rpcs: u64,
+    pub remote_found: u64,
+    pub reserve_rpcs: u64,
+    pub releases_forwarded: u64,
+    pub direct_cache_reads: u64,
+}
+
+/// Configuration of the distributed layer.
+#[derive(Debug, Clone)]
+pub struct DisaggConfig {
+    /// Whether `get` misses consult peers at all.
+    pub lookup_remote: bool,
+    /// Optional remote-id cache.
+    pub id_cache: Option<(CacheMode, usize)>,
+}
+
+impl Default for DisaggConfig {
+    fn default() -> Self {
+        DisaggConfig {
+            lookup_remote: true,
+            id_cache: None,
+        }
+    }
+}
+
+struct Inner {
+    core: StoreCore,
+    node: NodeId,
+    peers: RwLock<Vec<Peer>>,
+    /// Remote objects we hold pinned references to: id -> (owner, count).
+    remote_held: Mutex<HashMap<ObjectId, (NodeId, u64)>>,
+    idcache: Option<IdCache>,
+    lookup_remote: bool,
+    reservations: Reservations,
+    remote_refs: RemoteRefs,
+    counters: DisaggCounters,
+}
+
+/// The distributed store. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct DisaggStore {
+    inner: Arc<Inner>,
+}
+
+impl DisaggStore {
+    /// Wrap `core` with the distributed layer. Peers are added afterwards
+    /// with [`DisaggStore::add_peer`].
+    pub fn new(core: StoreCore, config: DisaggConfig) -> Self {
+        let node = core.node();
+        DisaggStore {
+            inner: Arc::new(Inner {
+                core,
+                node,
+                peers: RwLock::new(Vec::new()),
+                remote_held: Mutex::new(HashMap::new()),
+                idcache: config.id_cache.map(|(mode, cap)| IdCache::new(mode, cap)),
+                lookup_remote: config.lookup_remote,
+                reservations: Reservations::new(),
+                remote_refs: RemoteRefs::new(),
+                counters: DisaggCounters::default(),
+            }),
+        }
+    }
+
+    /// The underlying local store.
+    pub fn core(&self) -> &StoreCore {
+        &self.inner.core
+    }
+
+    /// The fabric node this store runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// Connect a peer store.
+    pub fn add_peer(&self, peer: Peer) {
+        self.inner.peers.write().push(peer);
+    }
+
+    /// Number of connected peers.
+    pub fn peer_count(&self) -> usize {
+        self.inner.peers.read().len()
+    }
+
+    /// The interconnect service to expose over RPC for other stores.
+    pub fn interconnect_service(&self) -> Arc<dyn Service> {
+        Arc::new(Interconnect {
+            store: self.clone(),
+        })
+    }
+
+    /// Interconnect counters.
+    pub fn disagg_stats(&self) -> DisaggStats {
+        let c = &self.inner.counters;
+        DisaggStats {
+            lookup_rpcs: c.lookup_rpcs.load(Ordering::Relaxed),
+            remote_found: c.remote_found.load(Ordering::Relaxed),
+            reserve_rpcs: c.reserve_rpcs.load(Ordering::Relaxed),
+            releases_forwarded: c.releases_forwarded.load(Ordering::Relaxed),
+            direct_cache_reads: c.direct_cache_reads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Remote-id-cache counters, if a cache is configured: (hits, misses).
+    pub fn idcache_counters(&self) -> Option<(u64, u64)> {
+        self.inner.idcache.as_ref().map(|c| c.counters())
+    }
+
+    /// References this store holds on behalf of remote nodes.
+    pub fn remote_pin_count(&self) -> u64 {
+        self.inner.remote_refs.total()
+    }
+
+    fn peers_snapshot(&self) -> Vec<Peer> {
+        self.inner.peers.read().clone()
+    }
+
+    fn rpc_err(e: RpcError) -> PlasmaError {
+        match e {
+            RpcError::Status(s) => PlasmaError::Protocol(format!("peer status: {s}")),
+            RpcError::Transport(io) => PlasmaError::Transport(io.to_string()),
+            RpcError::Protocol(m) => PlasmaError::Protocol(m),
+        }
+    }
+
+    /// Migrate a remote object into this node's local store (locality
+    /// optimization: subsequent reads take the local path). The object is
+    /// copied over the fabric while pinned, the owner's copy is deleted,
+    /// and the local copy is sealed under the same id. Objects are
+    /// immutable, so the brief window in which both copies exist is
+    /// harmless; if another client still holds the owner's copy, migration
+    /// aborts with [`PlasmaError::ObjectInUse`] and nothing changes.
+    pub fn migrate_to_local(
+        &self,
+        id: ObjectId,
+        timeout: Duration,
+    ) -> Result<ObjectLocation, PlasmaError> {
+        if let Some(loc) = self.inner.core.peek(id) {
+            return Ok(loc); // already local
+        }
+        // Pinning lookup so the owner cannot evict mid-copy.
+        let found = ObjectStore::get(self, &[id], timeout)?;
+        let Some(remote_loc) = found[0] else {
+            return Err(PlasmaError::Timeout);
+        };
+        if remote_loc.seg.owner == self.inner.node {
+            // Sealed locally while we were looking: nothing to migrate.
+            self.inner.core.release(id)?;
+            return self
+                .inner
+                .core
+                .peek(id)
+                .ok_or(PlasmaError::ObjectNotFound(id));
+        }
+        let owner = remote_loc.seg.owner;
+
+        // Copy the (immutable) bytes over the fabric.
+        let mapping = self
+            .inner
+            .core
+            .fabric()
+            .attach(self.inner.node, remote_loc.seg)?;
+        let bytes = mapping
+            .view(remote_loc.offset, remote_loc.total_size())?
+            .read_all()?;
+
+        // Stage the local copy (bypassing the reserve handshake: the id is
+        // legitimately owned by the cluster already).
+        let local_loc = self
+            .inner
+            .core
+            .create(id, remote_loc.data_size, remote_loc.metadata_size)?;
+        let local_map = self.inner.core.mapping_for(&local_loc)?;
+        local_map.write_at(local_loc.offset, &bytes)?;
+
+        // Drop our pin, then ask the owner to delete. If someone else still
+        // uses the owner's copy, roll back the staged local copy.
+        ObjectStore::release(self, id)?;
+        let peer = self
+            .peers_snapshot()
+            .into_iter()
+            .find(|p| p.node == owner)
+            .ok_or_else(|| PlasmaError::Transport(format!("no peer for {owner}")))?;
+        match peer.client.call(method::DELETE, IdReq { id }.encode()) {
+            Ok(_) => {}
+            Err(RpcError::Status(s)) if s.code == StatusCode::FailedPrecondition => {
+                self.inner.core.abort(id)?;
+                return Err(PlasmaError::ObjectInUse(id));
+            }
+            Err(e) => {
+                self.inner.core.abort(id)?;
+                return Err(Self::rpc_err(e));
+            }
+        }
+        if let Some(cache) = &self.inner.idcache {
+            cache.invalidate(id);
+        }
+        let loc = self.inner.core.seal(id)?;
+        self.inner.core.release(id)?; // migration's creator reference
+        Ok(loc)
+    }
+
+    /// Cluster-wide object inventory: this store's sealed objects plus
+    /// every peer's, grouped by node. Extends Plasma's `List` across the
+    /// interconnect.
+    pub fn global_list(&self) -> Result<Vec<(NodeId, Vec<ListEntry>)>, PlasmaError> {
+        let mut out = Vec::with_capacity(self.peer_count() + 1);
+        let local: Vec<ListEntry> = self
+            .inner
+            .core
+            .list()
+            .into_iter()
+            .filter(|i| i.state == plasma::ObjectState::Sealed)
+            .map(|i| ListEntry {
+                id: i.id,
+                data_size: i.data_size,
+                metadata_size: i.metadata_size,
+                ref_count: i.ref_count,
+            })
+            .collect();
+        out.push((self.inner.node, local));
+        for peer in self.peers_snapshot() {
+            let body = peer
+                .client
+                .call(method::LIST, Bytes::new())
+                .map_err(Self::rpc_err)?;
+            let resp = ListResp::decode(body)
+                .map_err(|e| PlasmaError::Protocol(format!("list response: {e}")))?;
+            out.push((resp.node, resp.entries));
+        }
+        Ok(out)
+    }
+
+    /// One remote-lookup round for the `None` slots of `out`: consult the
+    /// id cache (targeted lookups or direct reads), then broadcast to
+    /// peers for the rest.
+    fn remote_lookup_pass(
+        &self,
+        ids: &[ObjectId],
+        out: &mut [Option<ObjectLocation>],
+    ) -> Result<(), PlasmaError> {
+        let mut missing: Vec<ObjectId> = ids
+            .iter()
+            .zip(out.iter())
+            .filter(|(_, o)| o.is_none())
+            .map(|(id, _)| *id)
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        let mut found: HashMap<ObjectId, ObjectLocation> = HashMap::new();
+
+        // Consult the id cache first.
+        if let Some(cache) = &self.inner.idcache {
+            let mut targeted: HashMap<u16, Vec<ObjectId>> = HashMap::new();
+            missing.retain(|id| match cache.lookup(*id) {
+                Some(entry) if cache.mode() == CacheMode::Direct => {
+                    // Direct mode: trust the cached location outright — no
+                    // RPC, no pin (the paper's corruption hazard).
+                    self.inner
+                        .counters
+                        .direct_cache_reads
+                        .fetch_add(1, Ordering::Relaxed);
+                    found.insert(*id, entry.location);
+                    false
+                }
+                Some(entry) => {
+                    targeted.entry(entry.peer.0).or_default().push(*id);
+                    false
+                }
+                None => true,
+            });
+            let peers = self.peers_snapshot();
+            for (peer_node, ids) in targeted {
+                match peers.iter().find(|p| p.node.0 == peer_node) {
+                    Some(peer) => {
+                        self.lookup_on_peer(peer, &ids, &mut found)?;
+                        // Cache pointed at a peer that no longer has some
+                        // ids: invalidate and re-broadcast those.
+                        for id in ids {
+                            if !found.contains_key(&id) {
+                                cache.invalidate(id);
+                                missing.push(id);
+                            }
+                        }
+                    }
+                    None => missing.extend(ids),
+                }
+            }
+        }
+
+        // Broadcast to every peer for whatever is still missing.
+        for peer in self.peers_snapshot() {
+            let remaining: Vec<ObjectId> = missing
+                .iter()
+                .filter(|id| !found.contains_key(id))
+                .copied()
+                .collect();
+            if remaining.is_empty() {
+                break;
+            }
+            self.lookup_on_peer(&peer, &remaining, &mut found)?;
+        }
+
+        for (slot, id) in out.iter_mut().zip(ids) {
+            if slot.is_none() {
+                if let Some(loc) = found.get(id) {
+                    *slot = Some(*loc);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Issue a pinning lookup for `ids` to one peer; record what was found.
+    fn lookup_on_peer(
+        &self,
+        peer: &Peer,
+        ids: &[ObjectId],
+        out: &mut HashMap<ObjectId, ObjectLocation>,
+    ) -> Result<(), PlasmaError> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let req = LookupReq {
+            requester: self.inner.node,
+            pin: true,
+            ids: ids.to_vec(),
+        };
+        self.inner.counters.lookup_rpcs.fetch_add(1, Ordering::Relaxed);
+        let body = peer
+            .client
+            .call(method::LOOKUP, req.encode())
+            .map_err(Self::rpc_err)?;
+        let resp = LookupResp::decode(body)
+            .map_err(|e| PlasmaError::Protocol(format!("lookup response: {e}")))?;
+        let mut held = self.inner.remote_held.lock();
+        for loc in resp.found {
+            self.inner.counters.remote_found.fetch_add(1, Ordering::Relaxed);
+            let entry = held.entry(loc.id).or_insert((peer.node, 0));
+            entry.1 += 1;
+            if let Some(cache) = &self.inner.idcache {
+                cache.insert(CachedEntry {
+                    location: loc,
+                    peer: peer.node,
+                });
+            }
+            out.insert(loc.id, loc);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for DisaggStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DisaggStore")
+            .field("node", &self.inner.node)
+            .field("peers", &self.peer_count())
+            .finish()
+    }
+}
+
+impl ObjectStore for DisaggStore {
+    fn create(
+        &self,
+        id: ObjectId,
+        data_size: u64,
+        metadata_size: u64,
+    ) -> Result<ObjectLocation, PlasmaError> {
+        if self.inner.core.exists_any_state(id) {
+            return Err(PlasmaError::ObjectExists(id));
+        }
+        if !self.inner.reservations.begin_local(id) {
+            return Err(PlasmaError::ObjectExists(id));
+        }
+        // Reserve the id on every peer (paper: "on object creation, RPC
+        // calls are used to ensure the uniqueness of object identifiers").
+        for peer in self.peers_snapshot() {
+            self.inner.counters.reserve_rpcs.fetch_add(1, Ordering::Relaxed);
+            let req = ReserveReq {
+                requester: self.inner.node,
+                id,
+            };
+            let result = peer
+                .client
+                .call(method::RESERVE, req.encode())
+                .map_err(Self::rpc_err)
+                .and_then(|b| {
+                    ReserveResp::decode(b)
+                        .map_err(|e| PlasmaError::Protocol(format!("reserve response: {e}")))
+                });
+            match result {
+                Ok(ReserveResp { granted: true }) => {}
+                Ok(ReserveResp { granted: false }) => {
+                    self.inner.reservations.end_local(id);
+                    return Err(PlasmaError::ObjectExists(id));
+                }
+                Err(e) => {
+                    self.inner.reservations.end_local(id);
+                    return Err(e);
+                }
+            }
+        }
+        let loc = match self.inner.core.create(id, data_size, metadata_size) {
+            Ok(loc) => loc,
+            Err(e) => {
+                self.inner.reservations.end_local(id);
+                return Err(e);
+            }
+        };
+        // If a lower-id node won a concurrent race while our reservations
+        // were in flight, yield: undo the allocation.
+        if self.inner.reservations.end_local(id) {
+            let _ = self.inner.core.abort(id);
+            return Err(PlasmaError::ObjectExists(id));
+        }
+        Ok(loc)
+    }
+
+    fn seal(&self, id: ObjectId) -> Result<ObjectLocation, PlasmaError> {
+        self.inner.core.seal(id)
+    }
+
+    fn get(
+        &self,
+        ids: &[ObjectId],
+        timeout: Duration,
+    ) -> Result<Vec<Option<ObjectLocation>>, PlasmaError> {
+        let deadline = Instant::now() + timeout;
+        let mut out: Vec<Option<ObjectLocation>> = vec![None; ids.len()];
+        loop {
+            // Pass 1: local, non-blocking (pins found objects).
+            for (slot, id) in out.iter_mut().zip(ids) {
+                if slot.is_none() {
+                    *slot = self.inner.core.get_local(*id);
+                }
+            }
+            if out.iter().all(Option::is_some) {
+                return Ok(out);
+            }
+
+            // Pass 2: remote lookup for misses.
+            if self.inner.lookup_remote {
+                self.remote_lookup_pass(ids, &mut out)?;
+                if out.iter().all(Option::is_some) {
+                    return Ok(out);
+                }
+            }
+
+            // Pass 3: wait briefly for local seals, then re-poll. The wait
+            // is bounded so objects sealed *remotely* after our lookup are
+            // discovered by the next remote pass.
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(out);
+            }
+            let remaining: Vec<ObjectId> = ids
+                .iter()
+                .zip(&out)
+                .filter(|(_, o)| o.is_none())
+                .map(|(id, _)| *id)
+                .collect();
+            let wait = if self.inner.lookup_remote && self.peer_count() > 0 {
+                left.min(REMOTE_POLL)
+            } else {
+                left
+            };
+            let waited = self.inner.core.get_wait(&remaining, wait);
+            let mut it = waited.into_iter();
+            for slot in out.iter_mut() {
+                if slot.is_none() {
+                    *slot = it.next().flatten();
+                }
+            }
+            if out.iter().all(Option::is_some)
+                || Instant::now() >= deadline
+            {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn release(&self, id: ObjectId) -> Result<(), PlasmaError> {
+        // Remote-held reference? Feed back to the owner over RPC.
+        let owner = {
+            let mut held = self.inner.remote_held.lock();
+            match held.get_mut(&id) {
+                Some((node, count)) => {
+                    let node = *node;
+                    *count -= 1;
+                    if *count == 0 {
+                        held.remove(&id);
+                    }
+                    Some(node)
+                }
+                None => None,
+            }
+        };
+        if let Some(owner) = owner {
+            let peer = self
+                .peers_snapshot()
+                .into_iter()
+                .find(|p| p.node == owner)
+                .ok_or_else(|| PlasmaError::Transport(format!("no peer for {owner}")))?;
+            self.inner
+                .counters
+                .releases_forwarded
+                .fetch_add(1, Ordering::Relaxed);
+            let req = ReleaseReq {
+                requester: self.inner.node,
+                id,
+            };
+            peer.client
+                .call(method::RELEASE, req.encode())
+                .map_err(Self::rpc_err)?;
+            return Ok(());
+        }
+        if self.inner.core.exists_any_state(id) {
+            return self.inner.core.release(id);
+        }
+        // Direct-mode cache reads hold no reference: release is a no-op.
+        if let Some(cache) = &self.inner.idcache {
+            if cache.mode() == CacheMode::Direct && cache.lookup(id).is_some() {
+                return Ok(());
+            }
+        }
+        Err(PlasmaError::ObjectNotFound(id))
+    }
+
+    fn delete(&self, id: ObjectId) -> Result<(), PlasmaError> {
+        if self.inner.core.exists_any_state(id) {
+            return self.inner.core.delete(id);
+        }
+        // Forward to the owning peer.
+        for peer in self.peers_snapshot() {
+            let req = IdReq { id };
+            match peer.client.call(method::DELETE, req.encode()) {
+                Ok(_) => {
+                    if let Some(cache) = &self.inner.idcache {
+                        cache.invalidate(id);
+                    }
+                    return Ok(());
+                }
+                Err(RpcError::Status(s)) if s.code == StatusCode::NotFound => continue,
+                Err(RpcError::Status(s)) if s.code == StatusCode::FailedPrecondition => {
+                    return Err(PlasmaError::ObjectInUse(id))
+                }
+                Err(e) => return Err(Self::rpc_err(e)),
+            }
+        }
+        Err(PlasmaError::ObjectNotFound(id))
+    }
+
+    fn delete_deferred(&self, id: ObjectId) -> Result<bool, PlasmaError> {
+        if self.inner.core.exists_any_state(id) {
+            return self.inner.core.delete_deferred(id);
+        }
+        for peer in self.peers_snapshot() {
+            let req = IdReq { id };
+            match peer.client.call(method::DELETE_DEFERRED, req.encode()) {
+                Ok(body) => {
+                    if let Some(cache) = &self.inner.idcache {
+                        cache.invalidate(id);
+                    }
+                    let resp = BoolResp::decode(body)
+                        .map_err(|e| PlasmaError::Protocol(format!("deferred delete: {e}")))?;
+                    return Ok(resp.value);
+                }
+                Err(RpcError::Status(s)) if s.code == StatusCode::NotFound => continue,
+                Err(e) => return Err(Self::rpc_err(e)),
+            }
+        }
+        Err(PlasmaError::ObjectNotFound(id))
+    }
+
+    fn abort(&self, id: ObjectId) -> Result<(), PlasmaError> {
+        self.inner.core.abort(id)
+    }
+
+    fn contains(&self, id: ObjectId) -> Result<bool, PlasmaError> {
+        if self.inner.core.contains(id) {
+            return Ok(true);
+        }
+        for peer in self.peers_snapshot() {
+            let req = IdReq { id };
+            let body = peer
+                .client
+                .call(method::CONTAINS, req.encode())
+                .map_err(Self::rpc_err)?;
+            let resp = BoolResp::decode(body)
+                .map_err(|e| PlasmaError::Protocol(format!("contains response: {e}")))?;
+            if resp.value {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn list(&self) -> Result<Vec<ObjectInfo>, PlasmaError> {
+        Ok(self.inner.core.list())
+    }
+
+    fn stats(&self) -> Result<StoreStats, PlasmaError> {
+        Ok(self.inner.core.stats())
+    }
+
+    fn evict(&self, bytes: u64) -> Result<u64, PlasmaError> {
+        Ok(self.inner.core.evict(bytes))
+    }
+
+    fn subscribe(&self) -> Receiver<ObjectLocation> {
+        self.inner.core.subscribe()
+    }
+}
+
+/// RPC service answering peer interconnect calls against a [`DisaggStore`].
+struct Interconnect {
+    store: DisaggStore,
+}
+
+impl Service for Interconnect {
+    fn call(&self, method_id: u32, request: Bytes) -> Result<Bytes, Status> {
+        let inner = &self.store.inner;
+        match method_id {
+            method::LOOKUP => {
+                let req = LookupReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                let mut found = Vec::new();
+                for id in req.ids {
+                    let loc = if req.pin {
+                        let loc = inner.core.get_local(id);
+                        if let Some(l) = loc {
+                            inner.remote_refs.pin(req.requester, l.id);
+                        }
+                        loc
+                    } else {
+                        inner.core.peek(id)
+                    };
+                    if let Some(l) = loc {
+                        found.push(l);
+                    }
+                }
+                Ok(LookupResp { found }.encode())
+            }
+            method::RESERVE => {
+                let req = ReserveReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                let outcome = inner.reservations.on_remote_reserve(
+                    inner.node,
+                    req.requester,
+                    req.id,
+                    inner.core.exists_any_state(req.id),
+                );
+                Ok(ReserveResp {
+                    granted: outcome == ReserveOutcome::Granted,
+                }
+                .encode())
+            }
+            method::RELEASE => {
+                let req = ReleaseReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                if inner.remote_refs.unpin(req.requester, req.id) {
+                    inner
+                        .core
+                        .release(req.id)
+                        .map_err(|e| Status::internal(e.to_string()))?;
+                    Ok(BoolResp { value: true }.encode())
+                } else {
+                    Ok(BoolResp { value: false }.encode())
+                }
+            }
+            method::CONTAINS => {
+                let req = IdReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                Ok(BoolResp {
+                    value: inner.core.contains(req.id),
+                }
+                .encode())
+            }
+            method::DELETE => {
+                let req = IdReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                match inner.core.delete(req.id) {
+                    Ok(()) => Ok(Bytes::new()),
+                    Err(PlasmaError::ObjectNotFound(_)) => {
+                        Err(Status::not_found("object not found"))
+                    }
+                    Err(PlasmaError::ObjectInUse(_)) => Err(Status::new(
+                        StatusCode::FailedPrecondition,
+                        "object in use",
+                    )),
+                    Err(e) => Err(Status::internal(e.to_string())),
+                }
+            }
+            method::DELETE_DEFERRED => {
+                let req = IdReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                match inner.core.delete_deferred(req.id) {
+                    Ok(now) => Ok(BoolResp { value: now }.encode()),
+                    Err(PlasmaError::ObjectNotFound(_)) => {
+                        Err(Status::not_found("object not found"))
+                    }
+                    Err(e) => Err(Status::internal(e.to_string())),
+                }
+            }
+            method::LIST => {
+                let entries: Vec<ListEntry> = inner
+                    .core
+                    .list()
+                    .into_iter()
+                    .filter(|i| i.state == plasma::ObjectState::Sealed)
+                    .map(|i| ListEntry {
+                        id: i.id,
+                        data_size: i.data_size,
+                        metadata_size: i.metadata_size,
+                        ref_count: i.ref_count,
+                    })
+                    .collect();
+                Ok(ListResp {
+                    node: inner.node,
+                    entries,
+                }
+                .encode())
+            }
+            other => Err(Status::unimplemented(other)),
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! In-process transport.
+//!
+//! A [`InprocHub`] is a namespace of endpoints; binding a name yields a
+//! listener, connecting to the name yields the other half of a fresh
+//! channel pair. Everything is plain crossbeam channels, so a simulated
+//! multi-node cluster runs in one process with no sockets, files, or
+//! nondeterministic OS buffering.
+
+use crate::frame::Frame;
+use crate::transport::{Conn, Listener, StopHandle};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How often a blocked accept/recv checks its stop flag.
+const POLL: Duration = Duration::from_millis(10);
+
+/// One half of an in-process connection.
+#[derive(Debug)]
+pub struct InprocConn {
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+    label: String,
+}
+
+impl InprocConn {
+    fn pair(a: &str, b: &str) -> (InprocConn, InprocConn) {
+        let (atx, brx) = unbounded();
+        let (btx, arx) = unbounded();
+        (
+            InprocConn {
+                tx: atx,
+                rx: arx,
+                label: b.to_string(),
+            },
+            InprocConn {
+                tx: btx,
+                rx: brx,
+                label: a.to_string(),
+            },
+        )
+    }
+}
+
+impl Conn for InprocConn {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        self.tx
+            .send(frame.clone())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "inproc peer closed"))
+    }
+
+    fn recv(&mut self) -> io::Result<Frame> {
+        self.rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "inproc peer closed"))
+    }
+
+    fn peer(&self) -> String {
+        self.label.clone()
+    }
+}
+
+type Registry = Arc<Mutex<HashMap<String, Sender<InprocConn>>>>;
+
+/// A namespace of in-process endpoints. Clones share the namespace.
+#[derive(Clone, Default)]
+pub struct InprocHub {
+    registry: Registry,
+}
+
+impl InprocHub {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind `name`, yielding a listener. Fails if already bound.
+    pub fn bind(&self, name: &str) -> io::Result<InprocListener> {
+        let (tx, rx) = bounded(64);
+        let mut reg = self.registry.lock().unwrap();
+        if reg.contains_key(name) {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrInUse,
+                format!("inproc endpoint '{name}' already bound"),
+            ));
+        }
+        reg.insert(name.to_string(), tx);
+        Ok(InprocListener {
+            name: name.to_string(),
+            rx,
+            stop: StopHandle::new(),
+            registry: Arc::clone(&self.registry),
+        })
+    }
+
+    /// Connect to a bound endpoint.
+    pub fn connect(&self, name: &str) -> io::Result<InprocConn> {
+        let tx = {
+            let reg = self.registry.lock().unwrap();
+            reg.get(name).cloned().ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("inproc endpoint '{name}' not bound"),
+                )
+            })?
+        };
+        let (client, server) = InprocConn::pair("client", name);
+        tx.send(server).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("inproc endpoint '{name}' no longer accepting"),
+            )
+        })?;
+        Ok(client)
+    }
+}
+
+/// Listener half of an in-process endpoint. Unbinds its name on drop.
+#[derive(Debug)]
+pub struct InprocListener {
+    name: String,
+    rx: Receiver<InprocConn>,
+    stop: StopHandle,
+    registry: Registry,
+}
+
+impl Listener for InprocListener {
+    fn accept(&mut self) -> io::Result<Box<dyn Conn>> {
+        loop {
+            if self.stop.is_stopped() {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "listener stopped"));
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok(conn) => return Ok(Box::new(conn)),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotConnected,
+                        "inproc hub dropped",
+                    ))
+                }
+            }
+        }
+    }
+
+    fn stop_handle(&self) -> StopHandle {
+        self.stop.clone()
+    }
+
+    fn addr(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl Drop for InprocListener {
+    fn drop(&mut self) {
+        self.registry.lock().unwrap().remove(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_and_exchange() {
+        let hub = InprocHub::new();
+        let mut listener = hub.bind("store").unwrap();
+        let t = std::thread::spawn({
+            let hub = hub.clone();
+            move || {
+                let mut c = hub.connect("store").unwrap();
+                c.send(&Frame::new(1, &b"ping"[..])).unwrap();
+                let pong = c.recv().unwrap();
+                assert_eq!(&pong.payload[..], b"pong");
+            }
+        });
+        let mut server = listener.accept().unwrap();
+        let ping = server.recv().unwrap();
+        assert_eq!(&ping.payload[..], b"ping");
+        server.send(&Frame::new(2, &b"pong"[..])).unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn connect_unbound_refused() {
+        let hub = InprocHub::new();
+        let err = hub.connect("nobody").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    }
+
+    #[test]
+    fn double_bind_rejected() {
+        let hub = InprocHub::new();
+        let _l = hub.bind("x").unwrap();
+        assert_eq!(hub.bind("x").unwrap_err().kind(), io::ErrorKind::AddrInUse);
+    }
+
+    #[test]
+    fn name_freed_on_listener_drop() {
+        let hub = InprocHub::new();
+        drop(hub.bind("x").unwrap());
+        let _l2 = hub.bind("x").unwrap();
+    }
+
+    #[test]
+    fn stop_unblocks_accept() {
+        let hub = InprocHub::new();
+        let mut listener = hub.bind("s").unwrap();
+        let stop = listener.stop_handle();
+        let t = std::thread::spawn(move || listener.accept().map(|_| ()));
+        std::thread::sleep(Duration::from_millis(30));
+        stop.stop();
+        let res = t.join().unwrap();
+        assert_eq!(res.unwrap_err().kind(), io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn recv_after_peer_drop_is_eof() {
+        let hub = InprocHub::new();
+        let mut listener = hub.bind("s").unwrap();
+        let client = hub.connect("s").unwrap();
+        let mut server = listener.accept().unwrap();
+        drop(client);
+        assert_eq!(server.recv().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn hubs_are_isolated() {
+        let a = InprocHub::new();
+        let b = InprocHub::new();
+        let _l = a.bind("s").unwrap();
+        assert!(b.connect("s").is_err());
+    }
+}

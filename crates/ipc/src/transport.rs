@@ -1,0 +1,55 @@
+//! Transport abstraction.
+//!
+//! Plasma's client↔store IPC runs over Unix domain sockets on the real
+//! system. The simulation keeps that option ([`crate::uds`]) and adds an
+//! in-process transport ([`crate::inproc`]) so a whole multi-node cluster
+//! can run deterministically inside one test. Both speak [`Frame`]s.
+
+use crate::frame::Frame;
+use std::io;
+
+/// A bidirectional, blocking, framed connection.
+pub trait Conn: Send {
+    /// Send one frame. `BrokenPipe` once the peer is gone.
+    fn send(&mut self, frame: &Frame) -> io::Result<()>;
+
+    /// Receive one frame, blocking. `UnexpectedEof` once the peer is gone.
+    fn recv(&mut self) -> io::Result<Frame>;
+
+    /// A short label describing the peer (diagnostics only).
+    fn peer(&self) -> String;
+}
+
+/// A connection acceptor with cooperative shutdown.
+pub trait Listener: Send {
+    /// Accept the next connection. Blocks; returns `Interrupted` promptly
+    /// after [`Listener::stop`] has been requested (possibly from another
+    /// thread via the handle).
+    fn accept(&mut self) -> io::Result<Box<dyn Conn>>;
+
+    /// A cloneable handle that unblocks and permanently stops `accept`.
+    fn stop_handle(&self) -> StopHandle;
+
+    /// The address clients use to connect.
+    fn addr(&self) -> String;
+}
+
+/// Requests a listener to stop accepting.
+#[derive(Debug, Clone, Default)]
+pub struct StopHandle {
+    flag: std::sync::Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl StopHandle {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn stop(&self) {
+        self.flag.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.flag.load(std::sync::atomic::Ordering::Acquire)
+    }
+}

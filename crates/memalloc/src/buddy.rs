@@ -1,0 +1,255 @@
+//! Binary buddy allocator.
+//!
+//! A fourth strategy for the allocator ablation: power-of-two block sizes
+//! with O(log n) alloc/free and constant-time coalescing via buddy
+//! addresses. Compared to the paper's allocators it trades *internal*
+//! fragmentation (requests round up to the next power of two) for immunity
+//! to external-fragmentation scan costs — a classic point in the design
+//! space the paper's future-work discussion gestures at.
+
+use crate::stats::StatsCore;
+use crate::{check_request, AllocError, AllocStats, RegionAllocator};
+use std::collections::{BTreeSet, HashMap};
+
+/// Smallest block handed out (covers the default 64-byte alignment).
+const MIN_ORDER: u32 = 6; // 64 B
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct Buddy {
+    capacity: u64,
+    /// Largest order: blocks of `1 << max_order` bytes.
+    max_order: u32,
+    /// Free blocks per order, by offset.
+    free: Vec<BTreeSet<u64>>,
+    /// Live allocations: offset -> (requested size, order).
+    live: HashMap<u64, (u64, u32)>,
+    stats: StatsCore,
+}
+
+fn order_for(size: u64) -> u32 {
+    let needed = size.max(1).next_power_of_two();
+    needed.trailing_zeros().max(MIN_ORDER)
+}
+
+impl Buddy {
+    /// A buddy allocator over `capacity` bytes. Capacity is rounded *down*
+    /// to a power of two (the remainder is unusable; callers who care
+    /// should pass a power of two).
+    pub fn new(capacity: u64) -> Self {
+        let usable = if capacity.is_power_of_two() {
+            capacity
+        } else {
+            // Largest power of two <= capacity (0 if capacity == 0).
+            if capacity == 0 { 0 } else { 1 << (63 - capacity.leading_zeros()) }
+        };
+        let max_order = if usable == 0 {
+            MIN_ORDER
+        } else {
+            usable.trailing_zeros().max(MIN_ORDER)
+        };
+        let mut free = vec![BTreeSet::new(); (max_order + 1) as usize];
+        if usable >= (1 << MIN_ORDER) {
+            free[max_order as usize].insert(0);
+        }
+        Buddy {
+            capacity: usable,
+            max_order,
+            free,
+            live: HashMap::new(),
+            stats: StatsCore::default(),
+        }
+    }
+
+    /// Split blocks down until a block of `order` exists; returns its
+    /// offset.
+    fn take_block(&mut self, order: u32) -> Option<u64> {
+        // Find the smallest available order >= requested.
+        let mut have = order;
+        while have <= self.max_order {
+            if !self.free[have as usize].is_empty() {
+                break;
+            }
+            have += 1;
+        }
+        if have > self.max_order {
+            return None;
+        }
+        let offset = *self.free[have as usize].iter().next().expect("nonempty");
+        self.free[have as usize].remove(&offset);
+        // Split down, returning the high halves to the free lists.
+        while have > order {
+            have -= 1;
+            let buddy = offset + (1u64 << have);
+            self.free[have as usize].insert(buddy);
+        }
+        Some(offset)
+    }
+
+    fn free_bytes(&self) -> u64 {
+        self.free
+            .iter()
+            .enumerate()
+            .map(|(order, set)| (set.len() as u64) << order)
+            .sum()
+    }
+
+    fn largest_free(&self) -> u64 {
+        self.free
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, set)| !set.is_empty())
+            .map(|(order, _)| 1u64 << order)
+            .unwrap_or(0)
+    }
+}
+
+impl RegionAllocator for Buddy {
+    fn alloc_aligned(&mut self, size: u64, align: u64) -> Result<u64, AllocError> {
+        check_request(size, align)?;
+        // Blocks of order k are k-aligned, so any alignment <= block size
+        // is automatic; larger alignments bump the order.
+        let order = order_for(size.max(align));
+        if order > self.max_order {
+            self.stats.on_fail();
+            return Err(AllocError::OutOfMemory {
+                requested: size,
+                free: self.free_bytes(),
+            });
+        }
+        match self.take_block(order) {
+            Some(offset) => {
+                self.live.insert(offset, (size, order));
+                self.stats.on_alloc(size);
+                Ok(offset)
+            }
+            None => {
+                self.stats.on_fail();
+                Err(AllocError::OutOfMemory {
+                    requested: size,
+                    free: self.free_bytes(),
+                })
+            }
+        }
+    }
+
+    fn free(&mut self, offset: u64) -> Result<(), AllocError> {
+        let (size, mut order) = self
+            .live
+            .remove(&offset)
+            .ok_or(AllocError::UnknownAllocation(offset))?;
+        // Coalesce with the buddy while it is free.
+        let mut off = offset;
+        while order < self.max_order {
+            let buddy = off ^ (1u64 << order);
+            if !self.free[order as usize].remove(&buddy) {
+                break;
+            }
+            off = off.min(buddy);
+            order += 1;
+        }
+        self.free[order as usize].insert(off);
+        self.stats.on_free(size);
+        Ok(())
+    }
+
+    fn allocation_size(&self, offset: u64) -> Option<u64> {
+        self.live.get(&offset).map(|&(size, _)| size)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn stats(&self) -> AllocStats {
+        let free_regions = self.free.iter().map(|s| s.len() as u64).sum();
+        self.stats
+            .render(self.capacity, free_regions, self.largest_free())
+    }
+
+    fn name(&self) -> &'static str {
+        "buddy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_round_up() {
+        assert_eq!(order_for(1), MIN_ORDER);
+        assert_eq!(order_for(64), 6);
+        assert_eq!(order_for(65), 7);
+        assert_eq!(order_for(4096), 12);
+        assert_eq!(order_for(4097), 13);
+    }
+
+    #[test]
+    fn split_and_coalesce_roundtrip() {
+        let mut b = Buddy::new(1 << 16);
+        let offs: Vec<u64> = (0..8).map(|_| b.alloc(4096).unwrap()).collect();
+        // All blocks are 4096-aligned and disjoint.
+        for (i, &o) in offs.iter().enumerate() {
+            assert_eq!(o % 4096, 0);
+            for &p in &offs[..i] {
+                assert_ne!(o, p);
+            }
+        }
+        for &o in offs.iter().rev() {
+            b.free(o).unwrap();
+        }
+        // Fully coalesced: one max-order block again.
+        assert_eq!(b.stats().free_regions, 1);
+        assert_eq!(b.stats().largest_free, 1 << 16);
+        let whole = b.alloc_aligned(1 << 16, 1).unwrap();
+        assert_eq!(whole, 0);
+    }
+
+    #[test]
+    fn buddy_pairs_merge_out_of_order() {
+        let mut b = Buddy::new(1 << 12);
+        let x = b.alloc_aligned(1 << 11, 1).unwrap();
+        let y = b.alloc_aligned(1 << 11, 1).unwrap();
+        b.free(x).unwrap();
+        b.free(y).unwrap();
+        assert_eq!(b.stats().largest_free, 1 << 12);
+    }
+
+    #[test]
+    fn internal_fragmentation_is_the_tradeoff() {
+        let mut b = Buddy::new(1 << 16);
+        // A 65-byte request consumes a 128-byte block.
+        let _a = b.alloc_aligned(65, 1).unwrap();
+        let s = b.stats();
+        // Reported allocated bytes are the *request*, but free space
+        // dropped by a power-of-two block.
+        assert_eq!(s.allocated_bytes, 65);
+        assert_eq!(b.free_bytes(), (1 << 16) - 128);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_rounds_down() {
+        let b = Buddy::new(100_000);
+        assert_eq!(b.capacity(), 1 << 16);
+    }
+
+    #[test]
+    fn alignment_via_order_bump() {
+        let mut b = Buddy::new(1 << 16);
+        let _pad = b.alloc_aligned(64, 1).unwrap();
+        let a = b.alloc_aligned(100, 4096).unwrap();
+        assert_eq!(a % 4096, 0);
+    }
+
+    #[test]
+    fn oversized_request_fails_cleanly() {
+        let mut b = Buddy::new(1 << 12);
+        assert!(matches!(
+            b.alloc_aligned(1 << 13, 1),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+        assert_eq!(b.stats().failed_allocs, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! First-fit allocator — the literal reading of the paper's replacement
+//! allocator: "allocates a chunk of memory to the first available region
+//! that can accommodate it".
+//!
+//! Free regions live in an offset-ordered [`FreeMap`]; allocation scans in
+//! address order (O(regions)), which keeps allocations packed toward low
+//! addresses but degrades under fragmentation — exactly the trade-off the
+//! allocator ablation benchmark quantifies against [`crate::SizeMap`] and
+//! [`crate::DlSeg`].
+
+use crate::freemap::{split, FreeMap};
+use crate::stats::StatsCore;
+use crate::{check_request, AllocError, AllocStats, RegionAllocator};
+use std::collections::HashMap;
+
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct FirstFit {
+    capacity: u64,
+    free: FreeMap,
+    live: HashMap<u64, u64>,
+    stats: StatsCore,
+}
+
+impl FirstFit {
+    pub fn new(capacity: u64) -> Self {
+        FirstFit {
+            capacity,
+            free: FreeMap::new_full(capacity),
+            live: HashMap::new(),
+            stats: StatsCore::default(),
+        }
+    }
+}
+
+impl RegionAllocator for FirstFit {
+    fn alloc_aligned(&mut self, size: u64, align: u64) -> Result<u64, AllocError> {
+        check_request(size, align)?;
+        let Some(region) = self.free.first_fit(size, align) else {
+            self.stats.on_fail();
+            return Err(AllocError::OutOfMemory {
+                requested: size,
+                free: self.free.free_bytes(),
+            });
+        };
+        self.free.remove(region.0);
+        let (off, front, back) = split(region, size, align);
+        if let Some((o, s)) = front {
+            self.free.add(o, s);
+        }
+        if let Some((o, s)) = back {
+            self.free.add(o, s);
+        }
+        self.live.insert(off, size);
+        self.stats.on_alloc(size);
+        Ok(off)
+    }
+
+    fn free(&mut self, offset: u64) -> Result<(), AllocError> {
+        let size = self
+            .live
+            .remove(&offset)
+            .ok_or(AllocError::UnknownAllocation(offset))?;
+        self.free.add(offset, size);
+        self.stats.on_free(size);
+        Ok(())
+    }
+
+    fn allocation_size(&self, offset: u64) -> Option<u64> {
+        self.live.get(&offset).copied()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    fn stats(&self) -> AllocStats {
+        self.stats.render(
+            self.capacity,
+            self.free.region_count() as u64,
+            self.free.largest(),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_lowest_fitting_address() {
+        let mut a = FirstFit::new(1 << 16);
+        let x = a.alloc_aligned(100, 1).unwrap();
+        assert_eq!(x, 0);
+        let y = a.alloc_aligned(100, 1).unwrap();
+        assert_eq!(y, 100);
+        a.free(x).unwrap();
+        // First-fit reuses the hole at 0.
+        let z = a.alloc_aligned(50, 1).unwrap();
+        assert_eq!(z, 0);
+    }
+
+    #[test]
+    fn skips_holes_that_are_too_small() {
+        let mut a = FirstFit::new(1 << 16);
+        let x = a.alloc_aligned(64, 1).unwrap();
+        let _y = a.alloc_aligned(64, 1).unwrap();
+        a.free(x).unwrap();
+        // 128 bytes doesn't fit in the 64-byte hole at 0.
+        let z = a.alloc_aligned(128, 1).unwrap();
+        assert_eq!(z, 128);
+    }
+
+    #[test]
+    fn fragmentation_grows_under_interleaved_frees() {
+        let mut a = FirstFit::new(1 << 16);
+        let offs: Vec<u64> = (0..32).map(|_| a.alloc_aligned(1024, 1).unwrap()).collect();
+        // Free every other allocation -> 16 separate holes.
+        for o in offs.iter().step_by(2) {
+            a.free(*o).unwrap();
+        }
+        let s = a.stats();
+        assert_eq!(s.free_regions, 16 + 1); // 16 holes + tail
+        assert!(s.external_fragmentation() > 0.3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Offset-ordered free-region map with coalescing.
+//!
+//! Shared bookkeeping core for all allocators in this crate: a
+//! `BTreeMap<offset, size>` of maximal free regions. Inserting a region
+//! merges it with adjacent neighbours, and the merge result is reported so
+//! allocators that keep a secondary index (by size, or by size class) can
+//! stay in sync.
+
+use std::collections::BTreeMap;
+
+use crate::align_up;
+
+/// Result of [`FreeMap::add`]: the final (possibly merged) region and any
+/// pre-existing regions that were consumed by the merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Merge {
+    /// The region now present in the map.
+    pub merged: (u64, u64),
+    /// Regions removed from the map because they were absorbed.
+    pub absorbed: Vec<(u64, u64)>,
+}
+
+/// A set of disjoint, coalesced free regions keyed by offset.
+#[derive(Debug, Clone, Default)]
+pub struct FreeMap {
+    map: BTreeMap<u64, u64>,
+    free_bytes: u64,
+}
+
+impl FreeMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A map covering the whole `[0, capacity)` range as one free region.
+    pub fn new_full(capacity: u64) -> Self {
+        let mut m = Self::new();
+        if capacity > 0 {
+            m.map.insert(0, capacity);
+            m.free_bytes = capacity;
+        }
+        m
+    }
+
+    /// Total free bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_bytes
+    }
+
+    /// Number of maximal free regions (a fragmentation indicator).
+    pub fn region_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Size of the largest free region.
+    pub fn largest(&self) -> u64 {
+        self.map.values().copied().max().unwrap_or(0)
+    }
+
+    /// Iterate `(offset, size)` in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.map.iter().map(|(&o, &s)| (o, s))
+    }
+
+    /// Size of the free region starting exactly at `offset`, if any.
+    pub fn get(&self, offset: u64) -> Option<u64> {
+        self.map.get(&offset).copied()
+    }
+
+    /// Add a free region, coalescing with adjacent regions. The caller must
+    /// guarantee the region does not overlap any existing free region.
+    pub fn add(&mut self, offset: u64, size: u64) -> Merge {
+        debug_assert!(size > 0);
+        let mut start = offset;
+        let mut end = offset + size;
+        let mut absorbed = Vec::new();
+        // Merge with predecessor if it touches `offset`.
+        if let Some((&po, &ps)) = self.map.range(..offset).next_back() {
+            debug_assert!(po + ps <= offset, "overlapping free regions");
+            if po + ps == offset {
+                absorbed.push((po, ps));
+                self.map.remove(&po);
+                start = po;
+            }
+        }
+        // Merge with successor if we touch it.
+        if let Some((&no, &ns)) = self.map.range(offset..).next() {
+            debug_assert!(end <= no, "overlapping free regions");
+            if end == no {
+                absorbed.push((no, ns));
+                self.map.remove(&no);
+                end = no + ns;
+            }
+        }
+        self.map.insert(start, end - start);
+        self.free_bytes += size;
+        Merge {
+            merged: (start, end - start),
+            absorbed,
+        }
+    }
+
+    /// Remove the free region starting exactly at `offset`; returns its size.
+    pub fn remove(&mut self, offset: u64) -> Option<u64> {
+        let size = self.map.remove(&offset)?;
+        self.free_bytes -= size;
+        Some(size)
+    }
+
+    /// Find the lowest-addressed region that can hold `size` bytes at
+    /// `align` — the paper's "first available region that can accommodate
+    /// it". Linear in the number of free regions.
+    pub fn first_fit(&self, size: u64, align: u64) -> Option<(u64, u64)> {
+        self.iter().find(|&(o, s)| fits(o, s, size, align))
+    }
+}
+
+/// The result of [`split`]: allocation offset plus leftover front/back
+/// free sub-regions as `(offset, size)` pairs.
+pub type SplitResult = (u64, Option<(u64, u64)>, Option<(u64, u64)>);
+
+/// Whether region `(region_offset, region_size)` can hold an aligned
+/// allocation of `size`.
+pub fn fits(region_offset: u64, region_size: u64, size: u64, align: u64) -> bool {
+    let start = align_up(region_offset, align);
+    start
+        .checked_add(size)
+        .is_some_and(|end| end <= region_offset + region_size)
+}
+
+/// Split `region` around an aligned allocation of `size`. Returns
+/// `(alloc_offset, front_pad, back_pad)` where the pads are the leftover
+/// free sub-regions (possibly zero-sized).
+pub fn split(region: (u64, u64), size: u64, align: u64) -> SplitResult {
+    let (ro, rs) = region;
+    let start = align_up(ro, align);
+    debug_assert!(fits(ro, rs, size, align));
+    let front = (start > ro).then_some((ro, start - ro));
+    let back_start = start + size;
+    let region_end = ro + rs;
+    let back = (back_start < region_end).then_some((back_start, region_end - back_start));
+    (start, front, back)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_map_has_one_region() {
+        let m = FreeMap::new_full(1000);
+        assert_eq!(m.region_count(), 1);
+        assert_eq!(m.free_bytes(), 1000);
+        assert_eq!(m.largest(), 1000);
+    }
+
+    #[test]
+    fn add_coalesces_both_sides() {
+        let mut m = FreeMap::new();
+        m.add(0, 100);
+        m.add(200, 100);
+        assert_eq!(m.region_count(), 2);
+        let merge = m.add(100, 100);
+        assert_eq!(merge.merged, (0, 300));
+        assert_eq!(merge.absorbed.len(), 2);
+        assert_eq!(m.region_count(), 1);
+        assert_eq!(m.free_bytes(), 300);
+    }
+
+    #[test]
+    fn add_coalesces_one_side() {
+        let mut m = FreeMap::new();
+        m.add(0, 100);
+        let merge = m.add(100, 50);
+        assert_eq!(merge.merged, (0, 150));
+        assert_eq!(merge.absorbed, vec![(0, 100)]);
+
+        let merge = m.add(200, 10);
+        assert!(merge.absorbed.is_empty());
+        assert_eq!(m.region_count(), 2);
+    }
+
+    #[test]
+    fn remove_returns_size() {
+        let mut m = FreeMap::new_full(500);
+        assert_eq!(m.remove(0), Some(500));
+        assert_eq!(m.remove(0), None);
+        assert_eq!(m.free_bytes(), 0);
+    }
+
+    #[test]
+    fn first_fit_respects_alignment() {
+        let mut m = FreeMap::new();
+        // Region at 10 of size 60 can't hold a 64-aligned 60-byte alloc.
+        m.add(10, 60);
+        m.add(100, 200);
+        assert_eq!(m.first_fit(60, 64), Some((100, 200)));
+        assert_eq!(m.first_fit(60, 1), Some((10, 60)));
+        assert_eq!(m.first_fit(1000, 1), None);
+    }
+
+    #[test]
+    fn split_produces_pads() {
+        // Region [10, 110), want 32 bytes at align 64 -> alloc at 64.
+        let (off, front, back) = split((10, 100), 32, 64);
+        assert_eq!(off, 64);
+        assert_eq!(front, Some((10, 54)));
+        assert_eq!(back, Some((96, 14)));
+
+        // Perfect fit leaves no pads.
+        let (off, front, back) = split((64, 32), 32, 64);
+        assert_eq!(off, 64);
+        assert_eq!(front, None);
+        assert_eq!(back, None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Allocator statistics.
+
+/// Counters and fragmentation indicators reported by every
+/// [`crate::RegionAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Region capacity in bytes.
+    pub capacity: u64,
+    /// Bytes currently allocated (excluding alignment padding returned to
+    /// the free map).
+    pub allocated_bytes: u64,
+    /// Peak of `allocated_bytes` over the allocator's lifetime.
+    pub peak_allocated_bytes: u64,
+    /// Number of live allocations.
+    pub live_allocs: u64,
+    /// Successful allocations since creation.
+    pub total_allocs: u64,
+    /// Frees since creation.
+    pub total_frees: u64,
+    /// Allocation requests that failed with out-of-memory.
+    pub failed_allocs: u64,
+    /// Number of maximal free regions (external fragmentation indicator).
+    pub free_regions: u64,
+    /// Largest free region in bytes.
+    pub largest_free: u64,
+}
+
+impl AllocStats {
+    /// Free bytes (capacity minus allocated).
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.allocated_bytes
+    }
+
+    /// External fragmentation in `[0, 1]`: the fraction of free memory that
+    /// is *not* in the largest free region. 0 means all free memory is one
+    /// contiguous region; values near 1 mean the free space is shattered.
+    pub fn external_fragmentation(&self) -> f64 {
+        let free = self.free_bytes();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - (self.largest_free as f64 / free as f64)
+    }
+
+    /// Utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.allocated_bytes as f64 / self.capacity as f64
+    }
+}
+
+/// Internal helper shared by allocator implementations.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StatsCore {
+    pub allocated_bytes: u64,
+    pub peak_allocated_bytes: u64,
+    pub live_allocs: u64,
+    pub total_allocs: u64,
+    pub total_frees: u64,
+    pub failed_allocs: u64,
+}
+
+impl StatsCore {
+    pub fn on_alloc(&mut self, size: u64) {
+        self.allocated_bytes += size;
+        self.peak_allocated_bytes = self.peak_allocated_bytes.max(self.allocated_bytes);
+        self.live_allocs += 1;
+        self.total_allocs += 1;
+    }
+
+    pub fn on_free(&mut self, size: u64) {
+        self.allocated_bytes -= size;
+        self.live_allocs -= 1;
+        self.total_frees += 1;
+    }
+
+    pub fn on_fail(&mut self) {
+        self.failed_allocs += 1;
+    }
+
+    pub fn render(&self, capacity: u64, free_regions: u64, largest_free: u64) -> AllocStats {
+        AllocStats {
+            capacity,
+            allocated_bytes: self.allocated_bytes,
+            peak_allocated_bytes: self.peak_allocated_bytes,
+            live_allocs: self.live_allocs,
+            total_allocs: self.total_allocs,
+            total_frees: self.total_frees,
+            failed_allocs: self.failed_allocs,
+            free_regions,
+            largest_free,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragmentation_metric() {
+        let s = AllocStats {
+            capacity: 1000,
+            allocated_bytes: 0,
+            largest_free: 1000,
+            ..Default::default()
+        };
+        assert_eq!(s.external_fragmentation(), 0.0);
+
+        let s = AllocStats {
+            capacity: 1000,
+            allocated_bytes: 0,
+            largest_free: 250,
+            ..Default::default()
+        };
+        assert!((s.external_fragmentation() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fully_allocated_region_has_zero_fragmentation() {
+        let s = AllocStats {
+            capacity: 1000,
+            allocated_bytes: 1000,
+            largest_free: 0,
+            ..Default::default()
+        };
+        assert_eq!(s.external_fragmentation(), 0.0);
+        assert_eq!(s.utilization(), 1.0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut c = StatsCore::default();
+        c.on_alloc(100);
+        c.on_alloc(200);
+        c.on_free(100);
+        c.on_alloc(50);
+        assert_eq!(c.peak_allocated_bytes, 300);
+        assert_eq!(c.allocated_bytes, 250);
+        assert_eq!(c.live_allocs, 2);
+    }
+}

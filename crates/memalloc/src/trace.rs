@@ -1,0 +1,261 @@
+//! Allocation workload traces for the allocator ablation benchmark.
+//!
+//! A [`Trace`] is a deterministic, allocator-independent sequence of
+//! alloc/free operations over logical *slots*. Replaying the same trace
+//! against [`crate::FirstFit`], [`crate::SizeMap`] and [`crate::DlSeg`]
+//! compares their throughput and fragmentation on identical work — the
+//! experiment the paper defers with "improved allocators generally have
+//! substantial impact".
+//!
+//! Generation uses an embedded SplitMix64 PRNG so traces are reproducible
+//! from a seed without external dependencies.
+
+use crate::{AllocError, RegionAllocator};
+
+/// One step of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Allocate `size` bytes and remember the result in `slot`.
+    Alloc { slot: usize, size: u64 },
+    /// Free whatever `slot` holds.
+    Free { slot: usize },
+}
+
+/// Size/lifetime profile of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceSpec {
+    /// Sizes uniform in `[min, max]`.
+    Uniform { min: u64, max: u64 },
+    /// Power-law sizes: mostly small with a heavy tail up to `max`.
+    /// `alpha` > 1 controls skew (larger = more small objects).
+    Skewed { max: u64, alpha: f64 },
+    /// Alternating bursts of allocation and release — a high-churn pattern
+    /// that stresses coalescing.
+    Churn { size: u64, burst: usize },
+    /// The paper's Table I object mix (1 kB … 100 MB, weighted by count).
+    TableOne,
+}
+
+/// Deterministic SplitMix64.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A reproducible allocation workload.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub ops: Vec<TraceOp>,
+    pub slots: usize,
+}
+
+/// Result of replaying a trace against an allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayOutcome {
+    pub allocs_ok: u64,
+    pub allocs_failed: u64,
+    pub frees: u64,
+}
+
+impl Trace {
+    /// Generate `n_ops` operations targeting roughly `target_fill` (0..1)
+    /// utilization of a region of `capacity` bytes.
+    pub fn generate(spec: TraceSpec, n_ops: usize, capacity: u64, target_fill: f64, seed: u64) -> Self {
+        let mut rng = SplitMix64(seed);
+        let mut ops = Vec::with_capacity(n_ops);
+        let budget = (capacity as f64 * target_fill.clamp(0.05, 0.95)) as u64;
+        // Slot table: None = empty, Some(size) = live.
+        let mut slots: Vec<Option<u64>> = Vec::new();
+        let mut live_bytes = 0u64;
+        let mut burst_left = 0usize;
+        let mut burst_alloc = true;
+
+        for _ in 0..n_ops {
+            let size = Self::draw_size(spec, &mut rng);
+            let do_alloc = match spec {
+                TraceSpec::Churn { burst, .. } => {
+                    if burst_left == 0 {
+                        burst_left = burst;
+                        burst_alloc = !burst_alloc;
+                    }
+                    burst_left -= 1;
+                    burst_alloc
+                }
+                _ => live_bytes + size <= budget && (live_bytes == 0 || rng.unit() < 0.6),
+            };
+
+            if do_alloc {
+                // Find or create an empty slot.
+                let slot = match slots.iter().position(Option::is_none) {
+                    Some(i) => i,
+                    None => {
+                        slots.push(None);
+                        slots.len() - 1
+                    }
+                };
+                slots[slot] = Some(size);
+                live_bytes += size;
+                ops.push(TraceOp::Alloc { slot, size });
+            } else {
+                let live: Vec<usize> = slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.map(|_| i))
+                    .collect();
+                if live.is_empty() {
+                    continue;
+                }
+                let slot = live[rng.below(live.len() as u64) as usize];
+                live_bytes -= slots[slot].take().unwrap();
+                ops.push(TraceOp::Free { slot });
+            }
+        }
+        Trace {
+            ops,
+            slots: slots.len(),
+        }
+    }
+
+    fn draw_size(spec: TraceSpec, rng: &mut SplitMix64) -> u64 {
+        match spec {
+            TraceSpec::Uniform { min, max } => min + rng.below(max - min + 1),
+            TraceSpec::Skewed { max, alpha } => {
+                // Inverse-transform sampling of a bounded Pareto on [64, max].
+                let lo = 64f64;
+                let hi = max as f64;
+                let u = rng.unit();
+                let a = 1.0 - alpha;
+                let x = ((hi.powf(a) - lo.powf(a)) * u + lo.powf(a)).powf(1.0 / a);
+                x as u64
+            }
+            TraceSpec::Churn { size, .. } => size,
+            TraceSpec::TableOne => {
+                // Weighted by Table I object counts: 1000x1kB, 500x10kB,
+                // 200x100kB, 100x1MB, 50x10MB, 10x100MB.
+                const SPEC: &[(u64, u64)] = &[
+                    (1000, 1_000),
+                    (500, 10_000),
+                    (200, 100_000),
+                    (100, 1_000_000),
+                    (50, 10_000_000),
+                    (10, 100_000_000),
+                ];
+                let total: u64 = SPEC.iter().map(|&(n, _)| n).sum();
+                let mut pick = rng.below(total);
+                for &(n, size) in SPEC {
+                    if pick < n {
+                        return size;
+                    }
+                    pick -= n;
+                }
+                unreachable!()
+            }
+        }
+    }
+
+    /// Replay against `alloc`. Allocation failures are tolerated (counted);
+    /// frees of failed slots are skipped.
+    pub fn replay(&self, alloc: &mut dyn RegionAllocator) -> Result<ReplayOutcome, AllocError> {
+        let mut offsets: Vec<Option<u64>> = vec![None; self.slots];
+        let mut out = ReplayOutcome::default();
+        for op in &self.ops {
+            match *op {
+                TraceOp::Alloc { slot, size } => match alloc.alloc(size) {
+                    Ok(off) => {
+                        debug_assert!(offsets[slot].is_none(), "trace reuses live slot");
+                        offsets[slot] = Some(off);
+                        out.allocs_ok += 1;
+                    }
+                    Err(AllocError::OutOfMemory { .. }) => out.allocs_failed += 1,
+                    Err(e) => return Err(e),
+                },
+                TraceOp::Free { slot } => {
+                    if let Some(off) = offsets[slot].take() {
+                        alloc.free(off)?;
+                        out.frees += 1;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DlSeg, FirstFit, SizeMap};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Trace::generate(TraceSpec::Uniform { min: 64, max: 4096 }, 500, 1 << 22, 0.5, 42);
+        let b = Trace::generate(TraceSpec::Uniform { min: 64, max: 4096 }, 500, 1 << 22, 0.5, 42);
+        assert_eq!(a.ops, b.ops);
+        let c = Trace::generate(TraceSpec::Uniform { min: 64, max: 4096 }, 500, 1 << 22, 0.5, 43);
+        assert_ne!(a.ops, c.ops);
+    }
+
+    #[test]
+    fn replay_succeeds_on_all_allocators() {
+        let t = Trace::generate(TraceSpec::Uniform { min: 64, max: 8192 }, 2000, 1 << 24, 0.6, 7);
+        for mut a in [
+            Box::new(FirstFit::new(1 << 24)) as Box<dyn RegionAllocator>,
+            Box::new(SizeMap::new(1 << 24)),
+            Box::new(DlSeg::new(1 << 24)),
+        ] {
+            let out = t.replay(a.as_mut()).unwrap();
+            assert!(out.allocs_ok > 500, "{}: {out:?}", a.name());
+            // Trace keeps utilization under budget, so failures are rare.
+            assert_eq!(out.allocs_failed, 0, "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn skewed_sizes_are_mostly_small() {
+        let mut rng = SplitMix64(1);
+        let spec = TraceSpec::Skewed { max: 1 << 20, alpha: 2.0 };
+        let sizes: Vec<u64> = (0..1000).map(|_| Trace::draw_size(spec, &mut rng)).collect();
+        let small = sizes.iter().filter(|&&s| s < 1024).count();
+        assert!(small > 700, "only {small} of 1000 below 1 KiB");
+        assert!(sizes.iter().all(|&s| (64..=1 << 20).contains(&s)));
+    }
+
+    #[test]
+    fn table_one_draws_match_spec_sizes() {
+        let mut rng = SplitMix64(2);
+        for _ in 0..200 {
+            let s = Trace::draw_size(TraceSpec::TableOne, &mut rng);
+            assert!(
+                [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000].contains(&s),
+                "unexpected size {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_alternates_bursts() {
+        let t = Trace::generate(TraceSpec::Churn { size: 1024, burst: 4 }, 32, 1 << 20, 0.9, 3);
+        // Expect runs of 4 allocs / 4 frees (first burst toggles immediately).
+        let allocs = t.ops.iter().filter(|o| matches!(o, TraceOp::Alloc { .. })).count();
+        assert!((12..=20).contains(&allocs), "allocs={allocs}");
+    }
+}

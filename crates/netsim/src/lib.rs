@@ -1,0 +1,274 @@
+//! # netsim — network latency, jitter and bandwidth models
+//!
+//! The paper's remote object retrieval is "likely dominated by gRPC and its
+//! inherent network jitter": total retrieval latency is milliseconds and
+//! noisy, while the data plane (ThymesisFlow) is microseconds and steady.
+//! To reproduce that shape without the authors' LAN, this crate provides
+//! composable delay models that the RPC layer charges to the simulation
+//! clock:
+//!
+//! * [`Latency`] — a sampleable delay distribution (constant, uniform,
+//!   normal, log-normal).
+//! * [`LinkModel`] — fixed round-trip base + per-byte cost + additive
+//!   jitter; presets calibrated against the paper's measurements.
+//! * [`TokenBucket`] — a shared-bandwidth limiter for scale-out scenarios
+//!   where several consumers contend for one LAN link (Fig. 1a).
+//!
+//! All sampling is deterministic given a seed.
+
+pub mod bucket;
+
+pub use bucket::TokenBucket;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A sampleable latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Latency {
+    /// Always exactly this long.
+    Constant(Duration),
+    /// Uniform in `[lo, hi]`.
+    Uniform { lo: Duration, hi: Duration },
+    /// Normal with the given mean and standard deviation, truncated at 0.
+    Normal { mean: Duration, std: Duration },
+    /// Log-normal parameterized by its median and the σ of the underlying
+    /// normal — the classic shape of datacenter RPC tail latency.
+    LogNormal { median: Duration, sigma: f64 },
+}
+
+impl Latency {
+    /// No delay at all.
+    pub const ZERO: Latency = Latency::Constant(Duration::ZERO);
+
+    /// Draw one delay.
+    pub fn sample(&self, rng: &mut SmallRng) -> Duration {
+        match *self {
+            Latency::Constant(d) => d,
+            Latency::Uniform { lo, hi } => {
+                let lo_ns = lo.as_nanos() as u64;
+                let hi_ns = hi.as_nanos() as u64;
+                Duration::from_nanos(rng.gen_range(lo_ns..=hi_ns.max(lo_ns)))
+            }
+            Latency::Normal { mean, std } => {
+                let z = standard_normal(rng);
+                let ns = mean.as_nanos() as f64 + z * std.as_nanos() as f64;
+                Duration::from_nanos(ns.max(0.0) as u64)
+            }
+            Latency::LogNormal { median, sigma } => {
+                let z = standard_normal(rng);
+                let ns = median.as_nanos() as f64 * (sigma * z).exp();
+                Duration::from_nanos(ns.max(0.0) as u64)
+            }
+        }
+    }
+
+    /// The distribution's central value (mean for constant/uniform/normal,
+    /// median for log-normal) — used by tests and calibration assertions.
+    pub fn center(&self) -> Duration {
+        match *self {
+            Latency::Constant(d) => d,
+            Latency::Uniform { lo, hi } => (lo + hi) / 2,
+            Latency::Normal { mean, .. } => mean,
+            Latency::LogNormal { median, .. } => median,
+        }
+    }
+}
+
+/// Standard-normal variate via Box–Muller.
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Delay model of one message exchange over a link: a base (distributional)
+/// delay plus a deterministic per-byte cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Base delay per exchange (connection + protocol + propagation).
+    pub base: Latency,
+    /// Seconds per byte of payload (1 / bandwidth).
+    pub secs_per_byte: f64,
+}
+
+impl LinkModel {
+    /// A link with no delay (functional tests).
+    pub fn instant() -> Self {
+        LinkModel {
+            base: Latency::ZERO,
+            secs_per_byte: 0.0,
+        }
+    }
+
+    /// Calibrated to the paper's gRPC 1.38 sync/unary store-to-store path:
+    /// a log-normal round-trip centred at ~2.3 ms with visible jitter
+    /// (paper Fig. 6 reports 2.6–5 ms totals for remote retrievals, noisy),
+    /// plus ~10 GbE payload streaming.
+    pub fn grpc_lan() -> Self {
+        LinkModel {
+            base: Latency::LogNormal {
+                median: Duration::from_micros(2300),
+                sigma: 0.22,
+            },
+            secs_per_byte: 1.0 / (1.1e9), // ~10 GbE effective
+        }
+    }
+
+    /// Calibrated to Plasma's Unix-domain-socket client<->store IPC: tens
+    /// of microseconds per request (paper: 0.075 ms for a 10-object local
+    /// retrieval including per-object work).
+    pub fn uds_ipc() -> Self {
+        LinkModel {
+            base: Latency::Normal {
+                mean: Duration::from_micros(55),
+                std: Duration::from_micros(6),
+            },
+            secs_per_byte: 1.0 / (4.0e9),
+        }
+    }
+
+    /// A classic scale-out data path: TCP over the shared LAN, used by the
+    /// Fig. 1a baseline that copies object *data* over the network.
+    pub fn tcp_scaleout() -> Self {
+        LinkModel {
+            base: Latency::Normal {
+                mean: Duration::from_micros(500),
+                std: Duration::from_micros(80),
+            },
+            secs_per_byte: 1.0 / (1.1e9),
+        }
+    }
+
+    /// Delay of one exchange carrying `payload_bytes`.
+    pub fn delay(&self, payload_bytes: usize, rng: &mut SmallRng) -> Duration {
+        self.base.sample(rng) + Duration::from_secs_f64(self.secs_per_byte * payload_bytes as f64)
+    }
+}
+
+/// A thread-safe, seeded sampler around a [`LinkModel`]. Clones share the
+/// underlying RNG, so a multi-threaded simulation still draws one
+/// deterministic stream.
+#[derive(Debug, Clone)]
+pub struct SharedLink {
+    model: LinkModel,
+    rng: Arc<Mutex<SmallRng>>,
+}
+
+impl SharedLink {
+    pub fn new(model: LinkModel, seed: u64) -> Self {
+        SharedLink {
+            model,
+            rng: Arc::new(Mutex::new(SmallRng::seed_from_u64(seed))),
+        }
+    }
+
+    pub fn model(&self) -> &LinkModel {
+        &self.model
+    }
+
+    /// Sample the delay of one exchange carrying `payload_bytes`.
+    pub fn delay(&self, payload_bytes: usize) -> Duration {
+        self.model.delay(payload_bytes, &mut self.rng.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xDECAF)
+    }
+
+    #[test]
+    fn constant_is_exact() {
+        let mut r = rng();
+        let l = Latency::Constant(Duration::from_micros(100));
+        for _ in 0..10 {
+            assert_eq!(l.sample(&mut r), Duration::from_micros(100));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut r = rng();
+        let lo = Duration::from_micros(10);
+        let hi = Duration::from_micros(20);
+        let l = Latency::Uniform { lo, hi };
+        for _ in 0..1000 {
+            let d = l.sample(&mut r);
+            assert!(d >= lo && d <= hi);
+        }
+    }
+
+    #[test]
+    fn normal_mean_is_close() {
+        let mut r = rng();
+        let l = Latency::Normal {
+            mean: Duration::from_micros(500),
+            std: Duration::from_micros(50),
+        };
+        let n = 5000;
+        let total: Duration = (0..n).map(|_| l.sample(&mut r)).sum();
+        let mean = total / n;
+        let err = mean.as_secs_f64() / 500e-6;
+        assert!((0.97..1.03).contains(&err), "mean={mean:?}");
+    }
+
+    #[test]
+    fn lognormal_is_skewed_with_tail() {
+        let mut r = rng();
+        let l = Latency::LogNormal {
+            median: Duration::from_millis(2),
+            sigma: 0.25,
+        };
+        let samples: Vec<Duration> = (0..5000).map(|_| l.sample(&mut r)).collect();
+        let above = samples.iter().filter(|d| **d > Duration::from_millis(2)).count();
+        // Median property: ~half above.
+        assert!((2200..2800).contains(&above), "above={above}");
+        let max = samples.iter().max().unwrap();
+        assert!(*max > Duration::from_millis(3), "no tail: max={max:?}");
+    }
+
+    #[test]
+    fn per_byte_cost_scales() {
+        let mut r = rng();
+        let m = LinkModel {
+            base: Latency::ZERO,
+            secs_per_byte: 1e-9,
+        };
+        assert_eq!(m.delay(1000, &mut r), Duration::from_micros(1));
+        assert_eq!(m.delay(0, &mut r), Duration::ZERO);
+    }
+
+    #[test]
+    fn grpc_preset_is_millisecond_scale_and_jittery() {
+        let link = SharedLink::new(LinkModel::grpc_lan(), 7);
+        let samples: Vec<Duration> = (0..200).map(|_| link.delay(64)).collect();
+        assert!(samples.iter().all(|d| *d > Duration::from_micros(800)));
+        assert!(samples.iter().any(|d| *d > Duration::from_millis(2)));
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        assert!(*max > *min + Duration::from_micros(300), "no jitter");
+    }
+
+    #[test]
+    fn uds_preset_is_microsecond_scale() {
+        let link = SharedLink::new(LinkModel::uds_ipc(), 7);
+        let d = link.delay(64);
+        assert!(d < Duration::from_micros(200), "{d:?}");
+    }
+
+    #[test]
+    fn shared_link_is_deterministic_per_seed() {
+        let a = SharedLink::new(LinkModel::grpc_lan(), 42);
+        let b = SharedLink::new(LinkModel::grpc_lan(), 42);
+        let xs: Vec<Duration> = (0..16).map(|_| a.delay(10)).collect();
+        let ys: Vec<Duration> = (0..16).map(|_| b.delay(10)).collect();
+        assert_eq!(xs, ys);
+    }
+}

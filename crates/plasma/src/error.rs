@@ -1,0 +1,144 @@
+//! Plasma error type.
+
+use crate::id::ObjectId;
+use std::fmt;
+use tfsim::FabricError;
+
+/// Errors surfaced by the Plasma store and client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlasmaError {
+    /// `create` for an id that already exists (created or sealed).
+    ObjectExists(ObjectId),
+    /// The object does not exist in this store.
+    ObjectNotFound(ObjectId),
+    /// Operation requires a sealed object but it is still being written.
+    NotSealed(ObjectId),
+    /// `seal` on an already-sealed object.
+    AlreadySealed(ObjectId),
+    /// Not enough memory even after evicting every evictable object.
+    OutOfMemory { requested: u64, capacity: u64 },
+    /// `delete`/eviction refused: clients still hold references.
+    ObjectInUse(ObjectId),
+    /// The requesting client does not hold a reference to release.
+    NotReferenced(ObjectId),
+    /// A fabric-level failure (link down, bounds, ...).
+    Fabric(String),
+    /// A transport/IPC failure between client and store.
+    Transport(String),
+    /// Malformed protocol message.
+    Protocol(String),
+    /// `get` timed out waiting for objects to appear.
+    Timeout,
+}
+
+impl fmt::Display for PlasmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlasmaError::ObjectExists(id) => write!(f, "object {id:?} already exists"),
+            PlasmaError::ObjectNotFound(id) => write!(f, "object {id:?} not found"),
+            PlasmaError::NotSealed(id) => write!(f, "object {id:?} is not sealed"),
+            PlasmaError::AlreadySealed(id) => write!(f, "object {id:?} is already sealed"),
+            PlasmaError::OutOfMemory { requested, capacity } => {
+                write!(f, "store out of memory: requested {requested} of {capacity} capacity")
+            }
+            PlasmaError::ObjectInUse(id) => write!(f, "object {id:?} is in use"),
+            PlasmaError::NotReferenced(id) => write!(f, "object {id:?} is not referenced by caller"),
+            PlasmaError::Fabric(m) => write!(f, "fabric error: {m}"),
+            PlasmaError::Transport(m) => write!(f, "transport error: {m}"),
+            PlasmaError::Protocol(m) => write!(f, "protocol error: {m}"),
+            PlasmaError::Timeout => write!(f, "timed out"),
+        }
+    }
+}
+
+impl std::error::Error for PlasmaError {}
+
+impl From<FabricError> for PlasmaError {
+    fn from(e: FabricError) -> Self {
+        PlasmaError::Fabric(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for PlasmaError {
+    fn from(e: std::io::Error) -> Self {
+        PlasmaError::Transport(e.to_string())
+    }
+}
+
+impl From<ipc::CodecError> for PlasmaError {
+    fn from(e: ipc::CodecError) -> Self {
+        PlasmaError::Protocol(e.to_string())
+    }
+}
+
+/// Stable numeric codes for the IPC protocol.
+impl PlasmaError {
+    pub(crate) fn to_code(&self) -> u32 {
+        match self {
+            PlasmaError::ObjectExists(_) => 1,
+            PlasmaError::ObjectNotFound(_) => 2,
+            PlasmaError::NotSealed(_) => 3,
+            PlasmaError::AlreadySealed(_) => 4,
+            PlasmaError::OutOfMemory { .. } => 5,
+            PlasmaError::ObjectInUse(_) => 6,
+            PlasmaError::NotReferenced(_) => 7,
+            PlasmaError::Fabric(_) => 8,
+            PlasmaError::Transport(_) => 9,
+            PlasmaError::Protocol(_) => 10,
+            PlasmaError::Timeout => 11,
+        }
+    }
+
+    pub(crate) fn from_code(code: u32, id: ObjectId, detail: &str, a: u64, b: u64) -> Self {
+        match code {
+            1 => PlasmaError::ObjectExists(id),
+            2 => PlasmaError::ObjectNotFound(id),
+            3 => PlasmaError::NotSealed(id),
+            4 => PlasmaError::AlreadySealed(id),
+            5 => PlasmaError::OutOfMemory { requested: a, capacity: b },
+            6 => PlasmaError::ObjectInUse(id),
+            7 => PlasmaError::NotReferenced(id),
+            8 => PlasmaError::Fabric(detail.to_string()),
+            9 => PlasmaError::Transport(detail.to_string()),
+            11 => PlasmaError::Timeout,
+            _ => PlasmaError::Protocol(detail.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        let id = ObjectId::from_name("x");
+        let cases = vec![
+            PlasmaError::ObjectExists(id),
+            PlasmaError::ObjectNotFound(id),
+            PlasmaError::NotSealed(id),
+            PlasmaError::AlreadySealed(id),
+            PlasmaError::OutOfMemory { requested: 10, capacity: 5 },
+            PlasmaError::ObjectInUse(id),
+            PlasmaError::NotReferenced(id),
+            PlasmaError::Fabric("f".into()),
+            PlasmaError::Transport("t".into()),
+            PlasmaError::Protocol("p".into()),
+            PlasmaError::Timeout,
+        ];
+        for e in cases {
+            let (a, b) = match &e {
+                PlasmaError::OutOfMemory { requested, capacity } => (*requested, *capacity),
+                _ => (0, 0),
+            };
+            let detail = match &e {
+                PlasmaError::Fabric(m) | PlasmaError::Transport(m) | PlasmaError::Protocol(m) => {
+                    m.clone()
+                }
+                _ => String::new(),
+            };
+            let back = PlasmaError::from_code(e.to_code(), id, &detail, a, b);
+            assert_eq!(back, e);
+        }
+    }
+}

@@ -1,0 +1,1027 @@
+//! The Plasma store engine.
+//!
+//! A [`StoreCore`] is "a memory bookkeeping service for Plasma data
+//! objects" (paper §IV-A1): it owns a region of *disaggregated* memory
+//! (donated into the fabric at construction), allocates object buffers in
+//! it with a pluggable [`RegionAllocator`], and tracks object lifecycle —
+//! create → write (by the creator, directly through the fabric) → seal →
+//! get/release → delete or evict.
+//!
+//! Semantics mirror Apache Arrow Plasma:
+//!
+//! * objects are **immutable after seal**; `get` only sees sealed objects;
+//! * every client reference pins the object: referenced objects are never
+//!   evicted ("in-use objects will not be evicted, because clients might
+//!   still be reading from memory");
+//! * when an allocation fails, sealed unreferenced objects are evicted in
+//!   LRU order until it fits (if eviction is enabled);
+//! * `get` can block with a timeout until an object is sealed;
+//! * sealing broadcasts a notification to subscribers.
+//!
+//! The object table is guarded by a single `parking_lot::Mutex`, matching
+//! the paper's "Mutex functionality was built in to ensure thread-safety"
+//! between the store's main servicing path and the RPC server thread.
+
+use crate::error::PlasmaError;
+use crate::id::ObjectId;
+use crate::lru::LruIndex;
+use crate::object::{ObjectEntry, ObjectInfo, ObjectLocation, ObjectState};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use memalloc::{Buddy, DlSeg, FirstFit, RegionAllocator, SizeMap};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tfsim::{Fabric, Mapping, NodeId, SegKey};
+
+/// Which allocator manages the store's region (ablation experiment A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocatorKind {
+    /// The paper's literal description: first fitting region in address
+    /// order.
+    FirstFit,
+    /// The paper's stated data structure: size-ordered map, best fit,
+    /// `O(log n)`.
+    #[default]
+    SizeMap,
+    /// dlmalloc-style segregated bins (the baseline Plasma originally
+    /// used).
+    DlSeg,
+    /// Binary buddy allocator (power-of-two blocks, O(log n) everything,
+    /// internal instead of external fragmentation).
+    Buddy,
+}
+
+impl AllocatorKind {
+    fn build(self, capacity: u64) -> Box<dyn RegionAllocator> {
+        match self {
+            AllocatorKind::FirstFit => Box::new(FirstFit::new(capacity)),
+            AllocatorKind::SizeMap => Box::new(SizeMap::new(capacity)),
+            AllocatorKind::DlSeg => Box::new(DlSeg::new(capacity)),
+            AllocatorKind::Buddy => Box::new(Buddy::new(capacity)),
+        }
+    }
+}
+
+/// How a store grows beyond its initial donation when it runs out of
+/// memory: donate further segments of `increment_bytes` until the total
+/// reaches `max_total_bytes`. Growth is attempted *before* eviction —
+/// the disaggregation promise is that memory volume, not locality, is the
+/// scaling limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowthPolicy {
+    /// Size of each additional donated segment.
+    pub increment_bytes: usize,
+    /// Hard cap on the store's total donated memory.
+    pub max_total_bytes: usize,
+}
+
+/// Store construction parameters.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Human-readable store name (also the default IPC endpoint name).
+    pub name: String,
+    /// Bytes of local memory donated to the disaggregated pool and managed
+    /// by this store.
+    pub memory_bytes: usize,
+    pub allocator: AllocatorKind,
+    /// Whether allocation failures trigger LRU eviction.
+    pub enable_eviction: bool,
+    /// Optional dynamic growth by donating further segments.
+    pub growth: Option<GrowthPolicy>,
+}
+
+impl StoreConfig {
+    pub fn new(name: impl Into<String>, memory_bytes: usize) -> Self {
+        StoreConfig {
+            name: name.into(),
+            memory_bytes,
+            allocator: AllocatorKind::default(),
+            enable_eviction: true,
+            growth: None,
+        }
+    }
+
+    /// Enable segment-at-a-time growth up to `max_total_bytes`.
+    pub fn with_growth(mut self, increment_bytes: usize, max_total_bytes: usize) -> Self {
+        self.growth = Some(GrowthPolicy {
+            increment_bytes,
+            max_total_bytes,
+        });
+        self
+    }
+}
+
+/// Aggregate store statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    pub capacity: u64,
+    /// Number of donated segments backing the store.
+    pub segments: u64,
+    pub allocated_bytes: u64,
+    pub objects: u64,
+    pub sealed_objects: u64,
+    pub creates: u64,
+    pub seals: u64,
+    pub gets: u64,
+    pub get_misses: u64,
+    pub releases: u64,
+    pub deletes: u64,
+    pub evictions: u64,
+    pub evicted_bytes: u64,
+}
+
+/// One donated segment and the allocator managing it.
+struct SegAlloc {
+    key: SegKey,
+    alloc: Box<dyn RegionAllocator>,
+    capacity: u64,
+}
+
+struct State {
+    segs: Vec<SegAlloc>,
+    objects: HashMap<ObjectId, ObjectEntry>,
+    lru: LruIndex,
+    subscribers: Vec<Sender<ObjectLocation>>,
+    enable_eviction: bool,
+    stats: StoreStats,
+}
+
+impl State {
+    fn allocated_bytes(&self) -> u64 {
+        self.segs.iter().map(|s| s.alloc.stats().allocated_bytes).sum()
+    }
+}
+
+struct Inner {
+    name: String,
+    node: NodeId,
+    allocator: AllocatorKind,
+    growth: Option<GrowthPolicy>,
+    fabric: Fabric,
+    state: Mutex<State>,
+    seal_cv: Condvar,
+}
+
+/// The store engine. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct StoreCore {
+    inner: Arc<Inner>,
+}
+
+impl StoreCore {
+    /// Create a store on `node`, donating `config.memory_bytes` into the
+    /// fabric.
+    pub fn new(fabric: &Fabric, node: NodeId, config: StoreConfig) -> Result<Self, PlasmaError> {
+        let seg = fabric.donate(node, config.memory_bytes)?;
+        let capacity = config.memory_bytes as u64;
+        Ok(StoreCore {
+            inner: Arc::new(Inner {
+                name: config.name,
+                node,
+                allocator: config.allocator,
+                growth: config.growth,
+                fabric: fabric.clone(),
+                state: Mutex::new(State {
+                    segs: vec![SegAlloc {
+                        key: seg,
+                        alloc: config.allocator.build(capacity),
+                        capacity,
+                    }],
+                    objects: HashMap::new(),
+                    lru: LruIndex::new(),
+                    subscribers: Vec::new(),
+                    enable_eviction: config.enable_eviction,
+                    stats: StoreStats {
+                        capacity,
+                        segments: 1,
+                        ..StoreStats::default()
+                    },
+                }),
+                seal_cv: Condvar::new(),
+            }),
+        })
+    }
+
+    /// The store's name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The node this store runs on.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The store's primary (first-donated) segment.
+    pub fn seg_key(&self) -> SegKey {
+        self.inner.state.lock().segs[0].key
+    }
+
+    /// Every segment the store has donated, in donation order.
+    pub fn seg_keys(&self) -> Vec<SegKey> {
+        self.inner.state.lock().segs.iter().map(|s| s.key).collect()
+    }
+
+    /// The fabric this store participates in.
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// A local mapping of the store's primary segment (owner path).
+    pub fn local_mapping(&self) -> Result<Mapping, PlasmaError> {
+        let key = self.seg_key();
+        Ok(self.inner.fabric.attach(self.inner.node, key)?)
+    }
+
+    /// A local mapping of the segment holding `loc`.
+    pub fn mapping_for(&self, loc: &ObjectLocation) -> Result<Mapping, PlasmaError> {
+        Ok(self.inner.fabric.attach(self.inner.node, loc.seg)?)
+    }
+
+    fn location(st: &State, id: ObjectId, e: &ObjectEntry) -> ObjectLocation {
+        ObjectLocation {
+            id,
+            seg: st.segs[e.seg_idx].key,
+            offset: e.offset,
+            data_size: e.data_size,
+            metadata_size: e.metadata_size,
+        }
+    }
+
+    /// Allocate a new object. The creator holds one reference and must
+    /// write the buffer (through the fabric) and then [`StoreCore::seal`].
+    pub fn create(
+        &self,
+        id: ObjectId,
+        data_size: u64,
+        metadata_size: u64,
+    ) -> Result<ObjectLocation, PlasmaError> {
+        let total = data_size + metadata_size;
+        let mut st = self.inner.state.lock();
+        if st.objects.contains_key(&id) {
+            return Err(PlasmaError::ObjectExists(id));
+        }
+        let (seg_idx, offset) = loop {
+            match self.try_alloc_locked(&mut st, total.max(1)) {
+                Some(hit) => break hit,
+                None => {
+                    // Prefer growing the disaggregated pool over evicting
+                    // data; evict only when growth is exhausted.
+                    if self.grow_locked(&mut st)? {
+                        continue;
+                    }
+                    if !st.enable_eviction || !self.evict_one_locked(&mut st) {
+                        return Err(PlasmaError::OutOfMemory {
+                            requested: total,
+                            capacity: st.stats.capacity,
+                        });
+                    }
+                }
+            }
+        };
+        let entry = ObjectEntry {
+            seg_idx,
+            offset,
+            data_size,
+            metadata_size,
+            state: ObjectState::Created,
+            ref_count: 1,
+            pending_deletion: false,
+        };
+        let loc = Self::location(&st, id, &entry);
+        st.objects.insert(id, entry);
+        st.stats.creates += 1;
+        st.stats.objects += 1;
+        st.stats.allocated_bytes = st.allocated_bytes();
+        Ok(loc)
+    }
+
+    /// Try allocating in each segment in donation order.
+    fn try_alloc_locked(&self, st: &mut State, size: u64) -> Option<(usize, u64)> {
+        for (idx, seg) in st.segs.iter_mut().enumerate() {
+            if let Ok(off) = seg.alloc.alloc(size) {
+                return Some((idx, off));
+            }
+        }
+        None
+    }
+
+    /// Donate one more segment per the growth policy. Returns whether the
+    /// pool grew.
+    fn grow_locked(&self, st: &mut State) -> Result<bool, PlasmaError> {
+        let Some(policy) = self.inner.growth else {
+            return Ok(false);
+        };
+        let current: u64 = st.segs.iter().map(|s| s.capacity).sum();
+        if current + policy.increment_bytes as u64 > policy.max_total_bytes as u64 {
+            return Ok(false);
+        }
+        let key = self
+            .inner
+            .fabric
+            .donate(self.inner.node, policy.increment_bytes)?;
+        let capacity = policy.increment_bytes as u64;
+        st.segs.push(SegAlloc {
+            key,
+            alloc: self.inner.allocator.build(capacity),
+            capacity,
+        });
+        st.stats.capacity += capacity;
+        st.stats.segments += 1;
+        Ok(true)
+    }
+
+    /// Seal an object: it becomes immutable and visible to `get`. Wakes
+    /// blocked getters and notifies subscribers.
+    pub fn seal(&self, id: ObjectId) -> Result<ObjectLocation, PlasmaError> {
+        let loc = {
+            let mut st = self.inner.state.lock();
+            let entry = st
+                .objects
+                .get_mut(&id)
+                .ok_or(PlasmaError::ObjectNotFound(id))?;
+            match entry.state {
+                ObjectState::Sealed => return Err(PlasmaError::AlreadySealed(id)),
+                ObjectState::Created => entry.state = ObjectState::Sealed,
+            }
+            let entry = entry.clone();
+            let loc = Self::location(&st, id, &entry);
+            st.stats.seals += 1;
+            st.stats.sealed_objects += 1;
+            // Notify subscribers; drop hung-up ones.
+            st.subscribers.retain(|tx| tx.send(loc).is_ok());
+            loc
+        };
+        self.inner.seal_cv.notify_all();
+        Ok(loc)
+    }
+
+    /// Non-blocking lookup of a sealed object. On success the caller gains
+    /// a reference (pinning the object against eviction).
+    pub fn get_local(&self, id: ObjectId) -> Option<ObjectLocation> {
+        let mut st = self.inner.state.lock();
+        let loc = match st.objects.get_mut(&id) {
+            Some(e) if e.state == ObjectState::Sealed && !e.pending_deletion => {
+                e.ref_count += 1;
+                let entry = e.clone();
+                Some(Self::location(&st, id, &entry))
+            }
+            _ => None,
+        };
+        match loc {
+            Some(l) => {
+                st.lru.remove(&id);
+                st.stats.gets += 1;
+                Some(l)
+            }
+            None => {
+                st.stats.get_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Blocking batched get: waits up to `timeout` for each id to be
+    /// sealed. Returns locations in request order (`None` = not available
+    /// in time). Each `Some` carries a reference the caller must release.
+    pub fn get_wait(&self, ids: &[ObjectId], timeout: Duration) -> Vec<Option<ObjectLocation>> {
+        let deadline = Instant::now() + timeout;
+        let mut out: Vec<Option<ObjectLocation>> = vec![None; ids.len()];
+        let mut st = self.inner.state.lock();
+        loop {
+            let mut missing = 0usize;
+            for (i, id) in ids.iter().enumerate() {
+                if out[i].is_some() {
+                    continue;
+                }
+                match st.objects.get_mut(id) {
+                    Some(e) if e.state == ObjectState::Sealed && !e.pending_deletion => {
+                        e.ref_count += 1;
+                        let entry = e.clone();
+                        let loc = Self::location(&st, *id, &entry);
+                        st.lru.remove(id);
+                        st.stats.gets += 1;
+                        out[i] = Some(loc);
+                    }
+                    _ => missing += 1,
+                }
+            }
+            if missing == 0 {
+                return out;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                st.stats.get_misses += missing as u64;
+                return out;
+            }
+            let timed_out = self
+                .inner
+                .seal_cv
+                .wait_for(&mut st, deadline - now)
+                .timed_out();
+            if timed_out {
+                // Re-check once more after the timeout, then return.
+                for (i, id) in ids.iter().enumerate() {
+                    if out[i].is_some() {
+                        continue;
+                    }
+                    if let Some(e) = st.objects.get_mut(id) {
+                        if e.state == ObjectState::Sealed && !e.pending_deletion {
+                            e.ref_count += 1;
+                            let entry = e.clone();
+                            let loc = Self::location(&st, *id, &entry);
+                            st.lru.remove(id);
+                            st.stats.gets += 1;
+                            out[i] = Some(loc);
+                        }
+                    }
+                }
+                let still_missing = out.iter().filter(|o| o.is_none()).count();
+                st.stats.get_misses += still_missing as u64;
+                return out;
+            }
+        }
+    }
+
+    /// Drop one reference. When the last reference is gone the object
+    /// becomes evictable.
+    pub fn release(&self, id: ObjectId) -> Result<(), PlasmaError> {
+        let mut st = self.inner.state.lock();
+        let entry = st
+            .objects
+            .get_mut(&id)
+            .ok_or(PlasmaError::ObjectNotFound(id))?;
+        if entry.ref_count == 0 {
+            return Err(PlasmaError::NotReferenced(id));
+        }
+        entry.ref_count -= 1;
+        let last = entry.ref_count == 0 && entry.state == ObjectState::Sealed;
+        let doomed = entry.pending_deletion;
+        if last {
+            if doomed {
+                self.drop_object_locked(&mut st, id);
+                st.stats.deletes += 1;
+            } else {
+                st.lru.touch(id);
+            }
+        }
+        st.stats.releases += 1;
+        Ok(())
+    }
+
+    /// Delete a sealed, unreferenced object, freeing its memory.
+    pub fn delete(&self, id: ObjectId) -> Result<(), PlasmaError> {
+        let mut st = self.inner.state.lock();
+        let entry = st.objects.get(&id).ok_or(PlasmaError::ObjectNotFound(id))?;
+        if entry.ref_count > 0 {
+            return Err(PlasmaError::ObjectInUse(id));
+        }
+        if entry.state != ObjectState::Sealed {
+            return Err(PlasmaError::NotSealed(id));
+        }
+        self.drop_object_locked(&mut st, id);
+        st.stats.deletes += 1;
+        Ok(())
+    }
+
+    /// Delete a sealed object as soon as it is no longer referenced: if it
+    /// is unreferenced now, delete immediately (returns `true`); otherwise
+    /// hide it from new `get`s and drop it when its last reference is
+    /// released (returns `false`). Mirrors Arrow Plasma's deferred Delete.
+    pub fn delete_deferred(&self, id: ObjectId) -> Result<bool, PlasmaError> {
+        let mut st = self.inner.state.lock();
+        let entry = st
+            .objects
+            .get_mut(&id)
+            .ok_or(PlasmaError::ObjectNotFound(id))?;
+        if entry.state != ObjectState::Sealed {
+            return Err(PlasmaError::NotSealed(id));
+        }
+        if entry.ref_count == 0 {
+            self.drop_object_locked(&mut st, id);
+            st.stats.deletes += 1;
+            Ok(true)
+        } else {
+            entry.pending_deletion = true;
+            st.lru.remove(&id);
+            Ok(false)
+        }
+    }
+
+    /// Abort an object the caller created but has not sealed: frees the
+    /// allocation. (Plasma's `Abort`.)
+    pub fn abort(&self, id: ObjectId) -> Result<(), PlasmaError> {
+        let mut st = self.inner.state.lock();
+        let entry = st.objects.get(&id).ok_or(PlasmaError::ObjectNotFound(id))?;
+        if entry.state != ObjectState::Created {
+            return Err(PlasmaError::AlreadySealed(id));
+        }
+        self.drop_object_locked(&mut st, id);
+        Ok(())
+    }
+
+    fn drop_object_locked(&self, st: &mut State, id: ObjectId) {
+        if let Some(entry) = st.objects.remove(&id) {
+            st.lru.remove(&id);
+            st.segs[entry.seg_idx]
+                .alloc
+                .free(entry.offset)
+                .expect("object table and allocator agree");
+            if entry.state == ObjectState::Sealed {
+                st.stats.sealed_objects -= 1;
+            }
+            st.stats.objects -= 1;
+            st.stats.allocated_bytes = st.allocated_bytes();
+        }
+    }
+
+    /// Evict the LRU evictable object; returns false if none exists.
+    fn evict_one_locked(&self, st: &mut State) -> bool {
+        let Some(victim) = st.lru.pop_lru() else {
+            return false;
+        };
+        let bytes = st.objects.get(&victim).map(|e| e.total_size()).unwrap_or(0);
+        self.drop_object_locked(st, victim);
+        st.stats.evictions += 1;
+        st.stats.evicted_bytes += bytes;
+        true
+    }
+
+    /// Evict until at least `bytes` have been reclaimed (or nothing is
+    /// evictable). Returns the number of bytes reclaimed.
+    pub fn evict(&self, bytes: u64) -> u64 {
+        let mut st = self.inner.state.lock();
+        let before = st.stats.evicted_bytes;
+        while st.stats.evicted_bytes - before < bytes {
+            if !self.evict_one_locked(&mut st) {
+                break;
+            }
+        }
+        st.stats.evicted_bytes - before
+    }
+
+    /// Non-pinning lookup of a sealed object: returns its location without
+    /// taking a reference. Used for contains-style interconnect queries;
+    /// the returned location may be evicted at any time.
+    pub fn peek(&self, id: ObjectId) -> Option<ObjectLocation> {
+        let st = self.inner.state.lock();
+        match st.objects.get(&id) {
+            Some(e) if e.state == ObjectState::Sealed && !e.pending_deletion => {
+                Some(Self::location(&st, id, e))
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether a *sealed* object with this id exists (Plasma `Contains`).
+    pub fn contains(&self, id: ObjectId) -> bool {
+        let st = self.inner.state.lock();
+        matches!(
+            st.objects.get(&id),
+            Some(e) if e.state == ObjectState::Sealed && !e.pending_deletion
+        )
+    }
+
+    /// Whether the id exists in any state (used for id-uniqueness checks).
+    pub fn exists_any_state(&self, id: ObjectId) -> bool {
+        self.inner.state.lock().objects.contains_key(&id)
+    }
+
+    /// List all objects.
+    pub fn list(&self) -> Vec<ObjectInfo> {
+        let st = self.inner.state.lock();
+        let mut v: Vec<ObjectInfo> = st
+            .objects
+            .iter()
+            .map(|(&id, e)| ObjectInfo {
+                id,
+                data_size: e.data_size,
+                metadata_size: e.metadata_size,
+                state: e.state,
+                ref_count: e.ref_count,
+            })
+            .collect();
+        v.sort_by_key(|o| o.id);
+        v
+    }
+
+    /// Subscribe to seal notifications.
+    pub fn subscribe(&self) -> Receiver<ObjectLocation> {
+        let (tx, rx) = unbounded();
+        self.inner.state.lock().subscribers.push(tx);
+        rx
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let st = self.inner.state.lock();
+        let mut s = st.stats;
+        s.allocated_bytes = st.allocated_bytes();
+        s
+    }
+}
+
+impl std::fmt::Debug for StoreCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreCore")
+            .field("name", &self.inner.name)
+            .field("node", &self.inner.node)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(bytes: usize) -> StoreCore {
+        let fabric = Fabric::virtual_thymesisflow();
+        let node = fabric.register_node();
+        StoreCore::new(&fabric, node, StoreConfig::new("test", bytes)).unwrap()
+    }
+
+    fn id(n: u8) -> ObjectId {
+        ObjectId::from_bytes([n; 20])
+    }
+
+    #[test]
+    fn create_write_seal_get_roundtrip() {
+        let s = store(1 << 20);
+        let loc = s.create(id(1), 11, 0).unwrap();
+        let map = s.local_mapping().unwrap();
+        map.write_at(loc.offset, b"hello world").unwrap();
+        s.seal(id(1)).unwrap();
+        let got = s.get_local(id(1)).unwrap();
+        assert_eq!(got.id, id(1));
+        assert_eq!(got.seg, s.seg_key());
+        assert_eq!(got.offset, loc.offset);
+        assert_eq!(got.data_size, 11);
+        assert_eq!(got.metadata_size, 0);
+        assert_eq!(map.read_vec(got.offset, 11).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let s = store(1 << 20);
+        s.create(id(1), 10, 0).unwrap();
+        assert_eq!(
+            s.create(id(1), 10, 0).unwrap_err(),
+            PlasmaError::ObjectExists(id(1))
+        );
+    }
+
+    #[test]
+    fn unsealed_objects_are_invisible_to_get() {
+        let s = store(1 << 20);
+        s.create(id(1), 10, 0).unwrap();
+        assert!(s.get_local(id(1)).is_none());
+        assert!(!s.contains(id(1)));
+        assert!(s.exists_any_state(id(1)));
+        s.seal(id(1)).unwrap();
+        assert!(s.contains(id(1)));
+        assert!(s.get_local(id(1)).is_some());
+    }
+
+    #[test]
+    fn double_seal_rejected() {
+        let s = store(1 << 20);
+        s.create(id(1), 10, 0).unwrap();
+        s.seal(id(1)).unwrap();
+        assert_eq!(
+            s.seal(id(1)).unwrap_err(),
+            PlasmaError::AlreadySealed(id(1))
+        );
+    }
+
+    #[test]
+    fn seal_missing_rejected() {
+        let s = store(1 << 20);
+        assert_eq!(
+            s.seal(id(9)).unwrap_err(),
+            PlasmaError::ObjectNotFound(id(9))
+        );
+    }
+
+    #[test]
+    fn metadata_is_accounted() {
+        let s = store(1 << 20);
+        let loc = s.create(id(1), 100, 28).unwrap();
+        assert_eq!(loc.data_size, 100);
+        assert_eq!(loc.metadata_size, 28);
+        assert_eq!(loc.total_size(), 128);
+    }
+
+    #[test]
+    fn release_and_delete_lifecycle() {
+        let s = store(1 << 20);
+        s.create(id(1), 10, 0).unwrap();
+        s.seal(id(1)).unwrap();
+        // refcount: creator=1
+        assert_eq!(s.delete(id(1)).unwrap_err(), PlasmaError::ObjectInUse(id(1)));
+        s.release(id(1)).unwrap();
+        s.delete(id(1)).unwrap();
+        assert!(!s.contains(id(1)));
+        assert_eq!(s.stats().allocated_bytes, 0);
+    }
+
+    #[test]
+    fn release_underflow_rejected() {
+        let s = store(1 << 20);
+        s.create(id(1), 10, 0).unwrap();
+        s.seal(id(1)).unwrap();
+        s.release(id(1)).unwrap();
+        assert_eq!(
+            s.release(id(1)).unwrap_err(),
+            PlasmaError::NotReferenced(id(1))
+        );
+    }
+
+    #[test]
+    fn delete_unsealed_rejected_but_abort_works() {
+        let s = store(1 << 20);
+        s.create(id(1), 10, 0).unwrap();
+        // Creator still holds a ref, and it's unsealed.
+        assert_eq!(s.delete(id(1)).unwrap_err(), PlasmaError::ObjectInUse(id(1)));
+        s.abort(id(1)).unwrap();
+        assert!(!s.exists_any_state(id(1)));
+        // Abort of a sealed object is rejected.
+        s.create(id(2), 10, 0).unwrap();
+        s.seal(id(2)).unwrap();
+        assert_eq!(s.abort(id(2)).unwrap_err(), PlasmaError::AlreadySealed(id(2)));
+    }
+
+    #[test]
+    fn deferred_delete_waits_for_last_reference() {
+        let s = store(1 << 20);
+        s.create(id(1), 100, 0).unwrap();
+        s.seal(id(1)).unwrap(); // creator ref held
+        let g = s.get_local(id(1)).unwrap(); // second ref
+        let _ = g;
+        // Deferred: both refs still out, so not deleted yet...
+        assert!(!s.delete_deferred(id(1)).unwrap());
+        // ...and the object is hidden from new gets and contains.
+        assert!(!s.contains(id(1)));
+        assert!(s.get_local(id(1)).is_none());
+        assert!(s.peek(id(1)).is_none());
+        // First release: still one ref out.
+        s.release(id(1)).unwrap();
+        assert!(s.exists_any_state(id(1)));
+        // Last release: dropped.
+        s.release(id(1)).unwrap();
+        assert!(!s.exists_any_state(id(1)));
+        assert_eq!(s.stats().deletes, 1);
+        assert_eq!(s.stats().allocated_bytes, 0);
+    }
+
+    #[test]
+    fn deferred_delete_of_unreferenced_object_is_immediate() {
+        let s = store(1 << 20);
+        s.create(id(1), 100, 0).unwrap();
+        s.seal(id(1)).unwrap();
+        s.release(id(1)).unwrap();
+        assert!(s.delete_deferred(id(1)).unwrap());
+        assert!(!s.exists_any_state(id(1)));
+    }
+
+    #[test]
+    fn deferred_delete_errors_match_delete() {
+        let s = store(1 << 20);
+        assert_eq!(
+            s.delete_deferred(id(9)).unwrap_err(),
+            PlasmaError::ObjectNotFound(id(9))
+        );
+        s.create(id(1), 10, 0).unwrap();
+        assert_eq!(
+            s.delete_deferred(id(1)).unwrap_err(),
+            PlasmaError::NotSealed(id(1))
+        );
+    }
+
+    #[test]
+    fn growth_donates_new_segments_before_evicting() {
+        let fabric = Fabric::virtual_thymesisflow();
+        let node = fabric.register_node();
+        let cfg = StoreConfig::new("growing", 1 << 20).with_growth(1 << 20, 3 << 20);
+        let s = StoreCore::new(&fabric, node, cfg).unwrap();
+        // Three ~800 KiB objects: only one fits per segment, so the store
+        // must grow twice — and nothing may be evicted.
+        for n in 1..=3u8 {
+            s.create(id(n), 800 << 10, 0).unwrap();
+            s.seal(id(n)).unwrap();
+            s.release(id(n)).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.segments, 3);
+        assert_eq!(st.capacity, 3 << 20);
+        assert_eq!(st.evictions, 0);
+        for n in 1..=3u8 {
+            assert!(s.contains(id(n)), "object {n} must survive");
+        }
+        assert_eq!(s.seg_keys().len(), 3);
+        // Objects report the segment they actually live in.
+        let locs: Vec<_> = (1..=3u8).map(|n| s.peek(id(n)).unwrap()).collect();
+        let segs: std::collections::HashSet<_> = locs.iter().map(|l| l.seg).collect();
+        assert_eq!(segs.len(), 3, "each object in its own segment");
+    }
+
+    #[test]
+    fn growth_cap_falls_back_to_eviction() {
+        let fabric = Fabric::virtual_thymesisflow();
+        let node = fabric.register_node();
+        let cfg = StoreConfig::new("capped", 1 << 20).with_growth(1 << 20, 2 << 20);
+        let s = StoreCore::new(&fabric, node, cfg).unwrap();
+        for n in 1..=3u8 {
+            s.create(id(n), 800 << 10, 0).unwrap();
+            s.seal(id(n)).unwrap();
+            s.release(id(n)).unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.segments, 2, "growth stops at the cap");
+        assert_eq!(st.evictions, 1, "then eviction resumes");
+        assert!(!s.contains(id(1)), "LRU object evicted");
+        assert!(s.contains(id(2)));
+        assert!(s.contains(id(3)));
+    }
+
+    #[test]
+    fn objects_in_grown_segments_are_readable() {
+        let fabric = Fabric::virtual_thymesisflow();
+        let node = fabric.register_node();
+        let cfg = StoreConfig::new("grown-read", 1 << 20).with_growth(1 << 20, 4 << 20);
+        let s = StoreCore::new(&fabric, node, cfg).unwrap();
+        for n in 1..=3u8 {
+            let loc = s.create(id(n), 800 << 10, 0).unwrap();
+            let map = s.mapping_for(&loc).unwrap();
+            map.write_at(loc.offset, &vec![n; 800 << 10]).unwrap();
+            s.seal(id(n)).unwrap();
+        }
+        for n in 1..=3u8 {
+            let loc = s.peek(id(n)).unwrap();
+            let map = s.mapping_for(&loc).unwrap();
+            let data = map.read_vec(loc.offset, 800 << 10).unwrap();
+            assert!(data.iter().all(|&b| b == n), "object {n} intact");
+        }
+    }
+
+    #[test]
+    fn eviction_reclaims_lru_unreferenced() {
+        let s = store(1 << 20); // 1 MiB
+        // Three ~300 KiB objects fill most of the store.
+        for n in 1..=3u8 {
+            s.create(id(n), 300 << 10, 0).unwrap();
+            s.seal(id(n)).unwrap();
+            s.release(id(n)).unwrap(); // make evictable
+        }
+        // Touch object 1 so object 2 is LRU.
+        let g = s.get_local(id(1)).unwrap();
+        s.release(g.id).unwrap();
+        // A fourth object forces eviction of id(2).
+        s.create(id(4), 300 << 10, 0).unwrap();
+        assert!(s.contains(id(1)));
+        assert!(!s.contains(id(2)), "LRU object should be evicted");
+        assert!(s.contains(id(3)));
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn referenced_objects_survive_eviction_pressure() {
+        let s = store(1 << 20);
+        s.create(id(1), 700 << 10, 0).unwrap();
+        s.seal(id(1)).unwrap(); // creator ref still held -> pinned
+        let err = s.create(id(2), 700 << 10, 0).unwrap_err();
+        assert!(matches!(err, PlasmaError::OutOfMemory { .. }));
+        assert!(s.contains(id(1)));
+    }
+
+    #[test]
+    fn eviction_disabled_fails_fast() {
+        let fabric = Fabric::virtual_thymesisflow();
+        let node = fabric.register_node();
+        let mut cfg = StoreConfig::new("noevict", 1 << 20);
+        cfg.enable_eviction = false;
+        let s = StoreCore::new(&fabric, node, cfg).unwrap();
+        s.create(id(1), 700 << 10, 0).unwrap();
+        s.seal(id(1)).unwrap();
+        s.release(id(1)).unwrap(); // evictable, but eviction disabled
+        assert!(matches!(
+            s.create(id(2), 700 << 10, 0),
+            Err(PlasmaError::OutOfMemory { .. })
+        ));
+        assert!(s.contains(id(1)));
+    }
+
+    #[test]
+    fn get_wait_blocks_until_seal() {
+        let s = store(1 << 20);
+        s.create(id(1), 10, 0).unwrap();
+        let s2 = s.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            s2.seal(id(1)).unwrap();
+        });
+        let got = s.get_wait(&[id(1)], Duration::from_secs(5));
+        assert!(got[0].is_some());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn get_wait_times_out_on_missing() {
+        let s = store(1 << 20);
+        let start = Instant::now();
+        let got = s.get_wait(&[id(9)], Duration::from_millis(50));
+        assert!(got[0].is_none());
+        assert!(start.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn get_wait_partial_batch() {
+        let s = store(1 << 20);
+        s.create(id(1), 4, 0).unwrap();
+        s.seal(id(1)).unwrap();
+        let got = s.get_wait(&[id(1), id(2)], Duration::from_millis(30));
+        assert!(got[0].is_some());
+        assert!(got[1].is_none());
+    }
+
+    #[test]
+    fn subscribe_receives_seal_notifications() {
+        let s = store(1 << 20);
+        let rx = s.subscribe();
+        s.create(id(1), 10, 0).unwrap();
+        s.seal(id(1)).unwrap();
+        let n = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(n.id, id(1));
+        assert_eq!(n.data_size, 10);
+    }
+
+    #[test]
+    fn list_reports_states() {
+        let s = store(1 << 20);
+        s.create(id(1), 10, 0).unwrap();
+        s.create(id(2), 20, 0).unwrap();
+        s.seal(id(2)).unwrap();
+        let infos = s.list();
+        assert_eq!(infos.len(), 2);
+        let by_id: HashMap<ObjectId, ObjectInfo> =
+            infos.into_iter().map(|i| (i.id, i)).collect();
+        assert_eq!(by_id[&id(1)].state, ObjectState::Created);
+        assert_eq!(by_id[&id(2)].state, ObjectState::Sealed);
+    }
+
+    #[test]
+    fn stats_reflect_activity() {
+        let s = store(1 << 20);
+        s.create(id(1), 100, 0).unwrap();
+        s.seal(id(1)).unwrap();
+        let _ = s.get_local(id(1)).unwrap();
+        let _ = s.get_local(id(9)); // miss
+        let st = s.stats();
+        assert_eq!(st.creates, 1);
+        assert_eq!(st.seals, 1);
+        assert_eq!(st.gets, 1);
+        assert_eq!(st.get_misses, 1);
+        assert!(st.allocated_bytes >= 100);
+        assert_eq!(st.capacity, 1 << 20);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let s = store(8 << 20);
+        let producers: Vec<_> = (0..4u8)
+            .map(|p| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25u8 {
+                        let oid = ObjectId::from_name(&format!("p{p}-o{i}"));
+                        let loc = s.create(oid, 256, 0).unwrap();
+                        let map = s.local_mapping().unwrap();
+                        map.write_at(loc.offset, &[p ^ i; 256]).unwrap();
+                        s.seal(oid).unwrap();
+                        s.release(oid).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..4u8)
+            .map(|p| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..25u8 {
+                        let oid = ObjectId::from_name(&format!("p{p}-o{i}"));
+                        let got = s.get_wait(&[oid], Duration::from_secs(10));
+                        let loc = got[0].expect("object must appear");
+                        let map = s.local_mapping().unwrap();
+                        let data = map.read_vec(loc.offset, 256).unwrap();
+                        assert!(data.iter().all(|&b| b == p ^ i));
+                        s.release(oid).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in producers.into_iter().chain(consumers) {
+            t.join().unwrap();
+        }
+        assert_eq!(s.stats().gets, 100);
+    }
+}

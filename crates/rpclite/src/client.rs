@@ -1,0 +1,254 @@
+//! RPC client: blocking unary calls over one connection.
+//!
+//! Calls are serialized on the connection (gRPC sync/unary semantics). A
+//! client can carry a [`SharedLink`] + [`Clock`]: each call then charges
+//! one modeled network round-trip — this is where the milliseconds and the
+//! jitter of the paper's Fig. 6 remote path come from, since the in-process
+//! exchange itself is nearly free.
+
+use crate::envelope::{Request, Response, FRAME_RESPONSE};
+use crate::service::Status;
+use bytes::Bytes;
+use ipc::Conn;
+use netsim::SharedLink;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tfsim::Clock;
+
+/// Errors surfaced by RPC calls.
+#[derive(Debug)]
+pub enum RpcError {
+    /// The service returned an error status.
+    Status(Status),
+    /// The transport failed (peer gone, protocol violation, ...).
+    Transport(std::io::Error),
+    /// The response could not be decoded.
+    Protocol(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Status(s) => write!(f, "rpc status {s}"),
+            RpcError::Transport(e) => write!(f, "rpc transport error: {e}"),
+            RpcError::Protocol(m) => write!(f, "rpc protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl RpcError {
+    /// The status, if this error is a service status.
+    pub fn status(&self) -> Option<&Status> {
+        match self {
+            RpcError::Status(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Optional network cost injection: a delay model plus the clock to charge.
+#[derive(Clone)]
+pub struct NetCost {
+    pub link: SharedLink,
+    pub clock: Clock,
+}
+
+/// A blocking unary RPC client.
+pub struct RpcClient {
+    conn: Mutex<Box<dyn Conn>>,
+    net: Option<NetCost>,
+    next_id: AtomicU64,
+    calls: AtomicU64,
+}
+
+impl RpcClient {
+    /// Wrap an established connection, with no modeled network cost.
+    pub fn new(conn: Box<dyn Conn>) -> Self {
+        Self::with_net(conn, None)
+    }
+
+    /// Wrap a connection, charging `net` per call if given.
+    pub fn with_net(conn: Box<dyn Conn>, net: Option<NetCost>) -> Self {
+        RpcClient {
+            conn: Mutex::new(conn),
+            net,
+            next_id: AtomicU64::new(1),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Total calls issued.
+    pub fn call_count(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Issue one unary call and block for its response.
+    pub fn call(&self, method: u32, body: Bytes) -> Result<Bytes, RpcError> {
+        let call_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let request = Request {
+            call_id,
+            method,
+            body,
+        };
+        let req_len = request.body.len();
+        let response = {
+            let mut conn = self.conn.lock();
+            conn.send(&request.to_frame()).map_err(RpcError::Transport)?;
+            let frame = conn.recv().map_err(RpcError::Transport)?;
+            if frame.msg_type != FRAME_RESPONSE {
+                return Err(RpcError::Protocol(format!(
+                    "unexpected frame type {:#x}",
+                    frame.msg_type
+                )));
+            }
+            Response::from_frame(&frame)
+                .map_err(|e| RpcError::Protocol(format!("bad response: {e}")))?
+        };
+        if response.call_id != call_id {
+            return Err(RpcError::Protocol(format!(
+                "call id mismatch: sent {call_id}, got {}",
+                response.call_id
+            )));
+        }
+        // Charge the modeled round-trip for this exchange (request +
+        // response payloads on the wire).
+        if let Some(net) = &self.net {
+            let resp_len = match &response.result {
+                Ok(b) => b.len(),
+                Err(_) => 0,
+            };
+            net.clock.charge(net.link.delay(req_len + resp_len));
+        }
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        response.result.map_err(RpcError::Status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::serve;
+    use crate::service::{MethodId, Status, StatusCode};
+    use ipc::InprocHub;
+    use netsim::{Latency, LinkModel};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn echo_service() -> Arc<dyn crate::Service> {
+        Arc::new(|method: MethodId, req: Bytes| -> Result<Bytes, Status> {
+            match method {
+                1 => Ok(req), // echo
+                2 => Err(Status::not_found("nope")),
+                m => Err(Status::unimplemented(m)),
+            }
+        })
+    }
+
+    fn setup() -> (crate::server::ServerHandle, RpcClient) {
+        let hub = InprocHub::new();
+        let listener = hub.bind("svc").unwrap();
+        let handle = serve(Box::new(listener), echo_service());
+        let client = RpcClient::new(Box::new(hub.connect("svc").unwrap()));
+        (handle, client)
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let (_srv, client) = setup();
+        let out = client.call(1, Bytes::from_static(b"hello rpc")).unwrap();
+        assert_eq!(&out[..], b"hello rpc");
+        assert_eq!(client.call_count(), 1);
+    }
+
+    #[test]
+    fn status_errors_propagate() {
+        let (_srv, client) = setup();
+        let err = client.call(2, Bytes::new()).unwrap_err();
+        assert_eq!(err.status().unwrap().code, StatusCode::NotFound);
+        let err = client.call(99, Bytes::new()).unwrap_err();
+        assert_eq!(err.status().unwrap().code, StatusCode::Unimplemented);
+    }
+
+    #[test]
+    fn many_sequential_calls() {
+        let (srv, client) = setup();
+        for i in 0..200u32 {
+            let body = Bytes::from(i.to_le_bytes().to_vec());
+            assert_eq!(client.call(1, body.clone()).unwrap(), body);
+        }
+        assert_eq!(srv.metrics().calls.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn concurrent_callers_share_a_client() {
+        let (_srv, client) = setup();
+        let client = Arc::new(client);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&client);
+                std::thread::spawn(move || {
+                    for i in 0..50u32 {
+                        let body = Bytes::from(vec![t as u8; (i % 7 + 1) as usize]);
+                        assert_eq!(c.call(1, body.clone()).unwrap(), body);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(client.call_count(), 400);
+    }
+
+    #[test]
+    fn multiple_clients_one_server() {
+        let hub = InprocHub::new();
+        let listener = hub.bind("svc").unwrap();
+        let srv = serve(Box::new(listener), echo_service());
+        let clients: Vec<RpcClient> = (0..4)
+            .map(|_| RpcClient::new(Box::new(hub.connect("svc").unwrap())))
+            .collect();
+        for (i, c) in clients.iter().enumerate() {
+            let body = Bytes::from(vec![i as u8; 4]);
+            assert_eq!(c.call(1, body.clone()).unwrap(), body);
+        }
+        assert_eq!(srv.metrics().connections.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn net_cost_charged_to_virtual_clock() {
+        let hub = InprocHub::new();
+        let listener = hub.bind("svc").unwrap();
+        let _srv = serve(Box::new(listener), echo_service());
+        let clock = Clock::virtual_time();
+        let net = NetCost {
+            link: SharedLink::new(
+                LinkModel {
+                    base: Latency::Constant(Duration::from_millis(2)),
+                    secs_per_byte: 0.0,
+                },
+                1,
+            ),
+            clock: clock.clone(),
+        };
+        let client = RpcClient::with_net(Box::new(hub.connect("svc").unwrap()), Some(net));
+        client.call(1, Bytes::from_static(b"x")).unwrap();
+        client.call(1, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(clock.now(), Duration::from_millis(4));
+    }
+
+    #[test]
+    fn call_after_server_shutdown_fails() {
+        let (mut srv, client) = setup();
+        // Establish the connection first.
+        client.call(1, Bytes::new()).unwrap();
+        srv.shutdown();
+        // The per-connection thread lives until the client drops, so calls
+        // may still succeed; but new connections are refused.
+        let hub = InprocHub::new();
+        assert!(hub.connect("svc").is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! RPC envelope: how requests and responses ride inside [`ipc::Frame`]s.
+//!
+//! Encoded with the protobuf-style wire format from [`crate::wire`],
+//! mirroring a gRPC unary exchange stripped to its essentials.
+
+use crate::service::{Status, StatusCode};
+use crate::wire::{MsgDec, MsgEnc, WireError};
+use bytes::Bytes;
+use ipc::Frame;
+
+/// Frame type tags.
+pub const FRAME_REQUEST: u32 = 0x5251; // "RQ"
+pub const FRAME_RESPONSE: u32 = 0x5250; // "RP"
+
+/// A unary request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub call_id: u64,
+    pub method: u32,
+    pub body: Bytes,
+}
+
+impl Request {
+    pub fn to_frame(&self) -> Frame {
+        let mut e = MsgEnc::new();
+        e.uint(1, self.call_id)
+            .uint(2, u64::from(self.method))
+            .bytes(3, &self.body);
+        Frame::new(FRAME_REQUEST, e.finish())
+    }
+
+    pub fn from_frame(frame: &Frame) -> Result<Request, WireError> {
+        let fields = MsgDec::new(frame.payload.clone()).collect()?;
+        Ok(Request {
+            call_id: fields.uint(1)?,
+            method: u32::try_from(fields.uint(2)?).map_err(|_| WireError::MissingField(2))?,
+            body: fields.bytes(3).unwrap_or_default(),
+        })
+    }
+}
+
+/// A unary response: either a body (Ok) or a status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub call_id: u64,
+    pub result: Result<Bytes, Status>,
+}
+
+impl Response {
+    pub fn to_frame(&self) -> Frame {
+        let mut e = MsgEnc::new();
+        e.uint(1, self.call_id);
+        match &self.result {
+            Ok(body) => {
+                e.uint(2, StatusCode::Ok as u64);
+                e.bytes(4, body);
+            }
+            Err(status) => {
+                e.uint(2, status.code as u64);
+                e.string(3, &status.message);
+            }
+        }
+        Frame::new(FRAME_RESPONSE, e.finish())
+    }
+
+    pub fn from_frame(frame: &Frame) -> Result<Response, WireError> {
+        let fields = MsgDec::new(frame.payload.clone()).collect()?;
+        let call_id = fields.uint(1)?;
+        let code = StatusCode::from_u32(
+            u32::try_from(fields.uint(2)?).map_err(|_| WireError::MissingField(2))?,
+        );
+        let result = if code == StatusCode::Ok {
+            Ok(fields.bytes(4).unwrap_or_default())
+        } else {
+            Err(Status::new(code, fields.string(3).unwrap_or_default()))
+        };
+        Ok(Response { call_id, result })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let r = Request {
+            call_id: 77,
+            method: 3,
+            body: Bytes::from_static(b"payload"),
+        };
+        let back = Request::from_frame(&r.to_frame()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn ok_response_roundtrip() {
+        let r = Response {
+            call_id: 9,
+            result: Ok(Bytes::from_static(b"result")),
+        };
+        assert_eq!(Response::from_frame(&r.to_frame()).unwrap(), r);
+    }
+
+    #[test]
+    fn error_response_roundtrip() {
+        let r = Response {
+            call_id: 9,
+            result: Err(Status::not_found("no such object")),
+        };
+        assert_eq!(Response::from_frame(&r.to_frame()).unwrap(), r);
+    }
+
+    #[test]
+    fn empty_body_roundtrip() {
+        let r = Request {
+            call_id: 0,
+            method: 0,
+            body: Bytes::new(),
+        };
+        assert_eq!(Request::from_frame(&r.to_frame()).unwrap(), r);
+    }
+
+    #[test]
+    fn garbage_payload_is_rejected() {
+        let f = Frame::new(FRAME_REQUEST, Bytes::from_static(&[0xFF; 3]));
+        assert!(Request::from_frame(&f).is_err());
+    }
+}

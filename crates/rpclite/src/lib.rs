@@ -1,0 +1,52 @@
+//! # rpclite — gRPC-style synchronous unary RPC
+//!
+//! The paper interconnects Plasma stores with gRPC 1.38 configured in
+//! synchronous, unary mode. gRPC itself is unavailable here, so this crate
+//! reimplements exactly the slice the system needs:
+//!
+//! * a protobuf-style wire format ([`wire`]: varints, ZigZag, tagged
+//!   length-delimited fields),
+//! * a unary request/response envelope ([`envelope`]),
+//! * a blocking client ([`RpcClient`]) that serializes calls on one
+//!   connection and optionally charges a modeled network round-trip
+//!   ([`NetCost`]) to the simulation clock — reproducing the ms-scale,
+//!   jittery retrieval latency of the paper's Fig. 6,
+//! * a server ([`serve`]) with a dedicated accept thread and synchronous
+//!   per-connection servicing.
+//!
+//! Transports come from the [`ipc`] crate, so services run identically over
+//! Unix domain sockets or in-process channels.
+//!
+//! ## Example
+//!
+//! ```
+//! use bytes::Bytes;
+//! use ipc::InprocHub;
+//! use rpclite::{serve, RpcClient, Service, Status};
+//! use std::sync::Arc;
+//!
+//! let hub = InprocHub::new();
+//! let listener = hub.bind("greeter").unwrap();
+//! let service = Arc::new(|_method: u32, name: Bytes| -> Result<Bytes, Status> {
+//!     let mut reply = b"hello ".to_vec();
+//!     reply.extend_from_slice(&name);
+//!     Ok(reply.into())
+//! });
+//! let _server = serve(Box::new(listener), service);
+//!
+//! let client = RpcClient::new(Box::new(hub.connect("greeter").unwrap()));
+//! let reply = client.call(1, Bytes::from_static(b"plasma")).unwrap();
+//! assert_eq!(&reply[..], b"hello plasma");
+//! ```
+
+pub mod client;
+pub mod envelope;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use client::{NetCost, RpcClient, RpcError};
+pub use envelope::{Request, Response};
+pub use server::{serve, ServerHandle, ServerMetrics};
+pub use service::{MethodId, Service, Status, StatusCode};
+pub use wire::{MsgDec, MsgEnc, WireError};

@@ -1,0 +1,124 @@
+//! RPC server: accept loop + per-connection synchronous servicing.
+//!
+//! Matches the paper's gRPC configuration: a dedicated server thread
+//! services calls synchronously in unary mode. Each accepted connection
+//! gets a thread that decodes requests, invokes the [`Service`], and
+//! writes back responses in order.
+
+use crate::envelope::{Request, Response, FRAME_REQUEST};
+use crate::service::{Service, Status};
+use ipc::{Listener, StopHandle};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Counters exposed by a running server.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    pub calls: AtomicU64,
+    pub errors: AtomicU64,
+    pub connections: AtomicU64,
+}
+
+/// Handle to a running [`RpcServer`]; stops the accept loop on drop.
+pub struct ServerHandle {
+    stop: StopHandle,
+    accept_thread: Option<JoinHandle<()>>,
+    metrics: Arc<ServerMetrics>,
+    addr: String,
+}
+
+impl ServerHandle {
+    /// Address clients should connect to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Stop accepting new connections and wait for the accept loop to
+    /// exit. Existing connections finish when their clients disconnect.
+    pub fn shutdown(&mut self) {
+        self.stop.stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn a server on `listener`, dispatching to `service`.
+pub fn serve(mut listener: Box<dyn Listener>, service: Arc<dyn Service>) -> ServerHandle {
+    let stop = listener.stop_handle();
+    let metrics = Arc::new(ServerMetrics::default());
+    let addr = listener.addr();
+    let accept_metrics = Arc::clone(&metrics);
+    let accept_thread = std::thread::Builder::new()
+        .name(format!("rpc-accept:{addr}"))
+        .spawn(move || loop {
+            match listener.accept() {
+                Ok(conn) => {
+                    accept_metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    let svc = Arc::clone(&service);
+                    let m = Arc::clone(&accept_metrics);
+                    std::thread::Builder::new()
+                        .name("rpc-conn".to_string())
+                        .spawn(move || serve_conn(conn, svc, m))
+                        .expect("spawn rpc connection thread");
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => return,
+                Err(_) => return,
+            }
+        })
+        .expect("spawn rpc accept thread");
+    ServerHandle {
+        stop,
+        accept_thread: Some(accept_thread),
+        metrics,
+        addr,
+    }
+}
+
+fn serve_conn(mut conn: Box<dyn ipc::Conn>, service: Arc<dyn Service>, metrics: Arc<ServerMetrics>) {
+    loop {
+        let frame = match conn.recv() {
+            Ok(f) => f,
+            Err(_) => return, // peer gone
+        };
+        if frame.msg_type != FRAME_REQUEST {
+            // Protocol violation: drop the connection.
+            return;
+        }
+        let response = match Request::from_frame(&frame) {
+            Ok(req) => {
+                metrics.calls.fetch_add(1, Ordering::Relaxed);
+                let result = service.call(req.method, req.body);
+                if result.is_err() {
+                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Response {
+                    call_id: req.call_id,
+                    result,
+                }
+            }
+            Err(e) => {
+                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Response {
+                    call_id: 0,
+                    result: Err(Status::invalid_argument(format!("bad request: {e}"))),
+                }
+            }
+        };
+        if conn.send(&response.to_frame()).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Service abstraction and status codes.
+//!
+//! Mirrors the slice of gRPC semantics the paper's system uses: unary
+//! synchronous calls dispatched by method id, returning either a response
+//! body or a [`Status`] with a gRPC-style code.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Identifies a method on a service (the equivalent of a gRPC full method
+/// name, pre-resolved to an integer).
+pub type MethodId = u32;
+
+/// gRPC-style status codes (subset used by the framework).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum StatusCode {
+    Ok = 0,
+    InvalidArgument = 3,
+    DeadlineExceeded = 4,
+    NotFound = 5,
+    AlreadyExists = 6,
+    FailedPrecondition = 9,
+    Internal = 13,
+    Unavailable = 14,
+    Unimplemented = 12,
+}
+
+impl StatusCode {
+    pub fn from_u32(v: u32) -> StatusCode {
+        match v {
+            0 => StatusCode::Ok,
+            3 => StatusCode::InvalidArgument,
+            4 => StatusCode::DeadlineExceeded,
+            5 => StatusCode::NotFound,
+            6 => StatusCode::AlreadyExists,
+            9 => StatusCode::FailedPrecondition,
+            12 => StatusCode::Unimplemented,
+            14 => StatusCode::Unavailable,
+            _ => StatusCode::Internal,
+        }
+    }
+}
+
+/// An error status returned by a service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Status {
+    pub code: StatusCode,
+    pub message: String,
+}
+
+impl Status {
+    pub fn new(code: StatusCode, message: impl Into<String>) -> Self {
+        Status {
+            code,
+            message: message.into(),
+        }
+    }
+
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self::new(StatusCode::NotFound, message)
+    }
+
+    pub fn already_exists(message: impl Into<String>) -> Self {
+        Self::new(StatusCode::AlreadyExists, message)
+    }
+
+    pub fn invalid_argument(message: impl Into<String>) -> Self {
+        Self::new(StatusCode::InvalidArgument, message)
+    }
+
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(StatusCode::Internal, message)
+    }
+
+    pub fn unimplemented(method: MethodId) -> Self {
+        Self::new(StatusCode::Unimplemented, format!("method {method} not implemented"))
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for Status {}
+
+/// A unary-call service: decode the request, do the work, encode the reply.
+/// Handlers run synchronously on the connection's server thread (the
+/// paper's gRPC configuration: synchronous servicing, unary mode).
+pub trait Service: Send + Sync {
+    fn call(&self, method: MethodId, request: Bytes) -> Result<Bytes, Status>;
+}
+
+/// Blanket impl so closures can serve as services in tests.
+impl<F> Service for F
+where
+    F: Fn(MethodId, Bytes) -> Result<Bytes, Status> + Send + Sync,
+{
+    fn call(&self, method: MethodId, request: Bytes) -> Result<Bytes, Status> {
+        self(method, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_code_roundtrip() {
+        for code in [
+            StatusCode::Ok,
+            StatusCode::InvalidArgument,
+            StatusCode::DeadlineExceeded,
+            StatusCode::NotFound,
+            StatusCode::AlreadyExists,
+            StatusCode::FailedPrecondition,
+            StatusCode::Internal,
+            StatusCode::Unavailable,
+            StatusCode::Unimplemented,
+        ] {
+            assert_eq!(StatusCode::from_u32(code as u32), code);
+        }
+    }
+
+    #[test]
+    fn unknown_code_maps_to_internal() {
+        assert_eq!(StatusCode::from_u32(999), StatusCode::Internal);
+    }
+
+    #[test]
+    fn closure_service() {
+        let svc = |method: MethodId, _req: Bytes| -> Result<Bytes, Status> {
+            if method == 1 {
+                Ok(Bytes::from_static(b"ok"))
+            } else {
+                Err(Status::unimplemented(method))
+            }
+        };
+        assert_eq!(&Service::call(&svc, 1, Bytes::new()).unwrap()[..], b"ok");
+        assert_eq!(
+            Service::call(&svc, 2, Bytes::new()).unwrap_err().code,
+            StatusCode::Unimplemented
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the protobuf-style wire format and the RPC
+//! envelope: every value round-trips, and arbitrary bytes never panic the
+//! decoder.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use rpclite::wire::{get_varint, put_varint, unzigzag, zigzag, MsgDec, MsgEnc};
+use rpclite::{Request, Response, Status, StatusCode};
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut b = buf.freeze();
+        prop_assert_eq!(get_varint(&mut b).unwrap(), v);
+        prop_assert!(b.is_empty());
+    }
+
+    #[test]
+    fn zigzag_roundtrip(v in any::<i64>()) {
+        prop_assert_eq!(unzigzag(zigzag(v)), v);
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small(v in -1000i64..1000) {
+        // The point of zigzag: small |v| encodes in few bytes.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, zigzag(v));
+        prop_assert!(buf.len() <= 2, "|{v}| should encode in <= 2 bytes");
+    }
+
+    #[test]
+    fn message_fields_roundtrip(
+        a in any::<u64>(),
+        b in any::<i64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        text in "\\PC{0,32}",
+    ) {
+        let mut e = MsgEnc::new();
+        e.uint(1, a).sint(2, b).bytes(3, &data).string(4, &text);
+        let f = MsgDec::new(e.finish()).collect().unwrap();
+        prop_assert_eq!(f.uint(1).unwrap(), a);
+        prop_assert_eq!(f.sint(2).unwrap(), b);
+        prop_assert_eq!(&f.bytes(3).unwrap()[..], &data[..]);
+        prop_assert_eq!(f.string(4).unwrap(), text);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Must return Ok or Err, never panic.
+        let _ = MsgDec::new(Bytes::from(data)).collect();
+    }
+
+    #[test]
+    fn rpc_request_roundtrip(
+        call_id in any::<u64>(),
+        method in any::<u32>(),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let req = Request { call_id, method, body: body.into() };
+        let back = Request::from_frame(&req.to_frame()).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn rpc_response_roundtrip(
+        call_id in any::<u64>(),
+        ok in any::<bool>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        code in 1u32..16, // code 0 (Ok) cannot be an error status, as in gRPC
+        msg in "\\PC{0,48}",
+    ) {
+        let result = if ok {
+            Ok(Bytes::from(payload))
+        } else {
+            Err(Status::new(StatusCode::from_u32(code), msg))
+        };
+        let resp = Response { call_id, result };
+        let back = Response::from_frame(&resp.to_frame()).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+}

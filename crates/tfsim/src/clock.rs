@@ -1,0 +1,204 @@
+//! Simulation clock.
+//!
+//! Every modeled hardware cost in the simulator (fabric access latency,
+//! per-byte transfer time, injected network delay) is *charged* to a
+//! [`Clock`]. The clock runs in one of two modes:
+//!
+//! * [`ClockMode::Virtual`] — charging a cost only advances a shared virtual
+//!   nanosecond counter. Nothing sleeps, so experiments are deterministic and
+//!   fast regardless of the modeled data volume. Figure/table harnesses
+//!   measure elapsed *virtual* time.
+//! * [`ClockMode::Throttle`] — charging a cost busy-waits for that real
+//!   duration (minus the time the actual work took, when charged through
+//!   [`Clock::charge_spanning`]). Wall-clock measurements (e.g. Criterion)
+//!   then exhibit the modeled performance shape.
+//!
+//! Both modes are driven by the same [`crate::cost::CostModel`], so a figure
+//! regenerated under virtual time and a Criterion bench under throttled time
+//! agree on the *shape* of the results.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How modeled costs are realized. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Accumulate costs on a virtual counter; never sleep.
+    Virtual,
+    /// Busy-wait so that real time reflects modeled time.
+    Throttle,
+}
+
+#[derive(Debug)]
+struct Inner {
+    mode: ClockMode,
+    /// Virtual nanoseconds accumulated so far (Virtual mode only).
+    virt_ns: AtomicU64,
+    /// Real-time epoch used by `now()` in Throttle mode.
+    epoch: Instant,
+}
+
+/// A cloneable handle to a simulation clock shared by all components of one
+/// simulated cluster.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    inner: Arc<Inner>,
+}
+
+impl Clock {
+    /// Create a clock in the given mode.
+    pub fn new(mode: ClockMode) -> Self {
+        Clock {
+            inner: Arc::new(Inner {
+                mode,
+                virt_ns: AtomicU64::new(0),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// A virtual-time clock (deterministic accounting).
+    pub fn virtual_time() -> Self {
+        Self::new(ClockMode::Virtual)
+    }
+
+    /// A throttling clock (modeled costs become real busy-waits).
+    pub fn throttled() -> Self {
+        Self::new(ClockMode::Throttle)
+    }
+
+    /// The mode this clock runs in.
+    pub fn mode(&self) -> ClockMode {
+        self.inner.mode
+    }
+
+    /// Charge a modeled cost to the clock.
+    ///
+    /// In `Virtual` mode this advances the virtual counter; in `Throttle`
+    /// mode it busy-waits for `cost`.
+    pub fn charge(&self, cost: Duration) {
+        match self.inner.mode {
+            ClockMode::Virtual => {
+                let ns = u64::try_from(cost.as_nanos()).unwrap_or(u64::MAX);
+                self.inner.virt_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+            ClockMode::Throttle => spin_for(cost),
+        }
+    }
+
+    /// Charge a modeled cost for an operation that already took `elapsed`
+    /// real time to execute (e.g. the memcpy backing a simulated fabric
+    /// read). In `Throttle` mode only the *remainder* is spun so the total
+    /// real duration approximates `cost`; in `Virtual` mode the full cost is
+    /// accounted (the real execution time is an artifact of the simulator,
+    /// not of the modeled hardware).
+    pub fn charge_spanning(&self, cost: Duration, elapsed: Duration) {
+        match self.inner.mode {
+            ClockMode::Virtual => self.charge(cost),
+            ClockMode::Throttle => {
+                if cost > elapsed {
+                    spin_for(cost - elapsed);
+                }
+            }
+        }
+    }
+
+    /// Current simulation time.
+    ///
+    /// In `Virtual` mode: the accumulated virtual time. In `Throttle` mode:
+    /// real time elapsed since the clock was created.
+    pub fn now(&self) -> Duration {
+        match self.inner.mode {
+            ClockMode::Virtual => Duration::from_nanos(self.inner.virt_ns.load(Ordering::Relaxed)),
+            ClockMode::Throttle => self.inner.epoch.elapsed(),
+        }
+    }
+
+    /// Convenience: run `f` and return both its result and the simulated
+    /// time it spanned.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> (T, Duration) {
+        let start = self.now();
+        let out = f();
+        (out, self.now().saturating_sub(start))
+    }
+}
+
+/// Busy-wait for approximately `d`. Uses `spin_loop` hints; for waits longer
+/// than a millisecond it yields to the OS scheduler to avoid starving other
+/// simulated nodes running on the same host.
+fn spin_for(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    let start = Instant::now();
+    while start.elapsed() < d {
+        let remaining = d.saturating_sub(start.elapsed());
+        if remaining > Duration::from_millis(1) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_accumulates() {
+        let c = Clock::virtual_time();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.charge(Duration::from_micros(5));
+        c.charge(Duration::from_micros(7));
+        assert_eq!(c.now(), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn virtual_clock_shared_across_clones() {
+        let c = Clock::virtual_time();
+        let c2 = c.clone();
+        c.charge(Duration::from_nanos(100));
+        c2.charge(Duration::from_nanos(50));
+        assert_eq!(c.now(), Duration::from_nanos(150));
+        assert_eq!(c2.now(), c.now());
+    }
+
+    #[test]
+    fn throttle_clock_spins_real_time() {
+        let c = Clock::throttled();
+        let start = Instant::now();
+        c.charge(Duration::from_millis(3));
+        assert!(start.elapsed() >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn charge_spanning_subtracts_elapsed() {
+        let c = Clock::throttled();
+        let start = Instant::now();
+        // Work already "took" 2ms; only ~1ms more should be spun.
+        c.charge_spanning(Duration::from_millis(3), Duration::from_millis(2));
+        let e = start.elapsed();
+        assert!(e >= Duration::from_millis(1));
+        assert!(e < Duration::from_millis(3));
+    }
+
+    #[test]
+    fn charge_spanning_virtual_charges_full_cost() {
+        let c = Clock::virtual_time();
+        c.charge_spanning(Duration::from_millis(3), Duration::from_millis(2));
+        assert_eq!(c.now(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn time_helper_measures_span() {
+        let c = Clock::virtual_time();
+        let (v, d) = c.time(|| {
+            c.charge(Duration::from_micros(42));
+            7
+        });
+        assert_eq!(v, 7);
+        assert_eq!(d, Duration::from_micros(42));
+    }
+}

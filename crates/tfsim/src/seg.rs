@@ -1,0 +1,221 @@
+//! Raw memory segments.
+//!
+//! A [`Segment`] is a page-aligned, fixed-size byte region standing in for a
+//! physical memory range that a node donates to the disaggregated pool. It
+//! is the *only* place in the workspace that uses `unsafe`: all access goes
+//! through bounds-checked raw-pointer copies so that several simulated nodes
+//! (threads) can address the same region, exactly like hardware would.
+//!
+//! # Safety discipline
+//!
+//! The simulator mirrors the hardware's (lack of) guarantees: concurrent
+//! access to *disjoint* ranges is fine; concurrent writes overlapping other
+//! accesses on the same range are torn, just as they would be on a real
+//! fabric. Higher layers (the Plasma store) rule such races out by
+//! construction — an object is written by exactly one producer before it is
+//! sealed, and only sealed (immutable) objects are readable.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::fmt;
+use std::ptr::NonNull;
+
+/// Page alignment used for all segments (matches a 4 KiB OS page).
+pub const SEGMENT_ALIGN: usize = 4096;
+
+/// Errors from segment access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegError {
+    /// The requested `offset..offset+len` range falls outside the segment.
+    OutOfBounds {
+        offset: u64,
+        len: usize,
+        segment_len: u64,
+    },
+    /// A zero-length segment was requested.
+    ZeroSize,
+}
+
+impl fmt::Display for SegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegError::OutOfBounds {
+                offset,
+                len,
+                segment_len,
+            } => write!(
+                f,
+                "segment access out of bounds: [{offset}, {offset}+{len}) in segment of {segment_len} bytes"
+            ),
+            SegError::ZeroSize => write!(f, "segment size must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for SegError {}
+
+/// A page-aligned, zero-initialized byte region shared between simulated
+/// nodes.
+pub struct Segment {
+    ptr: NonNull<u8>,
+    len: usize,
+    layout: Layout,
+}
+
+// SAFETY: `Segment` hands out data only via bounds-checked copies through
+// raw pointers; the region itself is plain bytes with no ownership
+// semantics. Cross-thread use is the whole point (it models memory shared
+// over a fabric); race discipline is documented at the module level.
+unsafe impl Send for Segment {}
+unsafe impl Sync for Segment {}
+
+impl Segment {
+    /// Allocate a zeroed segment of `len` bytes.
+    pub fn new(len: usize) -> Result<Self, SegError> {
+        if len == 0 {
+            return Err(SegError::ZeroSize);
+        }
+        let layout = Layout::from_size_align(len, SEGMENT_ALIGN).expect("valid segment layout");
+        // SAFETY: layout has non-zero size (checked above).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let ptr = NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        Ok(Segment { ptr, len, layout })
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> u64 {
+        self.len as u64
+    }
+
+    /// Whether the segment is empty (never true: zero-size is rejected).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn check(&self, offset: u64, len: usize) -> Result<usize, SegError> {
+        let off = usize::try_from(offset).ok();
+        match off {
+            Some(o) if o.checked_add(len).is_some_and(|end| end <= self.len) => Ok(o),
+            _ => Err(SegError::OutOfBounds {
+                offset,
+                len,
+                segment_len: self.len as u64,
+            }),
+        }
+    }
+
+    /// Copy `dst.len()` bytes starting at `offset` into `dst`.
+    pub fn read_into(&self, offset: u64, dst: &mut [u8]) -> Result<(), SegError> {
+        let o = self.check(offset, dst.len())?;
+        // SAFETY: range checked; source and destination cannot overlap
+        // because `dst` is a distinct Rust allocation borrowed mutably.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.as_ptr().add(o), dst.as_mut_ptr(), dst.len());
+        }
+        Ok(())
+    }
+
+    /// Copy `src` into the segment starting at `offset`.
+    pub fn write_from(&self, offset: u64, src: &[u8]) -> Result<(), SegError> {
+        let o = self.check(offset, src.len())?;
+        // SAFETY: range checked; see module-level race discipline.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src.as_ptr(), self.ptr.as_ptr().add(o), src.len());
+        }
+        Ok(())
+    }
+
+    /// Fill `len` bytes starting at `offset` with `byte`.
+    pub fn fill(&self, offset: u64, len: usize, byte: u8) -> Result<(), SegError> {
+        let o = self.check(offset, len)?;
+        // SAFETY: range checked.
+        unsafe {
+            std::ptr::write_bytes(self.ptr.as_ptr().add(o), byte, len);
+        }
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset` into a fresh vector.
+    pub fn read_vec(&self, offset: u64, len: usize) -> Result<Vec<u8>, SegError> {
+        let mut v = vec![0u8; len];
+        self.read_into(offset, &mut v)?;
+        Ok(v)
+    }
+}
+
+impl Drop for Segment {
+    fn drop(&mut self) {
+        // SAFETY: allocated with this exact layout in `new`.
+        unsafe { dealloc(self.ptr.as_ptr(), self.layout) }
+    }
+}
+
+impl fmt::Debug for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Segment").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn roundtrip() {
+        let s = Segment::new(4096).unwrap();
+        s.write_from(100, b"hello fabric").unwrap();
+        assert_eq!(s.read_vec(100, 12).unwrap(), b"hello fabric");
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let s = Segment::new(1 << 16).unwrap();
+        assert!(s.read_vec(0, 1 << 16).unwrap().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let s = Segment::new(128).unwrap();
+        assert!(matches!(
+            s.write_from(120, &[0u8; 16]),
+            Err(SegError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            s.read_vec(u64::MAX, 1),
+            Err(SegError::OutOfBounds { .. })
+        ));
+        // Exactly-at-the-end is fine.
+        s.write_from(112, &[1u8; 16]).unwrap();
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        assert_eq!(Segment::new(0).unwrap_err(), SegError::ZeroSize);
+    }
+
+    #[test]
+    fn fill_works() {
+        let s = Segment::new(256).unwrap();
+        s.fill(10, 5, 0xAB).unwrap();
+        assert_eq!(s.read_vec(9, 7).unwrap(), [0, 0xAB, 0xAB, 0xAB, 0xAB, 0xAB, 0]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_access() {
+        let s = Arc::new(Segment::new(1 << 20).unwrap());
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let off = i * (1 << 16);
+                    let data = vec![i as u8 + 1; 1 << 16];
+                    s.write_from(off, &data).unwrap();
+                    assert_eq!(s.read_vec(off, 1 << 16).unwrap(), data);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Fabric traffic telemetry.
+//!
+//! Lock-free counters incremented on every simulated memory operation,
+//! separated by access [`Path`]. Benchmark harnesses snapshot these to
+//! report how many bytes actually crossed the (simulated) fabric versus
+//! stayed node-local — the key quantity the paper's Fig. 1 argument is
+//! about.
+
+use crate::cost::{MemOp, Path};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Counters {
+    local_read_ops: AtomicU64,
+    local_read_bytes: AtomicU64,
+    local_write_ops: AtomicU64,
+    local_write_bytes: AtomicU64,
+    remote_read_ops: AtomicU64,
+    remote_read_bytes: AtomicU64,
+    remote_write_ops: AtomicU64,
+    remote_write_bytes: AtomicU64,
+}
+
+/// Shared handle to a set of fabric counters.
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    c: Arc<Counters>,
+}
+
+/// An immutable snapshot of [`FabricStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub local_read_ops: u64,
+    pub local_read_bytes: u64,
+    pub local_write_ops: u64,
+    pub local_write_bytes: u64,
+    pub remote_read_ops: u64,
+    pub remote_read_bytes: u64,
+    pub remote_write_ops: u64,
+    pub remote_write_bytes: u64,
+}
+
+impl StatsSnapshot {
+    /// Total bytes that crossed the fabric (remote reads + remote writes).
+    pub fn fabric_bytes(&self) -> u64 {
+        self.remote_read_bytes + self.remote_write_bytes
+    }
+
+    /// Total bytes served from node-local memory.
+    pub fn local_bytes(&self) -> u64 {
+        self.local_read_bytes + self.local_write_bytes
+    }
+}
+
+impl FabricStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one memory operation of `bytes` over `path`.
+    pub fn record(&self, path: Path, op: MemOp, bytes: usize) {
+        let b = bytes as u64;
+        let (ops, byt) = match (path, op) {
+            (Path::Local, MemOp::Read) => (&self.c.local_read_ops, &self.c.local_read_bytes),
+            (Path::Local, MemOp::Write) => (&self.c.local_write_ops, &self.c.local_write_bytes),
+            (Path::Remote, MemOp::Read) => (&self.c.remote_read_ops, &self.c.remote_read_bytes),
+            (Path::Remote, MemOp::Write) => (&self.c.remote_write_ops, &self.c.remote_write_bytes),
+        };
+        ops.fetch_add(1, Ordering::Relaxed);
+        byt.fetch_add(b, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough snapshot of all counters (relaxed loads; counters
+    /// are monotonic so torn snapshots only under-report in-flight ops).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let l = Ordering::Relaxed;
+        StatsSnapshot {
+            local_read_ops: self.c.local_read_ops.load(l),
+            local_read_bytes: self.c.local_read_bytes.load(l),
+            local_write_ops: self.c.local_write_ops.load(l),
+            local_write_bytes: self.c.local_write_bytes.load(l),
+            remote_read_ops: self.c.remote_read_ops.load(l),
+            remote_read_bytes: self.c.remote_read_bytes.load(l),
+            remote_write_ops: self.c.remote_write_ops.load(l),
+            remote_write_bytes: self.c.remote_write_bytes.load(l),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_path_and_op() {
+        let s = FabricStats::new();
+        s.record(Path::Local, MemOp::Read, 10);
+        s.record(Path::Remote, MemOp::Write, 20);
+        s.record(Path::Remote, MemOp::Write, 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.local_read_ops, 1);
+        assert_eq!(snap.local_read_bytes, 10);
+        assert_eq!(snap.remote_write_ops, 2);
+        assert_eq!(snap.remote_write_bytes, 25);
+        assert_eq!(snap.fabric_bytes(), 25);
+        assert_eq!(snap.local_bytes(), 10);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = FabricStats::new();
+        let s2 = s.clone();
+        s2.record(Path::Remote, MemOp::Read, 100);
+        assert_eq!(s.snapshot().remote_read_bytes, 100);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let s = FabricStats::new();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        s.record(Path::Remote, MemOp::Read, 3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.remote_read_ops, 40_000);
+        assert_eq!(snap.remote_read_bytes, 120_000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the fabric: mapped reads/writes agree with a
+//! reference byte array, stats account every byte, and modeled costs stay
+//! within the jitter envelope.
+
+use proptest::prelude::*;
+use tfsim::{CostModel, Fabric, MemOp, Path};
+
+const SEG: usize = 1 << 16;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { node: u8, offset: u16, data: Vec<u8> },
+    Read { node: u8, offset: u16, len: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 1..512))
+            .prop_map(|(node, offset, data)| Op::Write { node: node % 3, offset, data }),
+        (any::<u8>(), any::<u16>(), 1..512u16)
+            .prop_map(|(node, offset, len)| Op::Read { node: node % 3, offset, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn mapped_access_agrees_with_reference_model(ops in proptest::collection::vec(op_strategy(), 1..64)) {
+        let fabric = Fabric::virtual_thymesisflow();
+        let nodes: Vec<_> = (0..3).map(|_| fabric.register_node()).collect();
+        let key = fabric.donate(nodes[0], SEG).unwrap();
+        let maps: Vec<_> = nodes.iter().map(|&n| fabric.attach(n, key).unwrap()).collect();
+        let mut model = vec![0u8; SEG];
+        let mut expect_read_bytes = 0u64;
+        let mut expect_write_bytes = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Write { node, offset, data } => {
+                    let off = u64::from(offset);
+                    let in_bounds = (off as usize) + data.len() <= SEG;
+                    let r = maps[node as usize].write_at(off, &data);
+                    prop_assert_eq!(r.is_ok(), in_bounds);
+                    if in_bounds {
+                        model[offset as usize..offset as usize + data.len()]
+                            .copy_from_slice(&data);
+                        expect_write_bytes += data.len() as u64;
+                    }
+                }
+                Op::Read { node, offset, len } => {
+                    let off = u64::from(offset);
+                    let in_bounds = (off as usize) + (len as usize) <= SEG;
+                    let r = maps[node as usize].read_vec(off, len as usize);
+                    prop_assert_eq!(r.is_ok(), in_bounds);
+                    if let Ok(data) = r {
+                        prop_assert_eq!(
+                            &data[..],
+                            &model[offset as usize..offset as usize + len as usize]
+                        );
+                        expect_read_bytes += u64::from(len);
+                    }
+                }
+            }
+        }
+        let snap = fabric.stats().snapshot();
+        prop_assert_eq!(snap.local_read_bytes + snap.remote_read_bytes, expect_read_bytes);
+        prop_assert_eq!(snap.local_write_bytes + snap.remote_write_bytes, expect_write_bytes);
+    }
+
+    #[test]
+    fn charged_cost_stays_within_jitter_envelope(len in 1usize..(1 << 20)) {
+        let fabric = Fabric::virtual_thymesisflow();
+        let a = fabric.register_node();
+        let b = fabric.register_node();
+        let key = fabric.donate(a, 1 << 20).unwrap();
+        let map = fabric.attach(b, key).unwrap();
+        let model = CostModel::thymesisflow();
+        let nominal = model.cost(Path::Remote, MemOp::Read, len);
+
+        let mut buf = vec![0u8; len];
+        let (_, charged) = fabric.clock().time(|| map.read_at(0, &mut buf).unwrap());
+        let lo = nominal.mul_f64(1.0 - model.jitter - 1e-6);
+        let hi = nominal.mul_f64(1.0 + model.jitter + 1e-6);
+        prop_assert!(
+            charged >= lo && charged <= hi,
+            "charged {charged:?} outside [{lo:?}, {hi:?}]"
+        );
+    }
+
+    #[test]
+    fn views_never_escape_their_window(base in 0u64..(1 << 15), len in 1u64..(1 << 14)) {
+        let fabric = Fabric::virtual_thymesisflow();
+        let a = fabric.register_node();
+        let key = fabric.donate(a, 1 << 16).unwrap();
+        let map = fabric.attach(a, key).unwrap();
+        let view = map.view(base, len).unwrap();
+        // Reading the full window works; one byte past it fails.
+        let mut buf = vec![0u8; len as usize];
+        view.read_at(0, &mut buf).unwrap();
+        let mut one = [0u8; 1];
+        prop_assert!(view.read_at(len, &mut one).is_err());
+        prop_assert!(view.write_at(len, &one).is_err());
+    }
+}

@@ -1,0 +1,20 @@
+//! # memdis — memory-disaggregated in-memory object store framework
+//!
+//! Facade crate re-exporting the public API of every workspace crate.
+//! See the individual crates for detailed documentation:
+//!
+//! * [`tfsim`] — ThymesisFlow-style fabric simulator
+//! * [`memalloc`] — region allocators
+//! * [`netsim`] — network latency/jitter models
+//! * [`ipc`] — framed message transports
+//! * [`rpclite`] — synchronous unary RPC
+//! * [`plasma`] — single-node Plasma object store
+//! * [`disagg`] — the distributed, memory-disaggregated store
+
+pub use disagg;
+pub use ipc;
+pub use memalloc;
+pub use netsim;
+pub use plasma;
+pub use rpclite;
+pub use tfsim;

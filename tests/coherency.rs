@@ -1,0 +1,103 @@
+//! The ThymesisFlow coherency contract (paper Fig. 3) and how the object
+//! store's seal discipline builds safe sharing on top of it.
+
+use disagg::{Cluster, ClusterConfig};
+use plasma::ObjectId;
+use std::time::Duration;
+use tfsim::{Fabric, Path};
+
+#[test]
+fn fig3a_remote_reads_are_coherent() {
+    let fabric = Fabric::virtual_thymesisflow();
+    let owner = fabric.register_node();
+    let peer = fabric.register_node();
+    let seg = fabric.donate(owner, 1 << 16).unwrap();
+    let map_owner = fabric.attach(owner, seg).unwrap();
+    let map_peer = fabric.attach(peer, seg).unwrap();
+
+    for round in 0u32..10 {
+        let value = round.to_le_bytes();
+        map_owner.write_at(0, &value).unwrap();
+        let mut seen = [0u8; 4];
+        map_peer.read_at(0, &mut seen).unwrap();
+        assert_eq!(seen, value, "remote read must be coherent (round {round})");
+    }
+}
+
+#[test]
+fn fig3b_remote_writes_leave_owner_cache_stale() {
+    let fabric = Fabric::virtual_thymesisflow();
+    let owner = fabric.register_node();
+    let peer = fabric.register_node();
+    let seg = fabric.donate(owner, 1 << 16).unwrap();
+    let map_owner = fabric.attach(owner, seg).unwrap();
+    let map_peer = fabric.attach(peer, seg).unwrap();
+
+    map_owner.write_at(0, b"AAAA").unwrap();
+    let mut buf = [0u8; 4];
+    map_owner.read_cached(0, &mut buf).unwrap(); // owner caches the line
+    map_peer.write_at(0, b"BBBB").unwrap(); // fabric write
+
+    map_owner.read_cached(0, &mut buf).unwrap();
+    assert_eq!(&buf, b"AAAA", "owner must observe the stale cached value");
+
+    // The hazard is per-cacheline: an address in a different line is fresh.
+    let line = tfsim::DEFAULT_LINE_SIZE as u64;
+    map_peer.write_at(line, b"CCCC").unwrap();
+    map_owner.read_cached(line, &mut buf).unwrap();
+    assert_eq!(&buf, b"CCCC", "uncached lines read fresh data");
+
+    // Invalidation restores coherence.
+    fabric
+        .node_cache(owner)
+        .unwrap()
+        .invalidate_range(map_owner.segment(), 0, 4);
+    map_owner.read_cached(0, &mut buf).unwrap();
+    assert_eq!(&buf, b"BBBB");
+}
+
+#[test]
+fn seal_discipline_makes_remote_objects_read_safe() {
+    // The store's create -> write -> seal protocol means consumers only
+    // ever read immutable data, so the Fig. 3b hazard cannot corrupt
+    // object reads: the writer is the owner-side producer, and remote
+    // consumers use (coherent) reads exclusively.
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 8 << 20)).unwrap();
+    let producer = cluster.client(0).unwrap();
+    let consumer = cluster.client(1).unwrap();
+
+    for i in 0..20 {
+        let id = ObjectId::from_name(&format!("sealed/{i}"));
+        let pattern = vec![i as u8 ^ 0x5A; 32 << 10];
+        producer.put(id, &pattern, &[]).unwrap();
+        let buf = consumer.get_one(id, Duration::from_secs(5)).unwrap();
+        assert_eq!(buf.data().path(), Path::Remote);
+        assert_eq!(buf.read_all().unwrap(), pattern);
+        consumer.release(id).unwrap();
+    }
+}
+
+#[test]
+fn unsealed_objects_never_visible_remotely() {
+    // A partially-written object must not be observable from another node
+    // (this is what prevents torn reads across the fabric).
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+    let producer = cluster.client(0).unwrap();
+    let consumer = cluster.client(1).unwrap();
+
+    let id = ObjectId::from_name("half-written");
+    let builder = producer.create(id, 1024, 0).unwrap();
+    builder.write(0, &[1; 512]).unwrap(); // half the payload
+
+    assert!(!consumer.contains(id).unwrap());
+    let got = consumer.get(&[id], Duration::from_millis(60)).unwrap();
+    assert!(got[0].is_none(), "unsealed object leaked to a remote consumer");
+
+    builder.write(512, &[2; 512]).unwrap();
+    builder.seal().unwrap();
+    let buf = consumer.get_one(id, Duration::from_secs(5)).unwrap();
+    let data = buf.read_all().unwrap();
+    assert!(data[..512].iter().all(|&b| b == 1));
+    assert!(data[512..].iter().all(|&b| b == 2));
+    consumer.release(id).unwrap();
+}

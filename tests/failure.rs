@@ -1,0 +1,131 @@
+//! Failure injection: fabric link loss and degradation, memory pressure,
+//! and protocol misuse must surface as errors, not corruption or hangs.
+
+use disagg::{Cluster, ClusterConfig};
+use plasma::{ObjectId, PlasmaError};
+use std::time::Duration;
+use tfsim::LinkState;
+
+#[test]
+fn link_down_fails_remote_reads_and_recovers() {
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 4 << 20)).unwrap();
+    let producer = cluster.client(0).unwrap();
+    let consumer = cluster.client(1).unwrap();
+    let id = ObjectId::from_name("flaky");
+    producer.put(id, &[9; 4096], &[]).unwrap();
+
+    let buf = consumer.get_one(id, Duration::from_secs(5)).unwrap();
+    let a = cluster.node_id(0);
+    let b = cluster.node_id(1);
+
+    // Cut the fabric link: the data plane fails...
+    cluster.fabric().set_link(a, b, LinkState::Down);
+    let err = buf.read_all().unwrap_err();
+    assert!(matches!(err, PlasmaError::Fabric(_)), "{err:?}");
+
+    // ...and recovers when the link comes back.
+    cluster.fabric().set_link(a, b, LinkState::Up);
+    assert!(buf.read_all().unwrap().iter().all(|&x| x == 9));
+    consumer.release(id).unwrap();
+}
+
+#[test]
+fn degraded_link_slows_but_preserves_data() {
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 4 << 20)).unwrap();
+    let producer = cluster.client(0).unwrap();
+    let consumer = cluster.client(1).unwrap();
+    let id = ObjectId::from_name("slow-link");
+    producer.put(id, &[3; 1 << 20], &[]).unwrap();
+    let buf = consumer.get_one(id, Duration::from_secs(5)).unwrap();
+
+    let (_, nominal) = cluster.clock().time(|| buf.read_all().unwrap());
+    cluster
+        .fabric()
+        .set_link(cluster.node_id(0), cluster.node_id(1), LinkState::Degraded(8.0));
+    let (data, degraded) = cluster.clock().time(|| buf.read_all().unwrap());
+    assert!(data.iter().all(|&x| x == 3), "data intact on degraded link");
+    assert!(
+        degraded > nominal * 4,
+        "degradation must show in modeled time: {degraded:?} vs {nominal:?}"
+    );
+    consumer.release(id).unwrap();
+}
+
+#[test]
+fn store_oom_is_reported_not_hung() {
+    let cluster = Cluster::launch(ClusterConfig::functional(1, 1 << 20)).unwrap();
+    let client = cluster.client(0).unwrap();
+    // Pin one big object so eviction can't help.
+    let big = ObjectId::from_name("pinned-big");
+    let builder = client.create(big, 800 << 10, 0).unwrap();
+    builder.write(0, &[1; 1024]).unwrap();
+    // Unsealed + referenced -> unevictable; the next create must fail fast.
+    let err = client.create(ObjectId::from_name("too-big"), 800 << 10, 0).unwrap_err();
+    match err {
+        PlasmaError::OutOfMemory { requested, capacity } => {
+            assert_eq!(requested, 800 << 10);
+            assert_eq!(capacity, 1 << 20);
+        }
+        other => panic!("expected OutOfMemory, got {other:?}"),
+    }
+}
+
+#[test]
+fn object_too_large_for_store_is_oom() {
+    let cluster = Cluster::launch(ClusterConfig::functional(1, 1 << 20)).unwrap();
+    let client = cluster.client(0).unwrap();
+    let err = client
+        .create(ObjectId::from_name("galaxy"), 1 << 30, 0)
+        .unwrap_err();
+    assert!(matches!(err, PlasmaError::OutOfMemory { .. }));
+}
+
+#[test]
+fn misuse_errors_are_precise() {
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+    let client = cluster.client(0).unwrap();
+    let id = ObjectId::from_name("misuse");
+    client.put(id, b"x", &[]).unwrap();
+
+    // Release without holding a reference.
+    assert_eq!(client.release(id).unwrap_err(), PlasmaError::NotReferenced(id));
+    // Delete while a reference is held.
+    let _buf = client.get_one(id, Duration::from_secs(1)).unwrap();
+    assert_eq!(client.delete(id).unwrap_err(), PlasmaError::ObjectInUse(id));
+    client.release(id).unwrap();
+    client.delete(id).unwrap();
+    // Double delete.
+    assert_eq!(client.delete(id).unwrap_err(), PlasmaError::ObjectNotFound(id));
+}
+
+#[test]
+fn get_with_zero_timeout_returns_immediately() {
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+    let client = cluster.client(0).unwrap();
+    let missing = ObjectId::from_name("zero-timeout");
+    let start = std::time::Instant::now();
+    let out = client.get(&[missing], Duration::ZERO).unwrap();
+    assert!(out[0].is_none());
+    assert!(start.elapsed() < Duration::from_secs(1));
+}
+
+#[test]
+fn empty_batch_get_is_a_noop() {
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+    let client = cluster.client(0).unwrap();
+    let out = client.get(&[], Duration::from_secs(1)).unwrap();
+    assert!(out.is_empty());
+}
+
+#[test]
+fn zero_byte_objects_are_supported() {
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+    let producer = cluster.client(0).unwrap();
+    let consumer = cluster.client(1).unwrap();
+    let id = ObjectId::from_name("empty-object");
+    producer.put(id, &[], b"only-metadata").unwrap();
+    let buf = consumer.get_one(id, Duration::from_secs(5)).unwrap();
+    assert!(buf.is_empty());
+    assert_eq!(buf.metadata().read_all().unwrap(), b"only-metadata");
+    consumer.release(id).unwrap();
+}

@@ -1,0 +1,70 @@
+//! Evaluation-shape regression tests: scaled-down versions of the paper's
+//! experiments must reproduce the qualitative results of Figures 6 and 7.
+//! (EXPERIMENTS.md records the full-size quantitative runs.)
+
+use bench::{run_benchmark, Summary, TABLE_I_SMALL};
+use disagg::{Cluster, ClusterConfig};
+
+#[test]
+fn fig6_shape_local_scales_with_count_remote_is_rpc_bound() {
+    let cluster = Cluster::launch(ClusterConfig::paper_testbed(64 << 20)).unwrap();
+    // Benchmarks 1 (1000 objects) and 6 (10 objects), scaled data sizes.
+    let r1 = run_benchmark(&cluster, &TABLE_I_SMALL[0], 5, 1).unwrap();
+    let r6 = run_benchmark(&cluster, &TABLE_I_SMALL[5], 5, 1).unwrap();
+
+    let med = |samples: &[bench::RepSample]| {
+        Summary::of_durations_ms(&samples.iter().map(|s| s.retrieval).collect::<Vec<_>>()).median
+    };
+
+    // Local: latency scales with object count (paper: 1.885 ms @ 1000
+    // down to 0.075 ms @ 10).
+    let local_1000 = med(&r1.local);
+    let local_10 = med(&r6.local);
+    assert!(
+        local_1000 > local_10 * 10.0,
+        "local retrieval must scale with count: {local_1000} vs {local_10}"
+    );
+    assert!((1.0..4.0).contains(&local_1000), "~1.9 ms expected, got {local_1000}");
+    assert!(local_10 < 0.3, "~0.075 ms expected, got {local_10}");
+
+    // Remote: ms-scale and dominated by the RPC, so only weakly dependent
+    // on object count (paper: 5.049 ms @ 1000, 2.624 ms @ 100).
+    let remote_1000 = med(&r1.remote);
+    let remote_10 = med(&r6.remote);
+    assert!(remote_1000 > 1.5 && remote_1000 < 15.0, "got {remote_1000}");
+    assert!(remote_10 > 1.0, "remote floor is the RPC: got {remote_10}");
+    assert!(
+        remote_1000 / remote_10 < local_1000 / local_10,
+        "remote latency must be less count-sensitive than local"
+    );
+
+    // Remote > local everywhere.
+    assert!(remote_1000 > local_1000);
+    assert!(remote_10 > local_10);
+}
+
+#[test]
+fn fig7_shape_plateau_and_penalty() {
+    let cluster = Cluster::launch(ClusterConfig::paper_testbed(64 << 20)).unwrap();
+    // Benchmark 6 at 1/100 scale still has 1 MB objects — enough to sit
+    // near the plateau.
+    let r = run_benchmark(&cluster, &TABLE_I_SMALL[5], 5, 2).unwrap();
+    let local = Summary::of(&r.local.iter().map(|s| s.read_gibps).collect::<Vec<_>>());
+    let remote = Summary::of(&r.remote.iter().map(|s| s.read_gibps).collect::<Vec<_>>());
+
+    // Paper plateau: ~6.5 local vs ~5.75 remote GiB/s (≈11.5% penalty).
+    assert!((5.5..7.5).contains(&local.median), "local {local:?}");
+    assert!((4.5..6.5).contains(&remote.median), "remote {remote:?}");
+    let penalty = (local.median - remote.median) / local.median;
+    assert!(
+        (0.05..0.25).contains(&penalty),
+        "penalty should be ~11.5%, got {:.1}%",
+        penalty * 100.0
+    );
+
+    // Small objects (benchmark 1) read slower than the plateau — per-access
+    // latency dominates ("smaller objects do not saturate bandwidth").
+    let r1 = run_benchmark(&cluster, &TABLE_I_SMALL[0], 5, 3).unwrap();
+    let small_local = Summary::of(&r1.local.iter().map(|s| s.read_gibps).collect::<Vec<_>>());
+    assert!(small_local.median < local.median);
+}
