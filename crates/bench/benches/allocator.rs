@@ -12,12 +12,32 @@ const OPS: usize = 20_000;
 
 fn bench_allocators(c: &mut Criterion) {
     let workloads: Vec<(&str, TraceSpec)> = vec![
-        ("uniform", TraceSpec::Uniform { min: 64, max: 64 << 10 }),
-        ("skewed", TraceSpec::Skewed { max: 4 << 20, alpha: 2.2 }),
-        ("churn", TraceSpec::Churn { size: 4 << 10, burst: 64 }),
+        (
+            "uniform",
+            TraceSpec::Uniform {
+                min: 64,
+                max: 64 << 10,
+            },
+        ),
+        (
+            "skewed",
+            TraceSpec::Skewed {
+                max: 4 << 20,
+                alpha: 2.2,
+            },
+        ),
+        (
+            "churn",
+            TraceSpec::Churn {
+                size: 4 << 10,
+                burst: 64,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("allocator");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.throughput(Throughput::Elements(OPS as u64));
 
     for (wname, spec) in workloads {
@@ -29,16 +49,12 @@ fn bench_allocators(c: &mut Criterion) {
             ("buddy", || Box::new(Buddy::new(CAPACITY))),
         ];
         for (aname, factory) in make {
-            group.bench_with_input(
-                BenchmarkId::new(aname, wname),
-                &trace,
-                |b, trace| {
-                    b.iter(|| {
-                        let mut alloc = factory();
-                        trace.replay(alloc.as_mut()).expect("replay")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(aname, wname), &trace, |b, trace| {
+                b.iter(|| {
+                    let mut alloc = factory();
+                    trace.replay(alloc.as_mut()).expect("replay")
+                });
+            });
         }
     }
     group.finish();

@@ -21,7 +21,9 @@ fn bench_read(c: &mut Criterion) {
     let remote = cluster.client(1).expect("remote client");
 
     let mut group = c.benchmark_group("read_throughput");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     // One object per size: 10 kB (latency-bound) to 10 MB (plateau).
     for &size in &[10_000usize, 1_000_000, 10_000_000] {
@@ -29,13 +31,17 @@ fn bench_read(c: &mut Criterion) {
         producer.put(id, &vec![0xA7; size], &[]).expect("put");
         group.throughput(Throughput::Bytes(size as u64));
 
-        let lbuf = local.get_one(id, Duration::from_secs(60)).expect("local get");
+        let lbuf = local
+            .get_one(id, Duration::from_secs(60))
+            .expect("local get");
         group.bench_with_input(BenchmarkId::new("local", size), &lbuf, |b, buf| {
             b.iter(|| buf.data().read_sequential(READ_CHUNK).expect("read"));
         });
         local.release(id).expect("release");
 
-        let rbuf = remote.get_one(id, Duration::from_secs(60)).expect("remote get");
+        let rbuf = remote
+            .get_one(id, Duration::from_secs(60))
+            .expect("remote get");
         group.bench_with_input(BenchmarkId::new("remote", size), &rbuf, |b, buf| {
             b.iter(|| buf.data().read_sequential(READ_CHUNK).expect("read"));
         });

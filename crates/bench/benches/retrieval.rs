@@ -32,7 +32,9 @@ fn bench_retrieval(c: &mut Criterion) {
     let remote = cluster.client(1).expect("remote client");
 
     let mut group = c.benchmark_group("retrieval");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     // Object data size is irrelevant for retrieval (locations, not data),
     // so use 1 kB objects at the paper's object counts.

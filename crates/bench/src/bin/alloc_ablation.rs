@@ -29,13 +29,34 @@ fn allocators() -> Vec<Box<dyn RegionAllocator>> {
 fn main() {
     let opts = HarnessOpts::parse();
     let workloads: Vec<(&str, TraceSpec)> = vec![
-        ("uniform 64B-64KB", TraceSpec::Uniform { min: 64, max: 64 << 10 }),
-        ("skewed (pareto)", TraceSpec::Skewed { max: 4 << 20, alpha: 2.2 }),
-        ("churn 4KB x64", TraceSpec::Churn { size: 4 << 10, burst: 64 }),
+        (
+            "uniform 64B-64KB",
+            TraceSpec::Uniform {
+                min: 64,
+                max: 64 << 10,
+            },
+        ),
+        (
+            "skewed (pareto)",
+            TraceSpec::Skewed {
+                max: 4 << 20,
+                alpha: 2.2,
+            },
+        ),
+        (
+            "churn 4KB x64",
+            TraceSpec::Churn {
+                size: 4 << 10,
+                burst: 64,
+            },
+        ),
         ("Table I mix", TraceSpec::TableOne),
     ];
 
-    println!("A1: allocator ablation — {OPS} ops on a 1 GiB region, seed {}", opts.seed);
+    println!(
+        "A1: allocator ablation — {OPS} ops on a 1 GiB region, seed {}",
+        opts.seed
+    );
     let mut rows = Vec::new();
     for (name, spec) in workloads {
         let trace = Trace::generate(spec, OPS, CAPACITY, 0.7, opts.seed);
@@ -59,7 +80,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["workload", "allocator", "Mops/s", "failed allocs", "ext. frag", "free regions"],
+            &[
+                "workload",
+                "allocator",
+                "Mops/s",
+                "failed allocs",
+                "ext. frag",
+                "free regions"
+            ],
             &rows
         )
     );

@@ -32,7 +32,10 @@ fn main() {
     assert_eq!(&seen, b"value-v1");
     map_a.write_at(0, b"value-v2").expect("owner write");
     let seen = map_b.read_vec(0, 8).expect("remote read");
-    println!("  owner updated to 'value-v2'; remote reads '{}' (coherent)", show(&seen));
+    println!(
+        "  owner updated to 'value-v2'; remote reads '{}' (coherent)",
+        show(&seen)
+    );
     assert_eq!(&seen, b"value-v2");
 
     println!();
@@ -45,10 +48,16 @@ fn main() {
     map_b.write_at(0, b"value-v3").expect("remote write");
     println!("  remote writes 'value-v3' through the fabric");
     map_a.read_cached(0, &mut buf).expect("owner cached read");
-    println!("  owner's cached read still sees: '{}'  <-- STALE", show(&buf));
+    println!(
+        "  owner's cached read still sees: '{}'  <-- STALE",
+        show(&buf)
+    );
     assert_eq!(&buf, b"value-v2");
     map_a.read_at(0, &mut buf).expect("owner uncached read");
-    println!("  (memory itself holds '{}' — the write did land)", show(&buf));
+    println!(
+        "  (memory itself holds '{}' — the write did land)",
+        show(&buf)
+    );
     assert_eq!(&buf, b"value-v3");
 
     println!();
@@ -60,7 +69,9 @@ fn main() {
 
     let (hits, misses, invalidations) = cache_a.counters();
     println!();
-    println!("owner cache counters: {hits} hits, {misses} misses, {invalidations} lines invalidated");
+    println!(
+        "owner cache counters: {hits} hits, {misses} misses, {invalidations} lines invalidated"
+    );
     println!("conclusion: control-plane state must not be shared via remote writes;");
     println!("the framework uses RPC for store-to-store control and the fabric for data.");
 }

@@ -19,8 +19,8 @@ use disagg::{Cluster, ClusterConfig};
 
 fn main() {
     let opts = HarnessOpts::parse();
-    let cluster = Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory()))
-        .expect("launch cluster");
+    let cluster =
+        Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory())).expect("launch cluster");
 
     println!(
         "Figure 6: object buffer retrieval latency (ms), {} reps{}",
@@ -48,7 +48,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["#", "objects", "local med (ms)", "local σ", "remote med (ms)", "remote σ", "penalty"],
+            &[
+                "#",
+                "objects",
+                "local med (ms)",
+                "local σ",
+                "remote med (ms)",
+                "remote σ",
+                "penalty"
+            ],
             &rows
         )
     );

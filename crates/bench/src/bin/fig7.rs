@@ -17,8 +17,8 @@ use disagg::{Cluster, ClusterConfig};
 
 fn main() {
     let opts = HarnessOpts::parse();
-    let cluster = Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory()))
-        .expect("launch cluster");
+    let cluster =
+        Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory())).expect("launch cluster");
 
     println!(
         "Figure 7: sequential buffer read throughput (GiB/s), {} reps{}",
@@ -53,10 +53,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["#", "path", "min", "p25", "median", "p75", "max"],
-            &rows
-        )
+        render_table(&["#", "path", "min", "p25", "median", "p75", "max"], &rows)
     );
     if plateau.2 > 0 {
         let l = plateau.0 / plateau.2 as f64;

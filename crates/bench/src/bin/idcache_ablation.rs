@@ -38,7 +38,9 @@ fn run_config(
     let ids = commit_objects(&producer, &spec, label, seed).expect("commit");
 
     // Cold get warms the cache (not measured).
-    let bufs = consumer.get(&ids, Duration::from_secs(60)).expect("cold get");
+    let bufs = consumer
+        .get(&ids, Duration::from_secs(60))
+        .expect("cold get");
     for b in bufs.iter().flatten() {
         consumer.release(b.id).expect("release");
     }
@@ -46,9 +48,11 @@ fn run_config(
     // Warm repetitions.
     let mut warm = Vec::with_capacity(reps);
     for _ in 0..reps {
-        let (bufs, lat) = cluster
-            .clock()
-            .time(|| consumer.get(&ids, Duration::from_secs(60)).expect("warm get"));
+        let (bufs, lat) = cluster.clock().time(|| {
+            consumer
+                .get(&ids, Duration::from_secs(60))
+                .expect("warm get")
+        });
         warm.push(lat);
         for b in bufs.iter().flatten() {
             consumer.release(b.id).expect("release");
@@ -90,7 +94,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["config", "warm get med (ms)", "σ", "lookup RPCs (total)", "direct reads"],
+            &[
+                "config",
+                "warm get med (ms)",
+                "σ",
+                "lookup RPCs (total)",
+                "direct reads"
+            ],
             &rows
         )
     );

@@ -39,8 +39,8 @@ fn main() {
         // peers in order pays the worst-case broadcast.
         let producer = cluster.client(nodes - 1).expect("producer");
         let consumer = cluster.client(0).expect("consumer");
-        let ids = commit_objects(&producer, &spec, &format!("n{nodes}"), opts.seed)
-            .expect("commit");
+        let ids =
+            commit_objects(&producer, &spec, &format!("n{nodes}"), opts.seed).expect("commit");
 
         let mut cold = Vec::new();
         let mut warm = Vec::new();

@@ -83,7 +83,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["consumers", "scale-out (ms)", "disagg (ms)", "speedup", "LAN traffic", "LAN traffic (disagg)"],
+            &[
+                "consumers",
+                "scale-out (ms)",
+                "disagg (ms)",
+                "speedup",
+                "LAN traffic",
+                "LAN traffic (disagg)"
+            ],
             &rows
         )
     );

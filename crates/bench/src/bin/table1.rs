@@ -15,7 +15,10 @@ fn main() {
     let opts = HarnessOpts::parse();
     let specs = opts.specs();
 
-    println!("TABLE I: Benchmark Specifications{}", if opts.small { " (scaled 1/100)" } else { "" });
+    println!(
+        "TABLE I: Benchmark Specifications{}",
+        if opts.small { " (scaled 1/100)" } else { "" }
+    );
     let rows: Vec<Vec<String>> = specs
         .iter()
         .map(|s| {
@@ -29,12 +32,15 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["#", "Number of Objects", "Object Size (kB)", "Total (MB)"], &rows)
+        render_table(
+            &["#", "Number of Objects", "Object Size (kB)", "Total (MB)"],
+            &rows
+        )
     );
 
     println!("Commit phase (create + write + seal), measured on the simulated testbed:");
-    let cluster = Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory()))
-        .expect("launch cluster");
+    let cluster =
+        Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory())).expect("launch cluster");
     let producer = cluster.client(0).expect("client");
     let mut rows = Vec::new();
     for spec in specs {

@@ -120,8 +120,7 @@ mod tests {
     #[test]
     fn benchmark_runs_and_shapes_hold() {
         // Paper-calibrated 2-node cluster, scaled-down workload.
-        let cluster =
-            Cluster::launch(ClusterConfig::paper_testbed(64 << 20)).unwrap();
+        let cluster = Cluster::launch(ClusterConfig::paper_testbed(64 << 20)).unwrap();
         let spec = TABLE_I_SMALL[3]; // 100 x 10 kB
         let r = run_benchmark(&cluster, &spec, 3, 42).unwrap();
         assert_eq!(r.local.len(), 3);

@@ -39,22 +39,70 @@ impl BenchSpec {
 /// The paper's Table I: (1000, 1 kB), (500, 10 kB), (200, 100 kB),
 /// (100, 1 MB), (50, 10 MB), (10, 100 MB).
 pub const TABLE_I: [BenchSpec; 6] = [
-    BenchSpec { index: 1, num_objects: 1000, object_size: 1_000 },
-    BenchSpec { index: 2, num_objects: 500, object_size: 10_000 },
-    BenchSpec { index: 3, num_objects: 200, object_size: 100_000 },
-    BenchSpec { index: 4, num_objects: 100, object_size: 1_000_000 },
-    BenchSpec { index: 5, num_objects: 50, object_size: 10_000_000 },
-    BenchSpec { index: 6, num_objects: 10, object_size: 100_000_000 },
+    BenchSpec {
+        index: 1,
+        num_objects: 1000,
+        object_size: 1_000,
+    },
+    BenchSpec {
+        index: 2,
+        num_objects: 500,
+        object_size: 10_000,
+    },
+    BenchSpec {
+        index: 3,
+        num_objects: 200,
+        object_size: 100_000,
+    },
+    BenchSpec {
+        index: 4,
+        num_objects: 100,
+        object_size: 1_000_000,
+    },
+    BenchSpec {
+        index: 5,
+        num_objects: 50,
+        object_size: 10_000_000,
+    },
+    BenchSpec {
+        index: 6,
+        num_objects: 10,
+        object_size: 100_000_000,
+    },
 ];
 
 /// A scaled-down Table I (sizes ÷ 100) for quick smoke runs and tests.
 pub const TABLE_I_SMALL: [BenchSpec; 6] = [
-    BenchSpec { index: 1, num_objects: 1000, object_size: 10 },
-    BenchSpec { index: 2, num_objects: 500, object_size: 100 },
-    BenchSpec { index: 3, num_objects: 200, object_size: 1_000 },
-    BenchSpec { index: 4, num_objects: 100, object_size: 10_000 },
-    BenchSpec { index: 5, num_objects: 50, object_size: 100_000 },
-    BenchSpec { index: 6, num_objects: 10, object_size: 1_000_000 },
+    BenchSpec {
+        index: 1,
+        num_objects: 1000,
+        object_size: 10,
+    },
+    BenchSpec {
+        index: 2,
+        num_objects: 500,
+        object_size: 100,
+    },
+    BenchSpec {
+        index: 3,
+        num_objects: 200,
+        object_size: 1_000,
+    },
+    BenchSpec {
+        index: 4,
+        num_objects: 100,
+        object_size: 10_000,
+    },
+    BenchSpec {
+        index: 5,
+        num_objects: 50,
+        object_size: 100_000,
+    },
+    BenchSpec {
+        index: 6,
+        num_objects: 10,
+        object_size: 1_000_000,
+    },
 ];
 
 /// Generate `len` bytes of random data ("objects with random data"; the
@@ -98,7 +146,14 @@ mod tests {
         let totals: Vec<u64> = TABLE_I.iter().map(BenchSpec::total_bytes).collect();
         assert_eq!(
             totals,
-            vec![1_000_000, 5_000_000, 20_000_000, 100_000_000, 500_000_000, 1_000_000_000]
+            vec![
+                1_000_000,
+                5_000_000,
+                20_000_000,
+                100_000_000,
+                500_000_000,
+                1_000_000_000
+            ]
         );
     }
 

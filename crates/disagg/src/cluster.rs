@@ -8,12 +8,12 @@
 //! "rack-scale solutions [with] multiple nodes" (paper §V-B).
 
 use crate::idcache::CacheMode;
-use crate::store::{DisaggConfig, DisaggStore, Peer};
-use ipc::InprocHub;
+use crate::store::{DisaggConfig, DisaggStore, InterconnectConfig, Peer};
+use ipc::{Conn, InprocHub};
 use netsim::{LinkModel, SharedLink};
 use plasma::{
-    AllocatorKind, ClientCost, Notifications, PlasmaClient, PlasmaError, PlasmaServer,
-    StoreConfig, StoreCore,
+    AllocatorKind, ClientCost, Notifications, PlasmaClient, PlasmaError, PlasmaServer, StoreConfig,
+    StoreCore,
 };
 use rpclite::{NetCost, RpcClient, ServerHandle};
 use std::sync::Arc;
@@ -40,6 +40,8 @@ pub struct ClusterConfig {
     pub growth: Option<(usize, usize)>,
     /// RNG seed for all delay sampling.
     pub seed: u64,
+    /// Interconnect fault tolerance (deadlines, retries, peer health).
+    pub interconnect: InterconnectConfig,
 }
 
 impl ClusterConfig {
@@ -56,6 +58,7 @@ impl ClusterConfig {
             id_cache: None,
             growth: None,
             seed: 0x7F1A,
+            interconnect: InterconnectConfig::default(),
         }
     }
 
@@ -71,6 +74,7 @@ impl ClusterConfig {
             id_cache: None,
             growth: None,
             seed: 1,
+            interconnect: InterconnectConfig::default(),
         }
     }
 }
@@ -79,7 +83,8 @@ struct NodeRuntime {
     node: NodeId,
     store: DisaggStore,
     _plasma_server: PlasmaServer,
-    _rpc_server: ServerHandle,
+    /// `None` while the node's interconnect is stopped (fault injection).
+    rpc_server: Option<ServerHandle>,
 }
 
 /// A running simulated cluster.
@@ -123,6 +128,7 @@ impl Cluster {
                 DisaggConfig {
                     lookup_remote: true,
                     id_cache: config.id_cache,
+                    interconnect: config.interconnect.clone(),
                 },
             );
             let rpc_listener = hub.bind(&format!("rpc-{i}"))?;
@@ -134,17 +140,19 @@ impl Cluster {
                 node,
                 store,
                 _plasma_server: plasma_server,
-                _rpc_server: rpc_server,
+                rpc_server: Some(rpc_server),
             });
         }
 
         // Stage 2: full-mesh interconnect with per-pair delay injection.
+        // Clients dial lazily through a connector, so a connection broken
+        // by a peer stop (or an expired deadline) is transparently
+        // redialed once the peer's server is back.
         for i in 0..config.nodes {
             for j in 0..config.nodes {
                 if i == j {
                     continue;
                 }
-                let conn = hub.connect(&format!("rpc-{j}"))?;
                 let net = NetCost {
                     link: SharedLink::new(
                         config.rpc_link,
@@ -152,7 +160,16 @@ impl Cluster {
                     ),
                     clock: fabric.clock().clone(),
                 };
-                let client = RpcClient::with_net(Box::new(conn), Some(net));
+                let dial_hub = hub.clone();
+                let target = format!("rpc-{j}");
+                let client = RpcClient::with_connector(
+                    Box::new(move || {
+                        dial_hub
+                            .connect(&target)
+                            .map(|c| Box::new(c) as Box<dyn Conn>)
+                    }),
+                    Some(net),
+                );
                 nodes[i].store.add_peer(Peer {
                     node: nodes[j].node,
                     name: format!("store-{j}"),
@@ -196,6 +213,39 @@ impl Cluster {
     /// The fabric node id of node index `i`.
     pub fn node_id(&self, i: usize) -> NodeId {
         self.nodes[i].node
+    }
+
+    /// Stop node `i`'s interconnect RPC server, simulating a crashed
+    /// peer store. Returns once the server is fully quiescent (accept
+    /// loop and every connection thread joined); peers observe dead
+    /// connections on their next call. The node's local Plasma endpoint
+    /// and its fabric memory stay up — only the interconnect is gone.
+    pub fn stop_rpc(&mut self, i: usize) {
+        if let Some(mut server) = self.nodes[i].rpc_server.take() {
+            server.shutdown();
+        }
+    }
+
+    /// Restart node `i`'s interconnect after [`Cluster::stop_rpc`].
+    /// Peers redial lazily (their clients carry connectors) and their
+    /// failure detectors restore the node to rotation on the next
+    /// successful probe.
+    pub fn restart_rpc(&mut self, i: usize) -> Result<(), PlasmaError> {
+        if self.nodes[i].rpc_server.is_some() {
+            return Ok(());
+        }
+        let listener = self.hub.bind(&format!("rpc-{i}"))?;
+        let server = rpclite::serve(
+            Box::new(listener),
+            self.nodes[i].store.interconnect_service(),
+        );
+        self.nodes[i].rpc_server = Some(server);
+        Ok(())
+    }
+
+    /// Whether node `i`'s interconnect RPC server is currently running.
+    pub fn rpc_running(&self, i: usize) -> bool {
+        self.nodes[i].rpc_server.is_some()
     }
 
     /// Connect a new Plasma client to the store on node `store_idx`,

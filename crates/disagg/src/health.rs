@@ -1,0 +1,430 @@
+//! Peer health tracking and retry policy for the store interconnect.
+//!
+//! The paper's framework assumes every Plasma store in the cluster is
+//! reachable; a hung or crashed peer would stall every broadcast. This
+//! module gives the interconnect the standard failure-detector shape:
+//!
+//! * Each peer is `Up`, `Suspect`, or `Down`. Consecutive call failures
+//!   demote it (`suspect_after`, then `down_after`); any success restores
+//!   `Up` immediately.
+//! * Broadcasts skip `Down` peers entirely, except that one caller per
+//!   backoff window is admitted as a *probe* — if the peer has recovered,
+//!   the probe's success restores it to rotation. The probe window grows
+//!   exponentially (`probe_backoff` → `probe_backoff_max`) so a dead peer
+//!   costs at most one timed-out call per window, not one per operation.
+//! * [`RetryPolicy`] bounds per-call retries with exponential backoff and
+//!   deterministic jitter.
+//!
+//! All timing runs on the cluster's [`Clock`], so under virtual time the
+//! whole state machine is deterministic and instant to test.
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::time::Duration;
+use tfsim::{Clock, NodeId};
+
+/// Liveness state of one peer store, as observed by this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// Healthy: all calls admitted.
+    Up,
+    /// Recent failures, not yet past `down_after`: still called (the next
+    /// outcome decides the direction), but flagged for observability.
+    Suspect,
+    /// Unreachable: skipped by broadcasts, probed once per backoff window.
+    Down,
+}
+
+/// Thresholds and pacing for the health state machine.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Consecutive failures before a peer is marked `Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive failures before a peer is marked `Down`.
+    pub down_after: u32,
+    /// Initial wait before probing a `Down` peer.
+    pub probe_backoff: Duration,
+    /// Cap on the (doubling) probe interval.
+    pub probe_backoff_max: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            suspect_after: 1,
+            down_after: 3,
+            probe_backoff: Duration::from_millis(200),
+            probe_backoff_max: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What the tracker decided about one prospective call to a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Peer is in rotation: call it.
+    Attempt,
+    /// Peer is `Down` but its probe window elapsed: this caller carries
+    /// the recovery probe (the window has been re-armed; concurrent
+    /// callers get `Skip`).
+    Probe,
+    /// Peer is `Down`: don't call, degrade gracefully.
+    Skip,
+}
+
+/// Per-peer counters, for tests and diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    pub successes: u64,
+    pub failures: u64,
+    pub skips: u64,
+    pub probes: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    state: PeerState,
+    consecutive_failures: u32,
+    /// Next probe fires when the clock reaches this point.
+    next_probe_at: Duration,
+    /// Current probe interval (doubles per probe up to the cap).
+    backoff: Duration,
+    stats: PeerStats,
+}
+
+impl Entry {
+    fn new() -> Self {
+        Entry {
+            state: PeerState::Up,
+            consecutive_failures: 0,
+            next_probe_at: Duration::ZERO,
+            backoff: Duration::ZERO,
+            stats: PeerStats::default(),
+        }
+    }
+}
+
+/// Failure detector for the peers of one node. Cheap to share behind the
+/// store's `Arc`; all methods take `&self`.
+pub struct PeerHealth {
+    cfg: HealthConfig,
+    clock: Clock,
+    entries: Mutex<HashMap<NodeId, Entry>>,
+}
+
+impl PeerHealth {
+    pub fn new(cfg: HealthConfig, clock: Clock) -> Self {
+        PeerHealth {
+            cfg,
+            clock,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Decide whether a call to `peer` should proceed. `Probe` admissions
+    /// consume the current window: until the (doubled) next window
+    /// elapses, further callers are skipped.
+    pub fn admit(&self, peer: NodeId) -> Admission {
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(peer).or_insert_with(Entry::new);
+        match entry.state {
+            PeerState::Up | PeerState::Suspect => Admission::Attempt,
+            PeerState::Down => {
+                let now = self.clock.now();
+                if now >= entry.next_probe_at {
+                    entry.backoff = (entry.backoff * 2).min(self.cfg.probe_backoff_max);
+                    entry.next_probe_at = now + entry.backoff;
+                    entry.stats.probes += 1;
+                    Admission::Probe
+                } else {
+                    entry.stats.skips += 1;
+                    Admission::Skip
+                }
+            }
+        }
+    }
+
+    /// The peer answered (any definite response, including error statuses
+    /// like `NotFound` — those prove liveness).
+    pub fn record_success(&self, peer: NodeId) {
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(peer).or_insert_with(Entry::new);
+        entry.state = PeerState::Up;
+        entry.consecutive_failures = 0;
+        entry.stats.successes += 1;
+    }
+
+    /// The call failed in a way that indicts the peer (transport error,
+    /// deadline expiry, `Unavailable`).
+    pub fn record_failure(&self, peer: NodeId) {
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(peer).or_insert_with(Entry::new);
+        entry.consecutive_failures += 1;
+        entry.stats.failures += 1;
+        if entry.consecutive_failures >= self.cfg.down_after {
+            if entry.state != PeerState::Down {
+                entry.state = PeerState::Down;
+                entry.backoff = self.cfg.probe_backoff;
+                entry.next_probe_at = self.clock.now() + entry.backoff;
+            }
+        } else if entry.consecutive_failures >= self.cfg.suspect_after {
+            entry.state = PeerState::Suspect;
+        }
+    }
+
+    /// Current state of `peer` (`Up` if never seen).
+    pub fn state(&self, peer: NodeId) -> PeerState {
+        self.entries
+            .lock()
+            .get(&peer)
+            .map(|e| e.state)
+            .unwrap_or(PeerState::Up)
+    }
+
+    /// Counters for `peer` (zeros if never seen).
+    pub fn stats(&self, peer: NodeId) -> PeerStats {
+        self.entries
+            .lock()
+            .get(&peer)
+            .map(|e| e.stats)
+            .unwrap_or_default()
+    }
+}
+
+/// Bounded-retry policy with exponential backoff and jitter, for calls
+/// whose failure is plausibly transient.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Cap on the backoff.
+    pub max_backoff: Duration,
+    /// Fractional jitter: the backoff is scaled by a factor drawn
+    /// uniformly from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (tests, latency-critical paths).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), jittered by `rng`.
+    pub fn backoff(&self, retry: u32, rng: &mut SmallRng) -> Duration {
+        let exp = retry.saturating_sub(1).min(20);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let factor = 1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+        raw.mul_f64(factor.max(0.0))
+    }
+
+    /// A deterministic jitter source for this node.
+    pub fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(clock: &Clock) -> PeerHealth {
+        PeerHealth::new(
+            HealthConfig {
+                suspect_after: 1,
+                down_after: 3,
+                probe_backoff: Duration::from_millis(100),
+                probe_backoff_max: Duration::from_millis(400),
+            },
+            clock.clone(),
+        )
+    }
+
+    #[test]
+    fn unknown_peer_is_up_and_admitted() {
+        let clock = Clock::virtual_time();
+        let h = tracker(&clock);
+        let p = NodeId(1);
+        assert_eq!(h.state(p), PeerState::Up);
+        assert_eq!(h.admit(p), Admission::Attempt);
+    }
+
+    #[test]
+    fn failures_walk_up_suspect_down() {
+        let clock = Clock::virtual_time();
+        let h = tracker(&clock);
+        let p = NodeId(1);
+        h.record_failure(p);
+        assert_eq!(h.state(p), PeerState::Suspect);
+        assert_eq!(h.admit(p), Admission::Attempt); // suspect still called
+        h.record_failure(p);
+        assert_eq!(h.state(p), PeerState::Suspect);
+        h.record_failure(p);
+        assert_eq!(h.state(p), PeerState::Down);
+        assert_eq!(h.admit(p), Admission::Skip);
+    }
+
+    #[test]
+    fn success_resets_from_suspect_and_down() {
+        let clock = Clock::virtual_time();
+        let h = tracker(&clock);
+        let p = NodeId(1);
+        h.record_failure(p);
+        h.record_success(p);
+        assert_eq!(h.state(p), PeerState::Up);
+        for _ in 0..3 {
+            h.record_failure(p);
+        }
+        assert_eq!(h.state(p), PeerState::Down);
+        h.record_success(p);
+        assert_eq!(h.state(p), PeerState::Up);
+        assert_eq!(h.admit(p), Admission::Attempt);
+    }
+
+    #[test]
+    fn down_peer_probed_once_per_window_with_doubling() {
+        let clock = Clock::virtual_time();
+        let h = tracker(&clock);
+        let p = NodeId(1);
+        for _ in 0..3 {
+            h.record_failure(p);
+        }
+        // Window 1 (100ms) not yet elapsed: every caller skips.
+        assert_eq!(h.admit(p), Admission::Skip);
+        assert_eq!(h.admit(p), Admission::Skip);
+        clock.charge(Duration::from_millis(100));
+        // Exactly one caller wins the probe; the window doubles to 200ms.
+        assert_eq!(h.admit(p), Admission::Probe);
+        assert_eq!(h.admit(p), Admission::Skip);
+        h.record_failure(p); // probe failed
+        clock.charge(Duration::from_millis(100));
+        assert_eq!(h.admit(p), Admission::Skip); // only 100 of 200ms elapsed
+        clock.charge(Duration::from_millis(100));
+        assert_eq!(h.admit(p), Admission::Probe);
+        // Backoff caps at 400ms.
+        h.record_failure(p);
+        clock.charge(Duration::from_millis(400));
+        assert_eq!(h.admit(p), Admission::Probe);
+        h.record_failure(p);
+        clock.charge(Duration::from_millis(400));
+        assert_eq!(h.admit(p), Admission::Probe);
+    }
+
+    #[test]
+    fn probe_success_restores_rotation() {
+        let clock = Clock::virtual_time();
+        let h = tracker(&clock);
+        let p = NodeId(1);
+        for _ in 0..3 {
+            h.record_failure(p);
+        }
+        clock.charge(Duration::from_millis(100));
+        assert_eq!(h.admit(p), Admission::Probe);
+        h.record_success(p);
+        assert_eq!(h.state(p), PeerState::Up);
+        assert_eq!(h.admit(p), Admission::Attempt);
+        let s = h.stats(p);
+        assert_eq!(s.probes, 1);
+        assert_eq!(s.failures, 3);
+    }
+
+    #[test]
+    fn stats_count_skips() {
+        let clock = Clock::virtual_time();
+        let h = tracker(&clock);
+        let p = NodeId(2);
+        for _ in 0..3 {
+            h.record_failure(p);
+        }
+        h.admit(p);
+        h.admit(p);
+        assert_eq!(h.stats(p).skips, 2);
+    }
+
+    #[test]
+    fn peers_tracked_independently() {
+        let clock = Clock::virtual_time();
+        let h = tracker(&clock);
+        for _ in 0..3 {
+            h.record_failure(NodeId(1));
+        }
+        assert_eq!(h.state(NodeId(1)), PeerState::Down);
+        assert_eq!(h.state(NodeId(2)), PeerState::Up);
+        assert_eq!(h.admit(NodeId(2)), Admission::Attempt);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            jitter: 0.0,
+        };
+        let mut rng = RetryPolicy::rng(7);
+        assert_eq!(policy.backoff(1, &mut rng), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2, &mut rng), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3, &mut rng), Duration::from_millis(40));
+        assert_eq!(policy.backoff(4, &mut rng), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn retry_jitter_stays_in_band() {
+        let policy = RetryPolicy {
+            jitter: 0.25,
+            ..Default::default()
+        };
+        let mut rng = RetryPolicy::rng(42);
+        for retry in 1..=4 {
+            let exp = retry - 1;
+            let raw = policy
+                .base_backoff
+                .saturating_mul(1 << exp)
+                .min(policy.max_backoff);
+            let d = policy.backoff(retry as u32, &mut rng);
+            assert!(
+                d >= raw.mul_f64(0.75),
+                "retry {retry}: {d:?} < 75% of {raw:?}"
+            );
+            assert!(
+                d <= raw.mul_f64(1.25),
+                "retry {retry}: {d:?} > 125% of {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let a: Vec<Duration> = {
+            let mut rng = RetryPolicy::rng(9);
+            (1..=4).map(|r| policy.backoff(r, &mut rng)).collect()
+        };
+        let b: Vec<Duration> = {
+            let mut rng = RetryPolicy::rng(9);
+            (1..=4).map(|r| policy.backoff(r, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

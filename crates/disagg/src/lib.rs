@@ -37,14 +37,16 @@
 //! ```
 
 pub mod cluster;
+pub mod health;
 pub mod idcache;
 pub mod proto;
 pub mod store;
 pub mod usage;
 
 pub use cluster::{Cluster, ClusterConfig};
+pub use health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 pub use idcache::{CacheMode, CachedEntry, IdCache};
-pub use store::{DisaggConfig, DisaggStats, DisaggStore, Peer};
+pub use store::{DisaggConfig, DisaggStats, DisaggStore, InterconnectConfig, Peer};
 pub use usage::{RemoteRefs, Reservations, ReserveOutcome};
 
 #[cfg(test)]
@@ -201,7 +203,9 @@ mod tests {
         let clients: Vec<_> = (0..5).map(|i| c.client(i).unwrap()).collect();
         for (i, client) in clients.iter().enumerate() {
             let id = ObjectId::from_name(&format!("from-{i}"));
-            client.put(id, format!("payload-{i}").as_bytes(), &[]).unwrap();
+            client
+                .put(id, format!("payload-{i}").as_bytes(), &[])
+                .unwrap();
         }
         for (j, client) in clients.iter().enumerate() {
             for i in 0..5 {
@@ -347,9 +351,7 @@ mod tests {
         let remote = ObjectId::from_name("on-0");
         b.put(local, b"local-data", &[]).unwrap();
         a.put(remote, b"remote-data", &[]).unwrap();
-        let got = b
-            .get(&[local, remote], Duration::from_secs(1))
-            .unwrap();
+        let got = b.get(&[local, remote], Duration::from_secs(1)).unwrap();
         let bufs: Vec<_> = got.into_iter().flatten().collect();
         assert_eq!(bufs.len(), 2);
         assert_eq!(bufs[0].read_all().unwrap(), b"local-data");
@@ -359,7 +361,7 @@ mod tests {
     }
 
     #[test]
-    fn unavailable_peer_surfaces_as_transport_error_on_create() {
+    fn unavailable_peer_surfaces_as_peer_unavailable_on_create() {
         use plasma::{StoreConfig, StoreCore};
         use rpclite::{Status, StatusCode};
         use std::sync::Arc;
@@ -373,9 +375,11 @@ mod tests {
         // or crashing store).
         let hub = ipc::InprocHub::new();
         let listener = hub.bind("dead-peer").unwrap();
-        let svc = Arc::new(|_m: u32, _b: bytes::Bytes| -> Result<bytes::Bytes, Status> {
-            Err(Status::new(StatusCode::Unavailable, "peer down"))
-        });
+        let svc = Arc::new(
+            |_m: u32, _b: bytes::Bytes| -> Result<bytes::Bytes, Status> {
+                Err(Status::new(StatusCode::Unavailable, "peer down"))
+            },
+        );
         let _srv = rpclite::serve(Box::new(listener), svc);
         store.add_peer(Peer {
             node: tfsim::NodeId(99),
@@ -386,13 +390,10 @@ mod tests {
         });
 
         // Strict uniqueness: if a peer cannot confirm the reservation, the
-        // create fails rather than risking a duplicate id.
-        let err = plasma::ObjectStore::create(&store, ObjectId::from_name("x"), 8, 0)
-            .unwrap_err();
-        assert!(
-            matches!(err, PlasmaError::Protocol(_) | PlasmaError::Transport(_)),
-            "{err:?}"
-        );
+        // create fails with the typed unavailability error rather than
+        // risking a duplicate id.
+        let err = plasma::ObjectStore::create(&store, ObjectId::from_name("x"), 8, 0).unwrap_err();
+        assert!(matches!(err, PlasmaError::PeerUnavailable(_)), "{err:?}");
         // The failed create left no residue: a later local-only create of
         // the same id works once the peer is removed from the quorum.
         assert!(!store.core().exists_any_state(ObjectId::from_name("x")));
@@ -423,9 +424,7 @@ mod tests {
             s.spawn(move || {
                 for i in 0..200u32 {
                     let id = ObjectId::from_name(&format!("churn/{i}"));
-                    let buf = remote_client
-                        .get_one(id, Duration::from_secs(30))
-                        .unwrap();
+                    let buf = remote_client.get_one(id, Duration::from_secs(30)).unwrap();
                     assert!(buf.read_all().unwrap().iter().all(|&b| b == i as u8));
                     remote_client.release(id).unwrap();
                 }

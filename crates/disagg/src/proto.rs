@@ -34,9 +34,7 @@ fn enc_id(e: &mut MsgEnc, field: u32, id: &ObjectId) {
 }
 
 fn dec_id(b: &Bytes) -> Result<ObjectId, WireError> {
-    let arr: [u8; OBJECT_ID_LEN] = b[..]
-        .try_into()
-        .map_err(|_| WireError::MissingField(0))?;
+    let arr: [u8; OBJECT_ID_LEN] = b[..].try_into().map_err(|_| WireError::MissingField(0))?;
     Ok(ObjectId::from_bytes(arr))
 }
 
@@ -56,9 +54,7 @@ fn dec_location(b: Bytes) -> Result<ObjectLocation, WireError> {
     Ok(ObjectLocation {
         id: dec_id(&f.bytes(1)?)?,
         seg: SegKey {
-            owner: NodeId(
-                u16::try_from(f.uint(2)?).map_err(|_| WireError::MissingField(2))?,
-            ),
+            owner: NodeId(u16::try_from(f.uint(2)?).map_err(|_| WireError::MissingField(2))?),
             index: u32::try_from(f.uint(3)?).map_err(|_| WireError::MissingField(3))?,
         },
         offset: f.uint(4)?,
@@ -92,12 +88,14 @@ impl LookupReq {
         let f = MsgDec::new(b).collect()?;
         let ids = f
             .get_all(3)
-            .map(|v| v.as_bytes().ok_or(WireError::MissingField(3)).and_then(dec_id))
+            .map(|v| {
+                v.as_bytes()
+                    .ok_or(WireError::MissingField(3))
+                    .and_then(dec_id)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(LookupReq {
-            requester: NodeId(
-                u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?,
-            ),
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
             pin: f.uint_or(2, 0) != 0,
             ids,
         })
@@ -152,9 +150,7 @@ impl ReserveReq {
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         Ok(ReserveReq {
-            requester: NodeId(
-                u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?,
-            ),
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
             id: dec_id(&f.bytes(2)?)?,
         })
     }
@@ -200,9 +196,7 @@ impl ReleaseReq {
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         Ok(ReleaseReq {
-            requester: NodeId(
-                u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?,
-            ),
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
             id: dec_id(&f.bytes(2)?)?,
         })
     }
@@ -262,16 +256,12 @@ impl ListResp {
 
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
-        let node = NodeId(
-            u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?,
-        );
+        let node = NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?);
         let entries = f
             .get_all(2)
             .map(|v| -> Result<ListEntry, WireError> {
-                let m = MsgDec::new(
-                    v.as_bytes().cloned().ok_or(WireError::MissingField(2))?,
-                )
-                .collect()?;
+                let m = MsgDec::new(v.as_bytes().cloned().ok_or(WireError::MissingField(2))?)
+                    .collect()?;
                 Ok(ListEntry {
                     id: dec_id(&m.bytes(1)?)?,
                     data_size: m.uint(2)?,

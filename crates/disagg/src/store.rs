@@ -17,6 +17,7 @@
 //! the client directly through the disaggregated fabric — never copied
 //! over the network. An optional [`IdCache`] accelerates repeat lookups.
 
+use crate::health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 use crate::idcache::{CacheMode, CachedEntry, IdCache};
 use crate::proto::{
     method, BoolResp, IdReq, ListEntry, ListResp, LookupReq, LookupResp, ReleaseReq, ReserveReq,
@@ -29,12 +30,13 @@ use parking_lot::{Mutex, RwLock};
 use plasma::{
     ObjectId, ObjectInfo, ObjectLocation, ObjectStore, PlasmaError, StoreCore, StoreStats,
 };
+use rand::rngs::SmallRng;
 use rpclite::{RpcClient, RpcError, Service, Status, StatusCode};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tfsim::NodeId;
+use tfsim::{Clock, NodeId};
 
 /// How long a blocked `get` waits locally between remote lookup rounds,
 /// so objects sealed on a peer *after* the previous lookup are discovered
@@ -77,6 +79,29 @@ pub struct DisaggStats {
     pub direct_cache_reads: u64,
 }
 
+/// Fault-tolerance knobs for the store interconnect, grouped so cluster
+/// harnesses can pass them through unchanged.
+#[derive(Debug, Clone)]
+pub struct InterconnectConfig {
+    /// Per-call deadline (`None` = wait forever, the pre-fault-tolerance
+    /// behavior).
+    pub call_deadline: Option<Duration>,
+    /// Retry policy for calls that fail in a retryable way.
+    pub retry: RetryPolicy,
+    /// Peer failure-detector thresholds and probe pacing.
+    pub health: HealthConfig,
+}
+
+impl Default for InterconnectConfig {
+    fn default() -> Self {
+        InterconnectConfig {
+            call_deadline: Some(Duration::from_secs(2)),
+            retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
+        }
+    }
+}
+
 /// Configuration of the distributed layer.
 #[derive(Debug, Clone)]
 pub struct DisaggConfig {
@@ -84,6 +109,8 @@ pub struct DisaggConfig {
     pub lookup_remote: bool,
     /// Optional remote-id cache.
     pub id_cache: Option<(CacheMode, usize)>,
+    /// Interconnect fault tolerance (deadlines, retries, peer health).
+    pub interconnect: InterconnectConfig,
 }
 
 impl Default for DisaggConfig {
@@ -91,6 +118,7 @@ impl Default for DisaggConfig {
         DisaggConfig {
             lookup_remote: true,
             id_cache: None,
+            interconnect: InterconnectConfig::default(),
         }
     }
 }
@@ -106,6 +134,25 @@ struct Inner {
     reservations: Reservations,
     remote_refs: RemoteRefs,
     counters: DisaggCounters,
+    health: PeerHealth,
+    retry: RetryPolicy,
+    call_deadline: Option<Duration>,
+    /// The cluster clock; retry backoff is charged here so virtual-time
+    /// tests stay deterministic and instant.
+    clock: Clock,
+    retry_rng: Mutex<SmallRng>,
+}
+
+/// Why a guarded call to one peer produced no usable response.
+#[derive(Debug)]
+enum PeerFail {
+    /// Peer is `Down`: skipped without touching the wire.
+    Skipped,
+    /// The call (and its retries) failed at the transport level — the
+    /// peer is unreachable right now.
+    Unreachable(String),
+    /// The peer answered with a definite, non-retryable error.
+    Rpc(RpcError),
 }
 
 /// The distributed store. Cheap to clone (shared handle).
@@ -119,8 +166,14 @@ impl DisaggStore {
     /// with [`DisaggStore::add_peer`].
     pub fn new(core: StoreCore, config: DisaggConfig) -> Self {
         let node = core.node();
+        let clock = core.fabric().clock().clone();
         DisaggStore {
             inner: Arc::new(Inner {
+                health: PeerHealth::new(config.interconnect.health, clock.clone()),
+                retry: config.interconnect.retry,
+                call_deadline: config.interconnect.call_deadline,
+                clock,
+                retry_rng: Mutex::new(RetryPolicy::rng(0x9e37_79b9 ^ u64::from(node.0))),
                 core,
                 node,
                 peers: RwLock::new(Vec::new()),
@@ -191,7 +244,89 @@ impl DisaggStore {
         match e {
             RpcError::Status(s) => PlasmaError::Protocol(format!("peer status: {s}")),
             RpcError::Transport(io) => PlasmaError::Transport(io.to_string()),
+            RpcError::Deadline(d) => {
+                PlasmaError::PeerUnavailable(format!("no response within {d:?}"))
+            }
             RpcError::Protocol(m) => PlasmaError::Protocol(m),
+        }
+    }
+
+    /// Liveness state of one peer, as seen by this node's failure detector.
+    pub fn peer_state(&self, node: NodeId) -> PeerState {
+        self.inner.health.state(node)
+    }
+
+    /// Failure-detector counters for one peer.
+    pub fn peer_health_stats(&self, node: NodeId) -> PeerStats {
+        self.inner.health.stats(node)
+    }
+
+    /// One guarded interconnect call: health admission, per-call deadline,
+    /// bounded retries with backoff charged to the cluster clock.
+    ///
+    /// Definite answers — including error statuses — prove the peer is
+    /// alive and reset its failure count; only transport-level failures
+    /// (connection loss, expired deadline, `Unavailable`) indict it.
+    fn peer_call(&self, peer: &Peer, method_id: u32, body: Bytes) -> Result<Bytes, PeerFail> {
+        let inner = &self.inner;
+        let mut attempts_left = match inner.health.admit(peer.node) {
+            Admission::Skip => return Err(PeerFail::Skipped),
+            Admission::Probe => 1, // one shot; failure re-arms the backoff window
+            Admission::Attempt => inner.retry.max_attempts.max(1),
+        };
+        let mut retry_no = 0u32;
+        loop {
+            match peer
+                .client
+                .call_with_deadline(method_id, body.clone(), inner.call_deadline)
+            {
+                Ok(resp) => {
+                    inner.health.record_success(peer.node);
+                    return Ok(resp);
+                }
+                Err(RpcError::Status(s)) if s.code != StatusCode::Unavailable => {
+                    inner.health.record_success(peer.node);
+                    return Err(PeerFail::Rpc(RpcError::Status(s)));
+                }
+                Err(e) if e.is_retryable() => {
+                    inner.health.record_failure(peer.node);
+                    attempts_left -= 1;
+                    if attempts_left == 0 || inner.health.state(peer.node) == PeerState::Down {
+                        return Err(PeerFail::Unreachable(format!(
+                            "peer {} unreachable: {e}",
+                            peer.name
+                        )));
+                    }
+                    retry_no += 1;
+                    let backoff = inner.retry.backoff(retry_no, &mut inner.retry_rng.lock());
+                    inner.clock.charge(backoff);
+                }
+                Err(e) => {
+                    // Protocol violation: a response arrived, but the
+                    // connection is now suspect.
+                    inner.health.record_failure(peer.node);
+                    return Err(PeerFail::Rpc(e));
+                }
+            }
+        }
+    }
+
+    /// Run `f` against each of `peers` concurrently (scoped threads),
+    /// preserving order. Each peer gets its own deadline/retry budget, so
+    /// a broadcast with one hung peer costs one deadline — not one per
+    /// position in a serial loop.
+    fn fanout<T: Send>(&self, peers: &[Peer], f: impl Fn(&Peer) -> T + Sync) -> Vec<T> {
+        match peers {
+            [] => Vec::new(),
+            [only] => vec![f(only)],
+            _ => std::thread::scope(|s| {
+                let f = &f;
+                let handles: Vec<_> = peers.iter().map(|peer| s.spawn(move || f(peer))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("peer fan-out thread panicked"))
+                    .collect()
+            }),
         }
     }
 
@@ -210,14 +345,18 @@ impl DisaggStore {
         if let Some(loc) = self.inner.core.peek(id) {
             return Ok(loc); // already local
         }
-        // Pinning lookup so the owner cannot evict mid-copy.
+        // Pinning lookup so the owner cannot evict mid-copy. The guard
+        // releases the pin on every early exit below — without it, a
+        // failed migration left the owner's copy pinned forever
+        // (unevictable, undeletable).
         let found = ObjectStore::get(self, &[id], timeout)?;
         let Some(remote_loc) = found[0] else {
             return Err(PlasmaError::Timeout);
         };
+        let pin = RemotePinGuard::new(self, id);
         if remote_loc.seg.owner == self.inner.node {
             // Sealed locally while we were looking: nothing to migrate.
-            self.inner.core.release(id)?;
+            pin.release()?;
             return self
                 .inner
                 .core
@@ -237,44 +376,50 @@ impl DisaggStore {
             .read_all()?;
 
         // Stage the local copy (bypassing the reserve handshake: the id is
-        // legitimately owned by the cluster already).
-        let local_loc = self
-            .inner
-            .core
-            .create(id, remote_loc.data_size, remote_loc.metadata_size)?;
+        // legitimately owned by the cluster already). Aborted on any
+        // failure before seal.
+        let local_loc =
+            self.inner
+                .core
+                .create(id, remote_loc.data_size, remote_loc.metadata_size)?;
+        let staged = StagedCreateGuard::new(self, id);
         let local_map = self.inner.core.mapping_for(&local_loc)?;
         local_map.write_at(local_loc.offset, &bytes)?;
 
         // Drop our pin, then ask the owner to delete. If someone else still
         // uses the owner's copy, roll back the staged local copy.
-        ObjectStore::release(self, id)?;
+        pin.release()?;
         let peer = self
             .peers_snapshot()
             .into_iter()
             .find(|p| p.node == owner)
             .ok_or_else(|| PlasmaError::Transport(format!("no peer for {owner}")))?;
-        match peer.client.call(method::DELETE, IdReq { id }.encode()) {
+        match self.peer_call(&peer, method::DELETE, IdReq { id }.encode()) {
             Ok(_) => {}
-            Err(RpcError::Status(s)) if s.code == StatusCode::FailedPrecondition => {
-                self.inner.core.abort(id)?;
+            Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::FailedPrecondition => {
                 return Err(PlasmaError::ObjectInUse(id));
             }
-            Err(e) => {
-                self.inner.core.abort(id)?;
-                return Err(Self::rpc_err(e));
+            Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
+            Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) => {
+                return Err(PlasmaError::PeerUnavailable(format!(
+                    "owner {} unreachable; migration aborted",
+                    peer.name
+                )));
             }
         }
         if let Some(cache) = &self.inner.idcache {
             cache.invalidate(id);
         }
+        staged.disarm();
         let loc = self.inner.core.seal(id)?;
         self.inner.core.release(id)?; // migration's creator reference
         Ok(loc)
     }
 
     /// Cluster-wide object inventory: this store's sealed objects plus
-    /// every peer's, grouped by node. Extends Plasma's `List` across the
-    /// interconnect.
+    /// every reachable peer's, grouped by node, queried in parallel.
+    /// Extends Plasma's `List` across the interconnect. Unreachable peers
+    /// are omitted — the inventory is partial, not an error.
     pub fn global_list(&self) -> Result<Vec<(NodeId, Vec<ListEntry>)>, PlasmaError> {
         let mut out = Vec::with_capacity(self.peer_count() + 1);
         let local: Vec<ListEntry> = self
@@ -291,11 +436,12 @@ impl DisaggStore {
             })
             .collect();
         out.push((self.inner.node, local));
-        for peer in self.peers_snapshot() {
-            let body = peer
-                .client
-                .call(method::LIST, Bytes::new())
-                .map_err(Self::rpc_err)?;
+        let peers = self.peers_snapshot();
+        let responses = self.fanout(&peers, |peer| {
+            self.peer_call(peer, method::LIST, Bytes::new())
+        });
+        for response in responses {
+            let Ok(body) = response else { continue };
             let resp = ListResp::decode(body)
                 .map_err(|e| PlasmaError::Protocol(format!("list response: {e}")))?;
             out.push((resp.node, resp.entries));
@@ -305,12 +451,10 @@ impl DisaggStore {
 
     /// One remote-lookup round for the `None` slots of `out`: consult the
     /// id cache (targeted lookups or direct reads), then broadcast to
-    /// peers for the rest.
-    fn remote_lookup_pass(
-        &self,
-        ids: &[ObjectId],
-        out: &mut [Option<ObjectLocation>],
-    ) -> Result<(), PlasmaError> {
+    /// peers for the rest — in parallel. Unreachable peers contribute
+    /// nothing; their objects simply stay unresolved this round, so a
+    /// dead peer degrades `get` to a miss instead of an error.
+    fn remote_lookup_pass(&self, ids: &[ObjectId], out: &mut [Option<ObjectLocation>]) {
         let mut missing: Vec<ObjectId> = ids
             .iter()
             .zip(out.iter())
@@ -318,7 +462,7 @@ impl DisaggStore {
             .map(|(id, _)| *id)
             .collect();
         if missing.is_empty() {
-            return Ok(());
+            return;
         }
         let mut found: HashMap<ObjectId, ObjectLocation> = HashMap::new();
 
@@ -345,33 +489,45 @@ impl DisaggStore {
             let peers = self.peers_snapshot();
             for (peer_node, ids) in targeted {
                 match peers.iter().find(|p| p.node.0 == peer_node) {
-                    Some(peer) => {
-                        self.lookup_on_peer(peer, &ids, &mut found)?;
-                        // Cache pointed at a peer that no longer has some
-                        // ids: invalidate and re-broadcast those.
-                        for id in ids {
-                            if !found.contains_key(&id) {
-                                cache.invalidate(id);
-                                missing.push(id);
+                    Some(peer) => match self.lookup_rpc(peer, &ids) {
+                        Ok(resp) => {
+                            self.absorb_lookup(peer, resp, &mut found);
+                            // Cache pointed at a peer that no longer has
+                            // some ids: invalidate and re-broadcast those.
+                            for id in ids {
+                                if !found.contains_key(&id) {
+                                    cache.invalidate(id);
+                                    missing.push(id);
+                                }
                             }
                         }
-                    }
+                        Err(_) => {
+                            // Peer unreachable: it may still own the
+                            // objects, so keep the cache entries and let
+                            // the broadcast ask the others.
+                            missing.extend(ids);
+                        }
+                    },
                     None => missing.extend(ids),
                 }
             }
         }
 
-        // Broadcast to every peer for whatever is still missing.
-        for peer in self.peers_snapshot() {
-            let remaining: Vec<ObjectId> = missing
-                .iter()
-                .filter(|id| !found.contains_key(id))
-                .copied()
-                .collect();
-            if remaining.is_empty() {
-                break;
+        // Broadcast to every peer, in parallel, for whatever is still
+        // missing; absorb responses (and their pins) sequentially.
+        let remaining: Vec<ObjectId> = missing
+            .iter()
+            .filter(|id| !found.contains_key(id))
+            .copied()
+            .collect();
+        if !remaining.is_empty() {
+            let peers = self.peers_snapshot();
+            let responses = self.fanout(&peers, |peer| self.lookup_rpc(peer, &remaining));
+            for (peer, response) in peers.iter().zip(responses) {
+                if let Ok(resp) = response {
+                    self.absorb_lookup(peer, resp, &mut found);
+                }
             }
-            self.lookup_on_peer(&peer, &remaining, &mut found)?;
         }
 
         for (slot, id) in out.iter_mut().zip(ids) {
@@ -381,45 +537,131 @@ impl DisaggStore {
                 }
             }
         }
-        Ok(())
     }
 
-    /// Issue a pinning lookup for `ids` to one peer; record what was found.
-    fn lookup_on_peer(
-        &self,
-        peer: &Peer,
-        ids: &[ObjectId],
-        out: &mut HashMap<ObjectId, ObjectLocation>,
-    ) -> Result<(), PlasmaError> {
+    /// Issue one pinning lookup RPC for `ids` to one peer.
+    fn lookup_rpc(&self, peer: &Peer, ids: &[ObjectId]) -> Result<LookupResp, PeerFail> {
         if ids.is_empty() {
-            return Ok(());
+            return Ok(LookupResp { found: Vec::new() });
         }
         let req = LookupReq {
             requester: self.inner.node,
             pin: true,
             ids: ids.to_vec(),
         };
-        self.inner.counters.lookup_rpcs.fetch_add(1, Ordering::Relaxed);
-        let body = peer
-            .client
-            .call(method::LOOKUP, req.encode())
-            .map_err(Self::rpc_err)?;
-        let resp = LookupResp::decode(body)
-            .map_err(|e| PlasmaError::Protocol(format!("lookup response: {e}")))?;
-        let mut held = self.inner.remote_held.lock();
-        for loc in resp.found {
-            self.inner.counters.remote_found.fetch_add(1, Ordering::Relaxed);
-            let entry = held.entry(loc.id).or_insert((peer.node, 0));
-            entry.1 += 1;
-            if let Some(cache) = &self.inner.idcache {
-                cache.insert(CachedEntry {
-                    location: loc,
-                    peer: peer.node,
-                });
-            }
-            out.insert(loc.id, loc);
+        let result = self.peer_call(peer, method::LOOKUP, req.encode());
+        if !matches!(result, Err(PeerFail::Skipped)) {
+            self.inner
+                .counters
+                .lookup_rpcs
+                .fetch_add(1, Ordering::Relaxed);
         }
-        Ok(())
+        LookupResp::decode(result?)
+            .map_err(|e| PeerFail::Rpc(RpcError::Protocol(format!("lookup response: {e}"))))
+    }
+
+    /// Fold one peer's lookup response into `found`, recording the pins
+    /// it took on our behalf. If two peers answered for the same id (a
+    /// migration raced the broadcast), the first absorbed pin wins and
+    /// the duplicate is released back to the losing peer.
+    fn absorb_lookup(
+        &self,
+        peer: &Peer,
+        resp: LookupResp,
+        found: &mut HashMap<ObjectId, ObjectLocation>,
+    ) {
+        let mut duplicates: Vec<ObjectId> = Vec::new();
+        {
+            let mut held = self.inner.remote_held.lock();
+            for loc in resp.found {
+                if found.contains_key(&loc.id) {
+                    duplicates.push(loc.id);
+                    continue;
+                }
+                self.inner
+                    .counters
+                    .remote_found
+                    .fetch_add(1, Ordering::Relaxed);
+                let entry = held.entry(loc.id).or_insert((peer.node, 0));
+                entry.1 += 1;
+                if let Some(cache) = &self.inner.idcache {
+                    cache.insert(CachedEntry {
+                        location: loc,
+                        peer: peer.node,
+                    });
+                }
+                found.insert(loc.id, loc);
+            }
+        }
+        for id in duplicates {
+            let req = ReleaseReq {
+                requester: self.inner.node,
+                id,
+            };
+            let _ = self.peer_call(peer, method::RELEASE, req.encode());
+        }
+    }
+}
+
+/// Releases a pinned remote object when dropped, unless released
+/// explicitly. Keeps error paths from leaking owner-side pins.
+struct RemotePinGuard<'a> {
+    store: &'a DisaggStore,
+    id: ObjectId,
+    armed: bool,
+}
+
+impl<'a> RemotePinGuard<'a> {
+    fn new(store: &'a DisaggStore, id: ObjectId) -> Self {
+        RemotePinGuard {
+            store,
+            id,
+            armed: true,
+        }
+    }
+
+    /// Release the pin now, surfacing any error.
+    fn release(mut self) -> Result<(), PlasmaError> {
+        self.armed = false;
+        ObjectStore::release(self.store, self.id)
+    }
+}
+
+impl Drop for RemotePinGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = ObjectStore::release(self.store, self.id);
+        }
+    }
+}
+
+/// Aborts a staged (created but unsealed) local object when dropped,
+/// unless disarmed. Keeps error paths from leaking half-written copies.
+struct StagedCreateGuard<'a> {
+    store: &'a DisaggStore,
+    id: ObjectId,
+    armed: bool,
+}
+
+impl<'a> StagedCreateGuard<'a> {
+    fn new(store: &'a DisaggStore, id: ObjectId) -> Self {
+        StagedCreateGuard {
+            store,
+            id,
+            armed: true,
+        }
+    }
+
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for StagedCreateGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.store.inner.core.abort(self.id);
+        }
     }
 }
 
@@ -445,33 +687,72 @@ impl ObjectStore for DisaggStore {
         if !self.inner.reservations.begin_local(id) {
             return Err(PlasmaError::ObjectExists(id));
         }
-        // Reserve the id on every peer (paper: "on object creation, RPC
-        // calls are used to ensure the uniqueness of object identifiers").
-        for peer in self.peers_snapshot() {
-            self.inner.counters.reserve_rpcs.fetch_add(1, Ordering::Relaxed);
-            let req = ReserveReq {
-                requester: self.inner.node,
-                id,
-            };
-            let result = peer
-                .client
-                .call(method::RESERVE, req.encode())
-                .map_err(Self::rpc_err)
-                .and_then(|b| {
-                    ReserveResp::decode(b)
-                        .map_err(|e| PlasmaError::Protocol(format!("reserve response: {e}")))
-                });
+        // Reserve the id on every peer in parallel (paper: "on object
+        // creation, RPC calls are used to ensure the uniqueness of object
+        // identifiers"). Uniqueness needs *every* peer's confirmation, so
+        // this is the one broadcast that cannot degrade: an unreachable
+        // peer fails the create with `PeerUnavailable` rather than risk a
+        // duplicate id materializing when the peer comes back.
+        let peers = self.peers_snapshot();
+        let req_body = ReserveReq {
+            requester: self.inner.node,
+            id,
+        }
+        .encode();
+        let results = self.fanout(&peers, |peer| {
+            let result = self.peer_call(peer, method::RESERVE, req_body.clone());
+            if !matches!(result, Err(PeerFail::Skipped)) {
+                self.inner
+                    .counters
+                    .reserve_rpcs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            result
+        });
+        let mut denied = false;
+        let mut unavailable: Option<String> = None;
+        let mut failed: Option<PlasmaError> = None;
+        for (peer, result) in peers.iter().zip(results) {
             match result {
-                Ok(ReserveResp { granted: true }) => {}
-                Ok(ReserveResp { granted: false }) => {
-                    self.inner.reservations.end_local(id);
-                    return Err(PlasmaError::ObjectExists(id));
+                Ok(body) => match ReserveResp::decode(body) {
+                    Ok(ReserveResp { granted: true }) => {}
+                    Ok(ReserveResp { granted: false }) => denied = true,
+                    Err(e) => {
+                        if failed.is_none() {
+                            failed = Some(PlasmaError::Protocol(format!("reserve response: {e}")));
+                        }
+                    }
+                },
+                Err(PeerFail::Skipped) => {
+                    if unavailable.is_none() {
+                        unavailable = Some(format!("peer {} is down", peer.name));
+                    }
                 }
-                Err(e) => {
-                    self.inner.reservations.end_local(id);
-                    return Err(e);
+                Err(PeerFail::Unreachable(m)) => {
+                    if unavailable.is_none() {
+                        unavailable = Some(m);
+                    }
+                }
+                Err(PeerFail::Rpc(e)) => {
+                    if failed.is_none() {
+                        failed = Some(Self::rpc_err(e));
+                    }
                 }
             }
+        }
+        // A definite denial outranks unavailability: the id provably
+        // exists somewhere, so report that.
+        if denied {
+            self.inner.reservations.end_local(id);
+            return Err(PlasmaError::ObjectExists(id));
+        }
+        if let Some(e) = failed {
+            self.inner.reservations.end_local(id);
+            return Err(e);
+        }
+        if let Some(m) = unavailable {
+            self.inner.reservations.end_local(id);
+            return Err(PlasmaError::PeerUnavailable(m));
         }
         let loc = match self.inner.core.create(id, data_size, metadata_size) {
             Ok(loc) => loc,
@@ -511,9 +792,10 @@ impl ObjectStore for DisaggStore {
                 return Ok(out);
             }
 
-            // Pass 2: remote lookup for misses.
+            // Pass 2: remote lookup for misses (degrades gracefully when
+            // peers are unreachable — their objects just stay missing).
             if self.inner.lookup_remote {
-                self.remote_lookup_pass(ids, &mut out)?;
+                self.remote_lookup_pass(ids, &mut out);
                 if out.iter().all(Option::is_some) {
                     return Ok(out);
                 }
@@ -544,16 +826,17 @@ impl ObjectStore for DisaggStore {
                     *slot = it.next().flatten();
                 }
             }
-            if out.iter().all(Option::is_some)
-                || Instant::now() >= deadline
-            {
+            if out.iter().all(Option::is_some) || Instant::now() >= deadline {
                 return Ok(out);
             }
         }
     }
 
     fn release(&self, id: ObjectId) -> Result<(), PlasmaError> {
-        // Remote-held reference? Feed back to the owner over RPC.
+        // Remote-held reference? Feed back to the owner over RPC. The
+        // local count is decremented optimistically and restored if the
+        // RPC fails — otherwise the pin would be lost locally while the
+        // owner still counts it, leaving the object unevictable forever.
         let owner = {
             let mut held = self.inner.remote_held.lock();
             match held.get_mut(&id) {
@@ -569,23 +852,44 @@ impl ObjectStore for DisaggStore {
             }
         };
         if let Some(owner) = owner {
-            let peer = self
-                .peers_snapshot()
-                .into_iter()
-                .find(|p| p.node == owner)
-                .ok_or_else(|| PlasmaError::Transport(format!("no peer for {owner}")))?;
-            self.inner
-                .counters
-                .releases_forwarded
-                .fetch_add(1, Ordering::Relaxed);
-            let req = ReleaseReq {
-                requester: self.inner.node,
-                id,
+            let result = (|| {
+                let peer = self
+                    .peers_snapshot()
+                    .into_iter()
+                    .find(|p| p.node == owner)
+                    .ok_or_else(|| PlasmaError::Transport(format!("no peer for {owner}")))?;
+                let req = ReleaseReq {
+                    requester: self.inner.node,
+                    id,
+                };
+                match self.peer_call(&peer, method::RELEASE, req.encode()) {
+                    Ok(_) => Ok(()),
+                    Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) => Err(
+                        PlasmaError::PeerUnavailable(format!("owner {} unreachable", peer.name)),
+                    ),
+                    Err(PeerFail::Rpc(e)) => Err(Self::rpc_err(e)),
+                }
+            })();
+            return match result {
+                Ok(()) => {
+                    self.inner
+                        .counters
+                        .releases_forwarded
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                }
+                Err(e) => {
+                    // Restore the decrement: the owner still counts this
+                    // pin, so we must keep counting it too.
+                    self.inner
+                        .remote_held
+                        .lock()
+                        .entry(id)
+                        .and_modify(|entry| entry.1 += 1)
+                        .or_insert((owner, 1));
+                    Err(e)
+                }
             };
-            peer.client
-                .call(method::RELEASE, req.encode())
-                .map_err(Self::rpc_err)?;
-            return Ok(());
         }
         if self.inner.core.exists_any_state(id) {
             return self.inner.core.release(id);
@@ -603,33 +907,49 @@ impl ObjectStore for DisaggStore {
         if self.inner.core.exists_any_state(id) {
             return self.inner.core.delete(id);
         }
-        // Forward to the owning peer.
+        // Forward to the owning peer. An unreachable peer might be the
+        // owner, so `NotFound` is only definite once every peer answered.
+        let mut unreachable: Option<String> = None;
         for peer in self.peers_snapshot() {
             let req = IdReq { id };
-            match peer.client.call(method::DELETE, req.encode()) {
+            match self.peer_call(&peer, method::DELETE, req.encode()) {
                 Ok(_) => {
                     if let Some(cache) = &self.inner.idcache {
                         cache.invalidate(id);
                     }
                     return Ok(());
                 }
-                Err(RpcError::Status(s)) if s.code == StatusCode::NotFound => continue,
-                Err(RpcError::Status(s)) if s.code == StatusCode::FailedPrecondition => {
+                Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::NotFound => {
+                    continue
+                }
+                Err(PeerFail::Rpc(RpcError::Status(s)))
+                    if s.code == StatusCode::FailedPrecondition =>
+                {
                     return Err(PlasmaError::ObjectInUse(id))
                 }
-                Err(e) => return Err(Self::rpc_err(e)),
+                Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
+                Err(PeerFail::Skipped) => {
+                    unreachable.get_or_insert_with(|| format!("peer {} is down", peer.name));
+                }
+                Err(PeerFail::Unreachable(m)) => {
+                    unreachable.get_or_insert(m);
+                }
             }
         }
-        Err(PlasmaError::ObjectNotFound(id))
+        match unreachable {
+            Some(m) => Err(PlasmaError::PeerUnavailable(m)),
+            None => Err(PlasmaError::ObjectNotFound(id)),
+        }
     }
 
     fn delete_deferred(&self, id: ObjectId) -> Result<bool, PlasmaError> {
         if self.inner.core.exists_any_state(id) {
             return self.inner.core.delete_deferred(id);
         }
+        let mut unreachable: Option<String> = None;
         for peer in self.peers_snapshot() {
             let req = IdReq { id };
-            match peer.client.call(method::DELETE_DEFERRED, req.encode()) {
+            match self.peer_call(&peer, method::DELETE_DEFERRED, req.encode()) {
                 Ok(body) => {
                     if let Some(cache) = &self.inner.idcache {
                         cache.invalidate(id);
@@ -638,11 +958,22 @@ impl ObjectStore for DisaggStore {
                         .map_err(|e| PlasmaError::Protocol(format!("deferred delete: {e}")))?;
                     return Ok(resp.value);
                 }
-                Err(RpcError::Status(s)) if s.code == StatusCode::NotFound => continue,
-                Err(e) => return Err(Self::rpc_err(e)),
+                Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::NotFound => {
+                    continue
+                }
+                Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
+                Err(PeerFail::Skipped) => {
+                    unreachable.get_or_insert_with(|| format!("peer {} is down", peer.name));
+                }
+                Err(PeerFail::Unreachable(m)) => {
+                    unreachable.get_or_insert(m);
+                }
             }
         }
-        Err(PlasmaError::ObjectNotFound(id))
+        match unreachable {
+            Some(m) => Err(PlasmaError::PeerUnavailable(m)),
+            None => Err(PlasmaError::ObjectNotFound(id)),
+        }
     }
 
     fn abort(&self, id: ObjectId) -> Result<(), PlasmaError> {
@@ -653,12 +984,15 @@ impl ObjectStore for DisaggStore {
         if self.inner.core.contains(id) {
             return Ok(true);
         }
-        for peer in self.peers_snapshot() {
-            let req = IdReq { id };
-            let body = peer
-                .client
-                .call(method::CONTAINS, req.encode())
-                .map_err(Self::rpc_err)?;
+        // Ask every peer in parallel; unreachable peers count as "not
+        // here" (partial answer, not an error).
+        let peers = self.peers_snapshot();
+        let req_body = IdReq { id }.encode();
+        let answers = self.fanout(&peers, |peer| {
+            self.peer_call(peer, method::CONTAINS, req_body.clone())
+        });
+        for answer in answers {
+            let Ok(body) = answer else { continue };
             let resp = BoolResp::decode(body)
                 .map_err(|e| PlasmaError::Protocol(format!("contains response: {e}")))?;
             if resp.value {
@@ -742,31 +1076,30 @@ impl Service for Interconnect {
                 }
             }
             method::CONTAINS => {
-                let req = IdReq::decode(request)
-                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                let req =
+                    IdReq::decode(request).map_err(|e| Status::invalid_argument(e.to_string()))?;
                 Ok(BoolResp {
                     value: inner.core.contains(req.id),
                 }
                 .encode())
             }
             method::DELETE => {
-                let req = IdReq::decode(request)
-                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                let req =
+                    IdReq::decode(request).map_err(|e| Status::invalid_argument(e.to_string()))?;
                 match inner.core.delete(req.id) {
                     Ok(()) => Ok(Bytes::new()),
                     Err(PlasmaError::ObjectNotFound(_)) => {
                         Err(Status::not_found("object not found"))
                     }
-                    Err(PlasmaError::ObjectInUse(_)) => Err(Status::new(
-                        StatusCode::FailedPrecondition,
-                        "object in use",
-                    )),
+                    Err(PlasmaError::ObjectInUse(_)) => {
+                        Err(Status::new(StatusCode::FailedPrecondition, "object in use"))
+                    }
                     Err(e) => Err(Status::internal(e.to_string())),
                 }
             }
             method::DELETE_DEFERRED => {
-                let req = IdReq::decode(request)
-                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                let req =
+                    IdReq::decode(request).map_err(|e| Status::invalid_argument(e.to_string()))?;
                 match inner.core.delete_deferred(req.id) {
                     Ok(now) => Ok(BoolResp { value: now }.encode()),
                     Err(PlasmaError::ObjectNotFound(_)) => {

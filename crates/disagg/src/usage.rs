@@ -114,7 +114,11 @@ impl Reservations {
     /// Finish (or cancel) a local create; returns true if the reservation
     /// was lost to a concurrent lower-id node while in flight.
     pub fn end_local(&self, id: ObjectId) -> bool {
-        self.mine.lock().remove(&id).map(|p| p.lost).unwrap_or(false)
+        self.mine
+            .lock()
+            .remove(&id)
+            .map(|p| p.lost)
+            .unwrap_or(false)
     }
 
     /// Handle an incoming reservation from `requester` on a store running

@@ -25,10 +25,19 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::Truncated { needed, available } => {
-                write!(f, "truncated payload: need {needed} bytes, have {available}")
+                write!(
+                    f,
+                    "truncated payload: need {needed} bytes, have {available}"
+                )
             }
-            CodecError::BadLength { declared, available } => {
-                write!(f, "bad length prefix: {declared} declared, {available} available")
+            CodecError::BadLength {
+                declared,
+                available,
+            } => {
+                write!(
+                    f,
+                    "bad length prefix: {declared} declared, {available} available"
+                )
             }
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
             CodecError::Invalid(what) => write!(f, "invalid field: {what}"),
@@ -148,11 +157,10 @@ impl Dec {
     /// Length-prefixed byte string (zero-copy slice of the payload).
     pub fn bytes(&mut self) -> Result<Bytes, CodecError> {
         let len = self.u64()?;
-        let len_usize =
-            usize::try_from(len).map_err(|_| CodecError::BadLength {
-                declared: len,
-                available: self.buf.len(),
-            })?;
+        let len_usize = usize::try_from(len).map_err(|_| CodecError::BadLength {
+            declared: len,
+            available: self.buf.len(),
+        })?;
         if self.buf.len() < len_usize {
             return Err(CodecError::BadLength {
                 declared: len,

@@ -31,9 +31,8 @@ impl Frame {
 
     /// Serialize to a writer.
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        let len = u32::try_from(self.payload.len()).map_err(|_| {
-            io::Error::new(io::ErrorKind::InvalidInput, "frame payload too large")
-        })?;
+        let len = u32::try_from(self.payload.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame payload too large"))?;
         if len > MAX_FRAME_LEN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -113,7 +112,9 @@ mod tests {
     fn multiple_frames_stream() {
         let mut buf = Vec::new();
         for i in 0..5u32 {
-            Frame::new(i, vec![i as u8; i as usize]).write_to(&mut buf).unwrap();
+            Frame::new(i, vec![i as u8; i as usize])
+                .write_to(&mut buf)
+                .unwrap();
         }
         let mut r = &buf[..];
         for i in 0..5u32 {

@@ -23,6 +23,7 @@ pub struct InprocConn {
     tx: Sender<Frame>,
     rx: Receiver<Frame>,
     label: String,
+    recv_timeout: Option<Duration>,
 }
 
 impl InprocConn {
@@ -34,11 +35,13 @@ impl InprocConn {
                 tx: atx,
                 rx: arx,
                 label: b.to_string(),
+                recv_timeout: None,
             },
             InprocConn {
                 tx: btx,
                 rx: brx,
                 label: a.to_string(),
+                recv_timeout: None,
             },
         )
     }
@@ -52,9 +55,28 @@ impl Conn for InprocConn {
     }
 
     fn recv(&mut self) -> io::Result<Frame> {
-        self.rx
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "inproc peer closed"))
+        match self.recv_timeout {
+            None => self
+                .rx
+                .recv()
+                .map_err(|_| io::Error::new(io::ErrorKind::UnexpectedEof, "inproc peer closed")),
+            Some(timeout) => match self.rx.recv_timeout(timeout) {
+                Ok(frame) => Ok(frame),
+                Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "inproc recv timed out",
+                )),
+                Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "inproc peer closed",
+                )),
+            },
+        }
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.recv_timeout = timeout;
+        Ok(())
     }
 
     fn peer(&self) -> String {
@@ -129,7 +151,10 @@ impl Listener for InprocListener {
     fn accept(&mut self) -> io::Result<Box<dyn Conn>> {
         loop {
             if self.stop.is_stopped() {
-                return Err(io::Error::new(io::ErrorKind::Interrupted, "listener stopped"));
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "listener stopped",
+                ));
             }
             match self.rx.recv_timeout(POLL) {
                 Ok(conn) => return Ok(Box::new(conn)),
@@ -223,7 +248,40 @@ mod tests {
         let client = hub.connect("s").unwrap();
         let mut server = listener.accept().unwrap();
         drop(client);
-        assert_eq!(server.recv().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(
+            server.recv().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_conn_survives() {
+        let hub = InprocHub::new();
+        let mut listener = hub.bind("s").unwrap();
+        let mut client = hub.connect("s").unwrap();
+        let mut server = listener.accept().unwrap();
+        server
+            .set_recv_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(server.recv().unwrap_err().kind(), io::ErrorKind::TimedOut);
+        client.send(&Frame::new(3, &b"late"[..])).unwrap();
+        assert_eq!(&server.recv().unwrap().payload[..], b"late");
+    }
+
+    #[test]
+    fn peer_drop_under_timeout_is_eof() {
+        let hub = InprocHub::new();
+        let mut listener = hub.bind("s").unwrap();
+        let client = hub.connect("s").unwrap();
+        let mut server = listener.accept().unwrap();
+        server
+            .set_recv_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        drop(client);
+        assert_eq!(
+            server.recv().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! TCP transport — the scale-out variant of the Unix-socket transport.
+//!
+//! The paper's store interconnect runs gRPC over TCP between rack nodes;
+//! this transport carries the same [`Frame`] protocol over a `TcpStream`
+//! so multi-host deployments (and tests that want real sockets with
+//! loopback latency) work without touching the store code. Framing,
+//! listener polling, and recv-timeout semantics are identical to
+//! [`crate::uds`].
+
+use crate::frame::Frame;
+use crate::transport::{Conn, Listener, StopHandle};
+use crate::uds::os_timeout;
+use std::io::{self, BufRead, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener as StdTcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+const POLL: Duration = Duration::from_millis(10);
+
+/// A framed connection over a TCP stream.
+pub struct TcpConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    label: String,
+    recv_timeout: Option<Duration>,
+}
+
+impl TcpConn {
+    /// Connect to a listening endpoint.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let label = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp-peer".to_string());
+        Self::from_stream(stream, label)
+    }
+
+    fn from_stream(stream: TcpStream, label: String) -> io::Result<Self> {
+        // Frames are small control messages; don't batch them.
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(TcpConn {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            label,
+            recv_timeout: None,
+        })
+    }
+}
+
+impl Conn for TcpConn {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        frame.write_to(&mut self.writer)
+    }
+
+    fn recv(&mut self) -> io::Result<Frame> {
+        if let Some(timeout) = self.recv_timeout {
+            self.reader
+                .get_ref()
+                .set_read_timeout(Some(os_timeout(timeout)))?;
+            let arrived = await_first_byte(&mut self.reader, timeout);
+            self.reader.get_ref().set_read_timeout(None)?;
+            arrived?;
+        }
+        Frame::read_from(&mut self.reader)
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.recv_timeout = timeout;
+        Ok(())
+    }
+
+    fn peer(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// See `uds::await_first_byte`; duplicated because `BufReader<S>` exposes
+/// the timeout handle via `get_ref`, which a shared helper cannot reach
+/// generically for both socket types.
+fn await_first_byte(reader: &mut BufReader<TcpStream>, timeout: Duration) -> io::Result<()> {
+    match reader.fill_buf() {
+        Ok([]) => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed while awaiting frame",
+        )),
+        Ok(_) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("no frame within {timeout:?}"),
+            ))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Listener on a TCP socket address.
+pub struct TcpListener {
+    listener: StdTcpListener,
+    addr: SocketAddr,
+    stop: StopHandle,
+}
+
+impl TcpListener {
+    /// Bind `addr`. Use port 0 to let the OS pick; [`Listener::addr`]
+    /// reports the actual endpoint.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = StdTcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        Ok(TcpListener {
+            listener,
+            addr,
+            stop: StopHandle::new(),
+        })
+    }
+}
+
+impl Listener for TcpListener {
+    fn accept(&mut self) -> io::Result<Box<dyn Conn>> {
+        loop {
+            if self.stop.is_stopped() {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "listener stopped",
+                ));
+            }
+            match self.listener.accept() {
+                Ok((stream, peer)) => {
+                    stream.set_nonblocking(false)?;
+                    let conn = TcpConn::from_stream(stream, peer.to_string())?;
+                    return Ok(Box::new(conn));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn stop_handle(&self) -> StopHandle {
+        self.stop.clone()
+    }
+
+    fn addr(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn pair() -> (Box<dyn Conn>, TcpConn) {
+        let mut listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.addr();
+        let client = TcpConn::connect(&addr).unwrap();
+        let server = listener.accept().unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn connect_and_exchange() {
+        let (mut server, mut client) = pair();
+        client.send(&Frame::new(1, &b"ping"[..])).unwrap();
+        assert_eq!(&server.recv().unwrap().payload[..], b"ping");
+        server.send(&Frame::new(2, &b"pong"[..])).unwrap();
+        assert_eq!(&client.recv().unwrap().payload[..], b"pong");
+    }
+
+    #[test]
+    fn large_frame_roundtrip() {
+        let (mut server, mut client) = pair();
+        let payload = vec![0x5Au8; 1 << 20];
+        let t = std::thread::spawn(move || {
+            client.send(&Frame::new(9, payload)).unwrap();
+            client
+        });
+        let f = server.recv().unwrap();
+        assert_eq!(f.payload.len(), 1 << 20);
+        assert!(f.payload.iter().all(|&b| b == 0x5A));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_conn_survives() {
+        let (mut server, mut client) = pair();
+        server
+            .set_recv_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        let t0 = Instant::now();
+        let err = server.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        // The stream is still synchronized: a frame sent later arrives.
+        client.send(&Frame::new(3, &b"late"[..])).unwrap();
+        assert_eq!(&server.recv().unwrap().payload[..], b"late");
+    }
+
+    #[test]
+    fn recv_timeout_cleared_blocks_again() {
+        let (mut server, mut client) = pair();
+        server
+            .set_recv_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(server.recv().unwrap_err().kind(), io::ErrorKind::TimedOut);
+        server.set_recv_timeout(None).unwrap();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            client.send(&Frame::new(1, &b"x"[..])).unwrap();
+            client
+        });
+        assert_eq!(&server.recv().unwrap().payload[..], b"x");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn peer_close_is_eof_not_timeout() {
+        let (mut server, client) = pair();
+        server
+            .set_recv_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        drop(client);
+        let err = server.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn stop_unblocks_accept() {
+        let mut listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stop = listener.stop_handle();
+        let t = std::thread::spawn(move || listener.accept().map(|_| ()));
+        std::thread::sleep(Duration::from_millis(30));
+        stop.stop();
+        assert_eq!(
+            t.join().unwrap().unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
+    }
+}

@@ -7,6 +7,7 @@
 
 use crate::frame::Frame;
 use std::io;
+use std::time::Duration;
 
 /// A bidirectional, blocking, framed connection.
 pub trait Conn: Send {
@@ -15,6 +16,18 @@ pub trait Conn: Send {
 
     /// Receive one frame, blocking. `UnexpectedEof` once the peer is gone.
     fn recv(&mut self) -> io::Result<Frame>;
+
+    /// Bound how long subsequent [`Conn::recv`] calls wait for the next
+    /// frame to *begin* arriving; `None` restores indefinite blocking.
+    ///
+    /// A `recv` that sees no frame within the window fails with
+    /// [`io::ErrorKind::TimedOut`] and consumes nothing, so the
+    /// connection stays usable. Once a frame has started arriving its
+    /// remainder is read without the bound (senders write frames
+    /// atomically, so arrival of the first byte implies the rest is in
+    /// flight) — the bound is a liveness check on the peer, not a
+    /// transfer-rate limit.
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
 
     /// A short label describing the peer (diagnostics only).
     fn peer(&self) -> String;

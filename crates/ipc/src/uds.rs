@@ -8,7 +8,7 @@
 
 use crate::frame::Frame;
 use crate::transport::{Conn, Listener, StopHandle};
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufRead, BufReader, BufWriter};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -20,6 +20,7 @@ pub struct UdsConn {
     reader: BufReader<UnixStream>,
     writer: BufWriter<UnixStream>,
     label: String,
+    recv_timeout: Option<Duration>,
 }
 
 impl UdsConn {
@@ -35,8 +36,39 @@ impl UdsConn {
             reader: BufReader::new(stream),
             writer: BufWriter::new(write_half),
             label,
+            recv_timeout: None,
         })
     }
+}
+
+/// Wait for at least one readable byte within `timeout`, without
+/// consuming it. Distinguishes "peer idle" (TimedOut, stream intact) from
+/// "peer gone" (UnexpectedEof), so a bounded `recv` never desynchronizes
+/// the byte stream.
+fn await_first_byte<S>(reader: &mut BufReader<S>, timeout: Duration) -> io::Result<()>
+where
+    S: io::Read,
+{
+    match reader.fill_buf() {
+        Ok([]) => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "peer closed while awaiting frame",
+        )),
+        Ok(_) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("no frame within {timeout:?}"),
+            ))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// OS read timeouts reject `Duration::ZERO`; clamp to the smallest
+/// representable bound instead.
+pub(crate) fn os_timeout(timeout: Duration) -> Duration {
+    timeout.max(Duration::from_micros(1))
 }
 
 impl Conn for UdsConn {
@@ -45,7 +77,22 @@ impl Conn for UdsConn {
     }
 
     fn recv(&mut self) -> io::Result<Frame> {
+        if let Some(timeout) = self.recv_timeout {
+            // Bound the wait for the frame to start, then read its
+            // remainder blocking (see `Conn::set_recv_timeout`).
+            self.reader
+                .get_ref()
+                .set_read_timeout(Some(os_timeout(timeout)))?;
+            let arrived = await_first_byte(&mut self.reader, timeout);
+            self.reader.get_ref().set_read_timeout(None)?;
+            arrived?;
+        }
         Frame::read_from(&mut self.reader)
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.recv_timeout = timeout;
+        Ok(())
     }
 
     fn peer(&self) -> String {
@@ -82,7 +129,10 @@ impl Listener for UdsListener {
     fn accept(&mut self) -> io::Result<Box<dyn Conn>> {
         loop {
             if self.stop.is_stopped() {
-                return Err(io::Error::new(io::ErrorKind::Interrupted, "listener stopped"));
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "listener stopped",
+                ));
             }
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -163,6 +213,37 @@ mod tests {
     }
 
     #[test]
+    fn recv_timeout_expires_and_conn_survives() {
+        let path = tmp_sock("timeout");
+        let mut listener = UdsListener::bind(&path).unwrap();
+        let mut client = UdsConn::connect(&path).unwrap();
+        let mut server = listener.accept().unwrap();
+        server
+            .set_recv_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(server.recv().unwrap_err().kind(), io::ErrorKind::TimedOut);
+        // The stream is still synchronized: a frame sent later arrives.
+        client.send(&Frame::new(3, &b"late"[..])).unwrap();
+        assert_eq!(&server.recv().unwrap().payload[..], b"late");
+    }
+
+    #[test]
+    fn peer_close_under_timeout_is_eof() {
+        let path = tmp_sock("timeout-eof");
+        let mut listener = UdsListener::bind(&path).unwrap();
+        let client = UdsConn::connect(&path).unwrap();
+        let mut server = listener.accept().unwrap();
+        server
+            .set_recv_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        drop(client);
+        assert_eq!(
+            server.recv().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
     fn stop_unblocks_accept() {
         let path = tmp_sock("stop");
         let mut listener = UdsListener::bind(&path).unwrap();
@@ -170,7 +251,10 @@ mod tests {
         let t = std::thread::spawn(move || listener.accept().map(|_| ()));
         std::thread::sleep(Duration::from_millis(30));
         stop.stop();
-        assert_eq!(t.join().unwrap().unwrap_err().kind(), io::ErrorKind::Interrupted);
+        assert_eq!(
+            t.join().unwrap().unwrap_err().kind(),
+            io::ErrorKind::Interrupted
+        );
     }
 
     #[test]

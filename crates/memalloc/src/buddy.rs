@@ -41,7 +41,11 @@ impl Buddy {
             capacity
         } else {
             // Largest power of two <= capacity (0 if capacity == 0).
-            if capacity == 0 { 0 } else { 1 << (63 - capacity.leading_zeros()) }
+            if capacity == 0 {
+                0
+            } else {
+                1 << (63 - capacity.leading_zeros())
+            }
         };
         let max_order = if usable == 0 {
             MIN_ORDER

@@ -79,7 +79,13 @@ pub struct ReplayOutcome {
 impl Trace {
     /// Generate `n_ops` operations targeting roughly `target_fill` (0..1)
     /// utilization of a region of `capacity` bytes.
-    pub fn generate(spec: TraceSpec, n_ops: usize, capacity: u64, target_fill: f64, seed: u64) -> Self {
+    pub fn generate(
+        spec: TraceSpec,
+        n_ops: usize,
+        capacity: u64,
+        target_fill: f64,
+        seed: u64,
+    ) -> Self {
         let mut rng = SplitMix64(seed);
         let mut ops = Vec::with_capacity(n_ops);
         let budget = (capacity as f64 * target_fill.clamp(0.05, 0.95)) as u64;
@@ -207,16 +213,40 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = Trace::generate(TraceSpec::Uniform { min: 64, max: 4096 }, 500, 1 << 22, 0.5, 42);
-        let b = Trace::generate(TraceSpec::Uniform { min: 64, max: 4096 }, 500, 1 << 22, 0.5, 42);
+        let a = Trace::generate(
+            TraceSpec::Uniform { min: 64, max: 4096 },
+            500,
+            1 << 22,
+            0.5,
+            42,
+        );
+        let b = Trace::generate(
+            TraceSpec::Uniform { min: 64, max: 4096 },
+            500,
+            1 << 22,
+            0.5,
+            42,
+        );
         assert_eq!(a.ops, b.ops);
-        let c = Trace::generate(TraceSpec::Uniform { min: 64, max: 4096 }, 500, 1 << 22, 0.5, 43);
+        let c = Trace::generate(
+            TraceSpec::Uniform { min: 64, max: 4096 },
+            500,
+            1 << 22,
+            0.5,
+            43,
+        );
         assert_ne!(a.ops, c.ops);
     }
 
     #[test]
     fn replay_succeeds_on_all_allocators() {
-        let t = Trace::generate(TraceSpec::Uniform { min: 64, max: 8192 }, 2000, 1 << 24, 0.6, 7);
+        let t = Trace::generate(
+            TraceSpec::Uniform { min: 64, max: 8192 },
+            2000,
+            1 << 24,
+            0.6,
+            7,
+        );
         for mut a in [
             Box::new(FirstFit::new(1 << 24)) as Box<dyn RegionAllocator>,
             Box::new(SizeMap::new(1 << 24)),
@@ -232,8 +262,13 @@ mod tests {
     #[test]
     fn skewed_sizes_are_mostly_small() {
         let mut rng = SplitMix64(1);
-        let spec = TraceSpec::Skewed { max: 1 << 20, alpha: 2.0 };
-        let sizes: Vec<u64> = (0..1000).map(|_| Trace::draw_size(spec, &mut rng)).collect();
+        let spec = TraceSpec::Skewed {
+            max: 1 << 20,
+            alpha: 2.0,
+        };
+        let sizes: Vec<u64> = (0..1000)
+            .map(|_| Trace::draw_size(spec, &mut rng))
+            .collect();
         let small = sizes.iter().filter(|&&s| s < 1024).count();
         assert!(small > 700, "only {small} of 1000 below 1 KiB");
         assert!(sizes.iter().all(|&s| (64..=1 << 20).contains(&s)));
@@ -253,9 +288,22 @@ mod tests {
 
     #[test]
     fn churn_alternates_bursts() {
-        let t = Trace::generate(TraceSpec::Churn { size: 1024, burst: 4 }, 32, 1 << 20, 0.9, 3);
+        let t = Trace::generate(
+            TraceSpec::Churn {
+                size: 1024,
+                burst: 4,
+            },
+            32,
+            1 << 20,
+            0.9,
+            3,
+        );
         // Expect runs of 4 allocs / 4 frees (first burst toggles immediately).
-        let allocs = t.ops.iter().filter(|o| matches!(o, TraceOp::Alloc { .. })).count();
+        let allocs = t
+            .ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::Alloc { .. }))
+            .count();
         assert!((12..=20).contains(&allocs), "allocs={allocs}");
     }
 }

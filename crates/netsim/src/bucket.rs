@@ -80,7 +80,7 @@ mod tests {
     fn idle_gap_resets_queue() {
         let b = TokenBucket::new(1_000_000.0);
         let _ = b.reserve(Duration::ZERO, 1_000_000); // busy until t=1s
-        // Arriving at t=5s, the link is idle again.
+                                                      // Arriving at t=5s, the link is idle again.
         let d = b.reserve(Duration::from_secs(5), 1_000_000);
         assert_eq!(d, Duration::from_secs(1));
     }

@@ -227,7 +227,10 @@ mod tests {
             sigma: 0.25,
         };
         let samples: Vec<Duration> = (0..5000).map(|_| l.sample(&mut r)).collect();
-        let above = samples.iter().filter(|d| **d > Duration::from_millis(2)).count();
+        let above = samples
+            .iter()
+            .filter(|d| **d > Duration::from_millis(2))
+            .count();
         // Median property: ~half above.
         assert!((2200..2800).contains(&above), "above={above}");
         let max = samples.iter().max().unwrap();

@@ -202,7 +202,9 @@ impl PlasmaClient {
     fn request_unit(&self, req: Request) -> Result<(), PlasmaError> {
         match self.request(req)? {
             Response::Unit => Ok(()),
-            other => Err(PlasmaError::Protocol(format!("expected Unit, got {other:?}"))),
+            other => Err(PlasmaError::Protocol(format!(
+                "expected Unit, got {other:?}"
+            ))),
         }
     }
 
@@ -249,12 +251,7 @@ impl PlasmaClient {
     }
 
     /// Convenience: create, write, seal in one call.
-    pub fn put(
-        &self,
-        id: ObjectId,
-        data: &[u8],
-        metadata: &[u8],
-    ) -> Result<ObjectId, PlasmaError> {
+    pub fn put(&self, id: ObjectId, data: &[u8], metadata: &[u8]) -> Result<ObjectId, PlasmaError> {
         let builder = self.create(id, data.len() as u64, metadata.len() as u64)?;
         if !data.is_empty() {
             builder.write(0, data)?;
@@ -329,7 +326,9 @@ impl PlasmaClient {
     pub fn delete_deferred(&self, id: ObjectId) -> Result<bool, PlasmaError> {
         match self.request(Request::DeleteDeferred(id))? {
             Response::Bool(b) => Ok(b),
-            other => Err(PlasmaError::Protocol(format!("expected Bool, got {other:?}"))),
+            other => Err(PlasmaError::Protocol(format!(
+                "expected Bool, got {other:?}"
+            ))),
         }
     }
 
@@ -337,7 +336,9 @@ impl PlasmaClient {
     pub fn contains(&self, id: ObjectId) -> Result<bool, PlasmaError> {
         match self.request(Request::Contains(id))? {
             Response::Bool(b) => Ok(b),
-            other => Err(PlasmaError::Protocol(format!("expected Bool, got {other:?}"))),
+            other => Err(PlasmaError::Protocol(format!(
+                "expected Bool, got {other:?}"
+            ))),
         }
     }
 
@@ -345,7 +346,9 @@ impl PlasmaClient {
     pub fn list(&self) -> Result<Vec<ObjectInfo>, PlasmaError> {
         match self.request(Request::List)? {
             Response::List(l) => Ok(l),
-            other => Err(PlasmaError::Protocol(format!("expected List, got {other:?}"))),
+            other => Err(PlasmaError::Protocol(format!(
+                "expected List, got {other:?}"
+            ))),
         }
     }
 
@@ -363,7 +366,9 @@ impl PlasmaClient {
     pub fn evict(&self, bytes: u64) -> Result<u64, PlasmaError> {
         match self.request(Request::Evict(bytes))? {
             Response::U64(v) => Ok(v),
-            other => Err(PlasmaError::Protocol(format!("expected U64, got {other:?}"))),
+            other => Err(PlasmaError::Protocol(format!(
+                "expected U64, got {other:?}"
+            ))),
         }
     }
 }

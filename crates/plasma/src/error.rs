@@ -29,6 +29,9 @@ pub enum PlasmaError {
     Protocol(String),
     /// `get` timed out waiting for objects to appear.
     Timeout,
+    /// A peer store required to satisfy the operation is unreachable
+    /// (down, or unresponsive past its deadline and retries).
+    PeerUnavailable(String),
 }
 
 impl fmt::Display for PlasmaError {
@@ -38,15 +41,24 @@ impl fmt::Display for PlasmaError {
             PlasmaError::ObjectNotFound(id) => write!(f, "object {id:?} not found"),
             PlasmaError::NotSealed(id) => write!(f, "object {id:?} is not sealed"),
             PlasmaError::AlreadySealed(id) => write!(f, "object {id:?} is already sealed"),
-            PlasmaError::OutOfMemory { requested, capacity } => {
-                write!(f, "store out of memory: requested {requested} of {capacity} capacity")
+            PlasmaError::OutOfMemory {
+                requested,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "store out of memory: requested {requested} of {capacity} capacity"
+                )
             }
             PlasmaError::ObjectInUse(id) => write!(f, "object {id:?} is in use"),
-            PlasmaError::NotReferenced(id) => write!(f, "object {id:?} is not referenced by caller"),
+            PlasmaError::NotReferenced(id) => {
+                write!(f, "object {id:?} is not referenced by caller")
+            }
             PlasmaError::Fabric(m) => write!(f, "fabric error: {m}"),
             PlasmaError::Transport(m) => write!(f, "transport error: {m}"),
             PlasmaError::Protocol(m) => write!(f, "protocol error: {m}"),
             PlasmaError::Timeout => write!(f, "timed out"),
+            PlasmaError::PeerUnavailable(m) => write!(f, "peer unavailable: {m}"),
         }
     }
 }
@@ -86,6 +98,7 @@ impl PlasmaError {
             PlasmaError::Transport(_) => 9,
             PlasmaError::Protocol(_) => 10,
             PlasmaError::Timeout => 11,
+            PlasmaError::PeerUnavailable(_) => 12,
         }
     }
 
@@ -95,12 +108,16 @@ impl PlasmaError {
             2 => PlasmaError::ObjectNotFound(id),
             3 => PlasmaError::NotSealed(id),
             4 => PlasmaError::AlreadySealed(id),
-            5 => PlasmaError::OutOfMemory { requested: a, capacity: b },
+            5 => PlasmaError::OutOfMemory {
+                requested: a,
+                capacity: b,
+            },
             6 => PlasmaError::ObjectInUse(id),
             7 => PlasmaError::NotReferenced(id),
             8 => PlasmaError::Fabric(detail.to_string()),
             9 => PlasmaError::Transport(detail.to_string()),
             11 => PlasmaError::Timeout,
+            12 => PlasmaError::PeerUnavailable(detail.to_string()),
             _ => PlasmaError::Protocol(detail.to_string()),
         }
     }
@@ -118,23 +135,31 @@ mod tests {
             PlasmaError::ObjectNotFound(id),
             PlasmaError::NotSealed(id),
             PlasmaError::AlreadySealed(id),
-            PlasmaError::OutOfMemory { requested: 10, capacity: 5 },
+            PlasmaError::OutOfMemory {
+                requested: 10,
+                capacity: 5,
+            },
             PlasmaError::ObjectInUse(id),
             PlasmaError::NotReferenced(id),
             PlasmaError::Fabric("f".into()),
             PlasmaError::Transport("t".into()),
             PlasmaError::Protocol("p".into()),
             PlasmaError::Timeout,
+            PlasmaError::PeerUnavailable("peer-2 down".into()),
         ];
         for e in cases {
             let (a, b) = match &e {
-                PlasmaError::OutOfMemory { requested, capacity } => (*requested, *capacity),
+                PlasmaError::OutOfMemory {
+                    requested,
+                    capacity,
+                } => (*requested, *capacity),
                 _ => (0, 0),
             };
             let detail = match &e {
-                PlasmaError::Fabric(m) | PlasmaError::Transport(m) | PlasmaError::Protocol(m) => {
-                    m.clone()
-                }
+                PlasmaError::Fabric(m)
+                | PlasmaError::Transport(m)
+                | PlasmaError::Protocol(m)
+                | PlasmaError::PeerUnavailable(m) => m.clone(),
                 _ => String::new(),
             };
             let back = PlasmaError::from_code(e.to_code(), id, &detail, a, b);

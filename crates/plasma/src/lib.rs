@@ -160,7 +160,9 @@ mod end_to_end {
         let out = client.get(&[missing], Duration::from_millis(40)).unwrap();
         assert!(out[0].is_none());
         assert_eq!(
-            client.get_one(missing, Duration::from_millis(20)).unwrap_err(),
+            client
+                .get_one(missing, Duration::from_millis(20))
+                .unwrap_err(),
             PlasmaError::Timeout
         );
     }
@@ -187,8 +189,7 @@ mod end_to_end {
     fn notifications_stream_seals() {
         let r = rig(1 << 20);
         let client = client_on(&r, r.store.node());
-        let mut notif =
-            Notifications::subscribe(Box::new(r.hub.connect("s0").unwrap())).unwrap();
+        let mut notif = Notifications::subscribe(Box::new(r.hub.connect("s0").unwrap())).unwrap();
         let id = ObjectId::from_name("announced");
         client.put(id, b"hello", &[]).unwrap();
         let loc = notif.recv().unwrap();

@@ -178,8 +178,8 @@ impl Request {
             tag::GET => {
                 let timeout_ms = d.u64()?;
                 let n = d.u64()?;
-                let n = usize::try_from(n)
-                    .map_err(|_| PlasmaError::Protocol("get count".into()))?;
+                let n =
+                    usize::try_from(n).map_err(|_| PlasmaError::Protocol("get count".into()))?;
                 if n > 1_000_000 {
                     return Err(PlasmaError::Protocol("get batch too large".into()));
                 }
@@ -199,7 +199,9 @@ impl Request {
             tag::EVICT => Request::Evict(d.u64()?),
             tag::SUBSCRIBE => Request::Subscribe,
             other => {
-                return Err(PlasmaError::Protocol(format!("unknown request tag {other}")))
+                return Err(PlasmaError::Protocol(format!(
+                    "unknown request tag {other}"
+                )))
             }
         };
         d.finish()?;
@@ -279,14 +281,18 @@ impl Response {
                 };
                 put_id(&mut e, &id);
                 let (a, b) = match err {
-                    PlasmaError::OutOfMemory { requested, capacity } => (*requested, *capacity),
+                    PlasmaError::OutOfMemory {
+                        requested,
+                        capacity,
+                    } => (*requested, *capacity),
                     _ => (0, 0),
                 };
                 e.u64(a).u64(b);
                 let detail = match err {
                     PlasmaError::Fabric(m)
                     | PlasmaError::Transport(m)
-                    | PlasmaError::Protocol(m) => m.as_str(),
+                    | PlasmaError::Protocol(m)
+                    | PlasmaError::PeerUnavailable(m) => m.as_str(),
                     _ => "",
                 };
                 e.str(detail);
@@ -467,6 +473,7 @@ mod tests {
                 capacity: 5,
             }),
             Response::Error(PlasmaError::Protocol("oops".into())),
+            Response::Error(PlasmaError::PeerUnavailable("peer store-2 is down".into())),
             Response::Notify(loc(7)),
         ];
         for resp in cases {

@@ -100,7 +100,9 @@ fn dispatch(store: &Arc<dyn ObjectStore>, req: Request) -> Response {
             id,
             data_size,
             metadata_size,
-        } => store.create(id, data_size, metadata_size).map(Response::Location),
+        } => store
+            .create(id, data_size, metadata_size)
+            .map(Response::Location),
         Request::Seal(id) => store.seal(id).map(Response::Location),
         Request::Get { ids, timeout_ms } => {
             let timeout = Duration::from_millis(timeout_ms).min(MAX_GET_WAIT);

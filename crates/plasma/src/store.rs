@@ -149,7 +149,10 @@ struct State {
 
 impl State {
     fn allocated_bytes(&self) -> u64 {
-        self.segs.iter().map(|s| s.alloc.stats().allocated_bytes).sum()
+        self.segs
+            .iter()
+            .map(|s| s.alloc.stats().allocated_bytes)
+            .sum()
     }
 }
 
@@ -718,7 +721,10 @@ mod tests {
         s.create(id(1), 10, 0).unwrap();
         s.seal(id(1)).unwrap();
         // refcount: creator=1
-        assert_eq!(s.delete(id(1)).unwrap_err(), PlasmaError::ObjectInUse(id(1)));
+        assert_eq!(
+            s.delete(id(1)).unwrap_err(),
+            PlasmaError::ObjectInUse(id(1))
+        );
         s.release(id(1)).unwrap();
         s.delete(id(1)).unwrap();
         assert!(!s.contains(id(1)));
@@ -742,13 +748,19 @@ mod tests {
         let s = store(1 << 20);
         s.create(id(1), 10, 0).unwrap();
         // Creator still holds a ref, and it's unsealed.
-        assert_eq!(s.delete(id(1)).unwrap_err(), PlasmaError::ObjectInUse(id(1)));
+        assert_eq!(
+            s.delete(id(1)).unwrap_err(),
+            PlasmaError::ObjectInUse(id(1))
+        );
         s.abort(id(1)).unwrap();
         assert!(!s.exists_any_state(id(1)));
         // Abort of a sealed object is rejected.
         s.create(id(2), 10, 0).unwrap();
         s.seal(id(2)).unwrap();
-        assert_eq!(s.abort(id(2)).unwrap_err(), PlasmaError::AlreadySealed(id(2)));
+        assert_eq!(
+            s.abort(id(2)).unwrap_err(),
+            PlasmaError::AlreadySealed(id(2))
+        );
     }
 
     #[test]
@@ -867,7 +879,7 @@ mod tests {
     #[test]
     fn eviction_reclaims_lru_unreferenced() {
         let s = store(1 << 20); // 1 MiB
-        // Three ~300 KiB objects fill most of the store.
+                                // Three ~300 KiB objects fill most of the store.
         for n in 1..=3u8 {
             s.create(id(n), 300 << 10, 0).unwrap();
             s.seal(id(n)).unwrap();
@@ -963,8 +975,7 @@ mod tests {
         s.seal(id(2)).unwrap();
         let infos = s.list();
         assert_eq!(infos.len(), 2);
-        let by_id: HashMap<ObjectId, ObjectInfo> =
-            infos.into_iter().map(|i| (i.id, i)).collect();
+        let by_id: HashMap<ObjectId, ObjectInfo> = infos.into_iter().map(|i| (i.id, i)).collect();
         assert_eq!(by_id[&id(1)].state, ObjectState::Created);
         assert_eq!(by_id[&id(2)].state, ObjectState::Sealed);
     }

@@ -62,16 +62,21 @@ fn run(kind: AllocatorKind, ops: Vec<Op>) -> Result<(), TestCaseError> {
         match op {
             Op::Create { name, size } => {
                 let r = store.create(oid(name), u64::from(size), 0);
-                if model.contains_key(&name) {
-                    prop_assert_eq!(r.unwrap_err(), PlasmaError::ObjectExists(oid(name)));
-                } else {
+                if let std::collections::hash_map::Entry::Vacant(slot) = model.entry(name) {
                     match r {
                         Ok(_) => {
-                            model.insert(name, ModelObj { size, sealed: false, refs: 1, doomed: false });
+                            slot.insert(ModelObj {
+                                size,
+                                sealed: false,
+                                refs: 1,
+                                doomed: false,
+                            });
                         }
                         Err(PlasmaError::OutOfMemory { .. }) => {} // store full; model unchanged
                         Err(e) => prop_assert!(false, "unexpected create error {e:?}"),
                     }
+                } else {
+                    prop_assert_eq!(r.unwrap_err(), PlasmaError::ObjectExists(oid(name)));
                 }
             }
             Op::Seal { name } => {
@@ -81,7 +86,9 @@ fn run(kind: AllocatorKind, ops: Vec<Op>) -> Result<(), TestCaseError> {
                         r.unwrap();
                         m.sealed = true;
                     }
-                    Some(_) => prop_assert_eq!(r.unwrap_err(), PlasmaError::AlreadySealed(oid(name))),
+                    Some(_) => {
+                        prop_assert_eq!(r.unwrap_err(), PlasmaError::AlreadySealed(oid(name)))
+                    }
                     None => prop_assert_eq!(r.unwrap_err(), PlasmaError::ObjectNotFound(oid(name))),
                 }
             }
@@ -106,7 +113,9 @@ fn run(kind: AllocatorKind, ops: Vec<Op>) -> Result<(), TestCaseError> {
                             model.remove(&name);
                         }
                     }
-                    Some(_) => prop_assert_eq!(r.unwrap_err(), PlasmaError::NotReferenced(oid(name))),
+                    Some(_) => {
+                        prop_assert_eq!(r.unwrap_err(), PlasmaError::NotReferenced(oid(name)))
+                    }
                     None => prop_assert_eq!(r.unwrap_err(), PlasmaError::ObjectNotFound(oid(name))),
                 }
             }
@@ -150,7 +159,9 @@ fn run(kind: AllocatorKind, ops: Vec<Op>) -> Result<(), TestCaseError> {
                         r.unwrap();
                         model.remove(&name);
                     }
-                    Some(_) => prop_assert_eq!(r.unwrap_err(), PlasmaError::AlreadySealed(oid(name))),
+                    Some(_) => {
+                        prop_assert_eq!(r.unwrap_err(), PlasmaError::AlreadySealed(oid(name)))
+                    }
                     None => prop_assert_eq!(r.unwrap_err(), PlasmaError::ObjectNotFound(oid(name))),
                 }
             }

@@ -5,15 +5,29 @@
 //! one modeled network round-trip — this is where the milliseconds and the
 //! jitter of the paper's Fig. 6 remote path come from, since the in-process
 //! exchange itself is nearly free.
+//!
+//! ## Deadlines and reconnection
+//!
+//! [`RpcClient::call_with_deadline`] bounds how long a call waits for its
+//! response; an expired deadline surfaces as [`RpcError::Deadline`]. A
+//! failed call (deadline, transport, or protocol error) *poisons* the
+//! connection — the stream may hold a stale response whose call id no
+//! longer matches anything — so the client drops it. If the client was
+//! built with a connector ([`RpcClient::with_connector`]) the next call
+//! transparently redials; otherwise subsequent calls fail with
+//! `Transport(NotConnected)` until the client is replaced. This mirrors
+//! gRPC channel behavior: a channel outlives any one TCP connection.
 
 use crate::envelope::{Request, Response, FRAME_RESPONSE};
-use crate::service::Status;
+use crate::service::{Status, StatusCode};
 use bytes::Bytes;
 use ipc::Conn;
 use netsim::SharedLink;
 use parking_lot::Mutex;
 use std::fmt;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 use tfsim::Clock;
 
 /// Errors surfaced by RPC calls.
@@ -23,6 +37,8 @@ pub enum RpcError {
     Status(Status),
     /// The transport failed (peer gone, protocol violation, ...).
     Transport(std::io::Error),
+    /// No response arrived within the caller's deadline.
+    Deadline(Duration),
     /// The response could not be decoded.
     Protocol(String),
 }
@@ -32,6 +48,7 @@ impl fmt::Display for RpcError {
         match self {
             RpcError::Status(s) => write!(f, "rpc status {s}"),
             RpcError::Transport(e) => write!(f, "rpc transport error: {e}"),
+            RpcError::Deadline(d) => write!(f, "rpc deadline exceeded ({d:?})"),
             RpcError::Protocol(m) => write!(f, "rpc protocol error: {m}"),
         }
     }
@@ -47,6 +64,18 @@ impl RpcError {
             _ => None,
         }
     }
+
+    /// Whether retrying the call against the same peer could plausibly
+    /// succeed: transient transport faults, expired deadlines, and
+    /// explicit `Unavailable` statuses. Definite answers (`NotFound`,
+    /// `AlreadyExists`, ...) and protocol violations are not retryable.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RpcError::Transport(_) | RpcError::Deadline(_) => true,
+            RpcError::Status(s) => s.code == StatusCode::Unavailable,
+            RpcError::Protocol(_) => false,
+        }
+    }
 }
 
 /// Optional network cost injection: a delay model plus the clock to charge.
@@ -56,12 +85,21 @@ pub struct NetCost {
     pub clock: Clock,
 }
 
+/// Dials a fresh connection when the current one is poisoned.
+pub type Connector = Box<dyn Fn() -> io::Result<Box<dyn Conn>> + Send + Sync>;
+
 /// A blocking unary RPC client.
+///
+/// `None` in the connection slot means the previous connection was
+/// poisoned by a failed call (or never established); the next call
+/// redials via the connector if one was provided.
 pub struct RpcClient {
-    conn: Mutex<Box<dyn Conn>>,
+    conn: Mutex<Option<Box<dyn Conn>>>,
+    connector: Option<Connector>,
     net: Option<NetCost>,
     next_id: AtomicU64,
     calls: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 impl RpcClient {
@@ -73,20 +111,54 @@ impl RpcClient {
     /// Wrap a connection, charging `net` per call if given.
     pub fn with_net(conn: Box<dyn Conn>, net: Option<NetCost>) -> Self {
         RpcClient {
-            conn: Mutex::new(conn),
+            conn: Mutex::new(Some(conn)),
+            connector: None,
             net,
             next_id: AtomicU64::new(1),
             calls: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
         }
     }
 
-    /// Total calls issued.
+    /// Build a client that dials lazily via `connector` and redials after
+    /// a poisoned connection. The first call performs the first dial.
+    pub fn with_connector(connector: Connector, net: Option<NetCost>) -> Self {
+        RpcClient {
+            conn: Mutex::new(None),
+            connector: Some(connector),
+            net,
+            next_id: AtomicU64::new(1),
+            calls: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        }
+    }
+
+    /// Total successful calls issued.
     pub fn call_count(&self) -> u64 {
         self.calls.load(Ordering::Relaxed)
     }
 
-    /// Issue one unary call and block for its response.
+    /// Times a poisoned or absent connection was redialed.
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Issue one unary call and block (unboundedly) for its response.
     pub fn call(&self, method: u32, body: Bytes) -> Result<Bytes, RpcError> {
+        self.call_with_deadline(method, body, None)
+    }
+
+    /// Issue one unary call, waiting at most `deadline` for the response
+    /// to start arriving. On expiry the call fails with
+    /// [`RpcError::Deadline`] and the connection is dropped (a late
+    /// response would desynchronize call ids), to be redialed on the next
+    /// call if a connector is available.
+    pub fn call_with_deadline(
+        &self,
+        method: u32,
+        body: Bytes,
+        deadline: Option<Duration>,
+    ) -> Result<Bytes, RpcError> {
         let call_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let request = Request {
             call_id,
@@ -95,19 +167,33 @@ impl RpcClient {
         };
         let req_len = request.body.len();
         let response = {
-            let mut conn = self.conn.lock();
-            conn.send(&request.to_frame()).map_err(RpcError::Transport)?;
-            let frame = conn.recv().map_err(RpcError::Transport)?;
-            if frame.msg_type != FRAME_RESPONSE {
-                return Err(RpcError::Protocol(format!(
-                    "unexpected frame type {:#x}",
-                    frame.msg_type
-                )));
+            let mut slot = self.conn.lock();
+            let conn = match slot.as_mut() {
+                Some(c) => c,
+                None => {
+                    let connector = self.connector.as_ref().ok_or_else(|| {
+                        RpcError::Transport(io::Error::new(
+                            io::ErrorKind::NotConnected,
+                            "connection poisoned and no connector configured",
+                        ))
+                    })?;
+                    let fresh = connector().map_err(RpcError::Transport)?;
+                    self.reconnects.fetch_add(1, Ordering::Relaxed);
+                    slot.insert(fresh)
+                }
+            };
+            match Self::exchange(conn.as_mut(), &request, deadline) {
+                Ok(response) => response,
+                Err(e) => {
+                    // The stream may hold a partial or stale response;
+                    // poison the connection so the next call redials.
+                    *slot = None;
+                    return Err(e);
+                }
             }
-            Response::from_frame(&frame)
-                .map_err(|e| RpcError::Protocol(format!("bad response: {e}")))?
         };
         if response.call_id != call_id {
+            *self.conn.lock() = None;
             return Err(RpcError::Protocol(format!(
                 "call id mismatch: sent {call_id}, got {}",
                 response.call_id
@@ -124,6 +210,35 @@ impl RpcClient {
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
         response.result.map_err(RpcError::Status)
+    }
+
+    /// One request/response exchange on a held connection.
+    fn exchange(
+        conn: &mut dyn Conn,
+        request: &Request,
+        deadline: Option<Duration>,
+    ) -> Result<Response, RpcError> {
+        conn.send(&request.to_frame())
+            .map_err(RpcError::Transport)?;
+        conn.set_recv_timeout(deadline)
+            .map_err(RpcError::Transport)?;
+        let received = conn.recv();
+        // Best effort: the conn is dropped anyway if this errors.
+        let _ = conn.set_recv_timeout(None);
+        let frame = match received {
+            Ok(frame) => frame,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                return Err(RpcError::Deadline(deadline.unwrap_or_default()))
+            }
+            Err(e) => return Err(RpcError::Transport(e)),
+        };
+        if frame.msg_type != FRAME_RESPONSE {
+            return Err(RpcError::Protocol(format!(
+                "unexpected frame type {:#x}",
+                frame.msg_type
+            )));
+        }
+        Response::from_frame(&frame).map_err(|e| RpcError::Protocol(format!("bad response: {e}")))
     }
 }
 
@@ -142,6 +257,11 @@ mod tests {
             match method {
                 1 => Ok(req), // echo
                 2 => Err(Status::not_found("nope")),
+                3 => {
+                    // Simulated hang: longer than any test deadline.
+                    std::thread::sleep(Duration::from_millis(200));
+                    Ok(req)
+                }
                 m => Err(Status::unimplemented(m)),
             }
         })
@@ -246,9 +366,87 @@ mod tests {
         // Establish the connection first.
         client.call(1, Bytes::new()).unwrap();
         srv.shutdown();
-        // The per-connection thread lives until the client drops, so calls
-        // may still succeed; but new connections are refused.
+        // Shutdown joins the connection threads, so the next call sees a
+        // dead peer.
+        let err = client.call(1, Bytes::new()).unwrap_err();
+        assert!(matches!(err, RpcError::Transport(_)), "got {err}");
+        // And new connections are refused.
         let hub = InprocHub::new();
         assert!(hub.connect("svc").is_err());
+    }
+
+    #[test]
+    fn deadline_expires_on_hung_handler() {
+        let (_srv, client) = setup();
+        let t0 = std::time::Instant::now();
+        let err = client
+            .call_with_deadline(3, Bytes::new(), Some(Duration::from_millis(30)))
+            .unwrap_err();
+        assert!(matches!(err, RpcError::Deadline(_)), "got {err}");
+        assert!(err.is_retryable());
+        // The call returned well before the 200ms handler finished.
+        assert!(t0.elapsed() < Duration::from_millis(150));
+    }
+
+    #[test]
+    fn deadline_poisons_connection_without_connector() {
+        let (_srv, client) = setup();
+        client
+            .call_with_deadline(3, Bytes::new(), Some(Duration::from_millis(20)))
+            .unwrap_err();
+        // No connector: the poisoned connection cannot be replaced, even
+        // though the hung handler's late response is still in flight.
+        let err = client.call(1, Bytes::from_static(b"x")).unwrap_err();
+        match err {
+            RpcError::Transport(e) => assert_eq!(e.kind(), io::ErrorKind::NotConnected),
+            other => panic!("expected NotConnected, got {other}"),
+        }
+    }
+
+    #[test]
+    fn connector_redials_after_deadline() {
+        let hub = InprocHub::new();
+        let listener = hub.bind("svc").unwrap();
+        let _srv = serve(Box::new(listener), echo_service());
+        let dial_hub = hub.clone();
+        let client = RpcClient::with_connector(
+            Box::new(move || {
+                dial_hub
+                    .connect("svc")
+                    .map(|c| Box::new(c) as Box<dyn Conn>)
+            }),
+            None,
+        );
+        // First call dials lazily.
+        assert_eq!(&client.call(1, Bytes::from_static(b"a")).unwrap()[..], b"a");
+        assert_eq!(client.reconnect_count(), 1);
+        // Poison via deadline, then observe a transparent redial. The old
+        // connection's late response goes to the dead stream, not to us.
+        client
+            .call_with_deadline(3, Bytes::new(), Some(Duration::from_millis(20)))
+            .unwrap_err();
+        assert_eq!(&client.call(1, Bytes::from_static(b"b")).unwrap()[..], b"b");
+        assert_eq!(client.reconnect_count(), 2);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_interfere() {
+        let (_srv, client) = setup();
+        for i in 0..20u32 {
+            let body = Bytes::from(i.to_le_bytes().to_vec());
+            let out = client
+                .call_with_deadline(1, body.clone(), Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(out, body);
+        }
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(RpcError::Transport(io::Error::new(io::ErrorKind::BrokenPipe, "x")).is_retryable());
+        assert!(RpcError::Deadline(Duration::from_millis(5)).is_retryable());
+        assert!(RpcError::Status(Status::new(StatusCode::Unavailable, "down")).is_retryable());
+        assert!(!RpcError::Status(Status::not_found("gone")).is_retryable());
+        assert!(!RpcError::Protocol("junk".into()).is_retryable());
     }
 }

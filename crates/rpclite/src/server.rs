@@ -4,14 +4,25 @@
 //! services calls synchronously in unary mode. Each accepted connection
 //! gets a thread that decodes requests, invokes the [`Service`], and
 //! writes back responses in order.
+//!
+//! Connection threads poll the server's stop flag between requests, so
+//! [`ServerHandle::shutdown`] tears the whole server down deterministically
+//! — after it returns, no handler is running and no response will be
+//! written. Failure-injection tests rely on this to stop a peer node and
+//! know it is really gone.
 
 use crate::envelope::{Request, Response, FRAME_REQUEST};
 use crate::service::{Service, Status};
 use ipc::{Listener, StopHandle};
+use parking_lot::Mutex;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often an idle connection thread checks the server stop flag.
+const CONN_POLL: Duration = Duration::from_millis(20);
 
 /// Counters exposed by a running server.
 #[derive(Debug, Default)]
@@ -21,10 +32,11 @@ pub struct ServerMetrics {
     pub connections: AtomicU64,
 }
 
-/// Handle to a running [`RpcServer`]; stops the accept loop on drop.
+/// Handle to a running server; stops accept and connection threads on drop.
 pub struct ServerHandle {
     stop: StopHandle,
     accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     metrics: Arc<ServerMetrics>,
     addr: String,
 }
@@ -39,11 +51,17 @@ impl ServerHandle {
         &self.metrics
     }
 
-    /// Stop accepting new connections and wait for the accept loop to
-    /// exit. Existing connections finish when their clients disconnect.
+    /// Stop the server and wait until it is fully quiescent: the accept
+    /// loop has exited and every connection thread has finished its
+    /// in-flight request and returned. Clients see dead connections on
+    /// their next exchange.
     pub fn shutdown(&mut self) {
         self.stop.stop();
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let threads = std::mem::take(&mut *self.conn_threads.lock());
+        for t in threads {
             let _ = t.join();
         }
     }
@@ -60,7 +78,10 @@ pub fn serve(mut listener: Box<dyn Listener>, service: Arc<dyn Service>) -> Serv
     let stop = listener.stop_handle();
     let metrics = Arc::new(ServerMetrics::default());
     let addr = listener.addr();
+    let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
     let accept_metrics = Arc::clone(&metrics);
+    let accept_stop = stop.clone();
+    let accept_threads = Arc::clone(&conn_threads);
     let accept_thread = std::thread::Builder::new()
         .name(format!("rpc-accept:{addr}"))
         .spawn(move || loop {
@@ -69,10 +90,12 @@ pub fn serve(mut listener: Box<dyn Listener>, service: Arc<dyn Service>) -> Serv
                     accept_metrics.connections.fetch_add(1, Ordering::Relaxed);
                     let svc = Arc::clone(&service);
                     let m = Arc::clone(&accept_metrics);
-                    std::thread::Builder::new()
+                    let conn_stop = accept_stop.clone();
+                    let handle = std::thread::Builder::new()
                         .name("rpc-conn".to_string())
-                        .spawn(move || serve_conn(conn, svc, m))
+                        .spawn(move || serve_conn(conn, svc, m, conn_stop))
                         .expect("spawn rpc connection thread");
+                    accept_threads.lock().push(handle);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => return,
                 Err(_) => return,
@@ -82,16 +105,31 @@ pub fn serve(mut listener: Box<dyn Listener>, service: Arc<dyn Service>) -> Serv
     ServerHandle {
         stop,
         accept_thread: Some(accept_thread),
+        conn_threads,
         metrics,
         addr,
     }
 }
 
-fn serve_conn(mut conn: Box<dyn ipc::Conn>, service: Arc<dyn Service>, metrics: Arc<ServerMetrics>) {
+fn serve_conn(
+    mut conn: Box<dyn ipc::Conn>,
+    service: Arc<dyn Service>,
+    metrics: Arc<ServerMetrics>,
+    stop: StopHandle,
+) {
+    // Poll the stop flag between requests so shutdown can join this
+    // thread even while the client connection stays open.
+    if conn.set_recv_timeout(Some(CONN_POLL)).is_err() {
+        return;
+    }
     loop {
+        if stop.is_stopped() {
+            return;
+        }
         let frame = match conn.recv() {
             Ok(f) => f,
-            Err(_) => return, // peer gone
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => continue, // idle; re-check stop
+            Err(_) => return,                                          // peer gone
         };
         if frame.msg_type != FRAME_REQUEST {
             // Protocol violation: drop the connection.

@@ -74,7 +74,10 @@ impl Status {
     }
 
     pub fn unimplemented(method: MethodId) -> Self {
-        Self::new(StatusCode::Unimplemented, format!("method {method} not implemented"))
+        Self::new(
+            StatusCode::Unimplemented,
+            format!("method {method} not implemented"),
+        )
     }
 }
 

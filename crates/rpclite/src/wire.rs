@@ -220,12 +220,19 @@ pub struct Fields {
 impl Fields {
     /// Last occurrence of `field`, if present.
     pub fn get(&self, field: u32) -> Option<&FieldValue> {
-        self.fields.iter().rev().find(|(f, _)| *f == field).map(|(_, v)| v)
+        self.fields
+            .iter()
+            .rev()
+            .find(|(f, _)| *f == field)
+            .map(|(_, v)| v)
     }
 
     /// All occurrences of `field`, in order (repeated fields).
     pub fn get_all(&self, field: u32) -> impl Iterator<Item = &FieldValue> {
-        self.fields.iter().filter(move |(f, _)| *f == field).map(|(_, v)| v)
+        self.fields
+            .iter()
+            .filter(move |(f, _)| *f == field)
+            .map(|(_, v)| v)
     }
 
     pub fn uint(&self, field: u32) -> Result<u64, WireError> {
@@ -235,7 +242,9 @@ impl Fields {
     }
 
     pub fn uint_or(&self, field: u32, default: u64) -> u64 {
-        self.get(field).and_then(FieldValue::as_uint).unwrap_or(default)
+        self.get(field)
+            .and_then(FieldValue::as_uint)
+            .unwrap_or(default)
     }
 
     pub fn sint(&self, field: u32) -> Result<i64, WireError> {

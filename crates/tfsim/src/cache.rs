@@ -88,7 +88,10 @@ pub struct CacheSim {
 impl CacheSim {
     /// A cache of `capacity_lines` lines of `line_size` bytes each.
     pub fn new(line_size: usize, capacity_lines: usize) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(capacity_lines > 0, "cache must hold at least one line");
         CacheSim {
             line_size,
@@ -122,7 +125,10 @@ impl CacheSim {
             return Ok(CacheOutcome::default());
         }
         // Bounds check up front so a partial read never happens.
-        if offset.checked_add(dst.len() as u64).is_none_or(|end| end > seg.len()) {
+        if offset
+            .checked_add(dst.len() as u64)
+            .is_none_or(|end| end > seg.len())
+        {
             return Err(SegError::OutOfBounds {
                 offset,
                 len: dst.len(),
@@ -164,12 +170,7 @@ impl CacheSim {
 
     /// A write performed *by the owning node itself*: coherent with its own
     /// cache, so affected lines are dropped before the segment is updated.
-    pub fn write_local(
-        &self,
-        seg: &Arc<Segment>,
-        offset: u64,
-        src: &[u8],
-    ) -> Result<(), SegError> {
+    pub fn write_local(&self, seg: &Arc<Segment>, offset: u64, src: &[u8]) -> Result<(), SegError> {
         self.invalidate_range(seg, offset, src.len());
         seg.write_from(offset, src)
     }
@@ -233,9 +234,21 @@ mod tests {
         let seg = seg_with(&[7u8; 4096]);
         let mut buf = [0u8; 256];
         let o1 = cache.read_through(&seg, 0, &mut buf).unwrap();
-        assert_eq!(o1, CacheOutcome { hit_lines: 0, miss_lines: 2 });
+        assert_eq!(
+            o1,
+            CacheOutcome {
+                hit_lines: 0,
+                miss_lines: 2
+            }
+        );
         let o2 = cache.read_through(&seg, 0, &mut buf).unwrap();
-        assert_eq!(o2, CacheOutcome { hit_lines: 2, miss_lines: 0 });
+        assert_eq!(
+            o2,
+            CacheOutcome {
+                hit_lines: 2,
+                miss_lines: 0
+            }
+        );
         assert!(buf.iter().all(|&b| b == 7));
     }
 

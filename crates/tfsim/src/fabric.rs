@@ -167,7 +167,11 @@ impl Fabric {
             .get(key.index as usize)
             .cloned()
             .ok_or(FabricError::UnknownSegment(key))?;
-        let path = if mapper == key.owner { Path::Local } else { Path::Remote };
+        let path = if mapper == key.owner {
+            Path::Local
+        } else {
+            Path::Remote
+        };
         Ok(Mapping {
             seg,
             key,
@@ -259,7 +263,11 @@ impl fmt::Debug for Fabric {
 }
 
 fn link_key(a: NodeId, b: NodeId) -> (u16, u16) {
-    if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) }
+    if a.0 <= b.0 {
+        (a.0, b.0)
+    } else {
+        (b.0, a.0)
+    }
 }
 
 /// A node's view of one donated segment. All data-plane access in the
@@ -303,7 +311,12 @@ impl Mapping {
         &self.seg
     }
 
-    fn charge(&self, op: MemOp, bytes: usize, elapsed: std::time::Duration) -> Result<(), FabricError> {
+    fn charge(
+        &self,
+        op: MemOp,
+        bytes: usize,
+        elapsed: std::time::Duration,
+    ) -> Result<(), FabricError> {
         let mut cost = self
             .fabric
             .cost
@@ -360,7 +373,10 @@ impl Mapping {
 
     /// A bounds-checked window `[offset, offset+len)` of this mapping.
     pub fn view(&self, offset: u64, len: u64) -> Result<MappedView, FabricError> {
-        if offset.checked_add(len).is_none_or(|end| end > self.seg.len()) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.seg.len())
+        {
             return Err(FabricError::Seg(SegError::OutOfBounds {
                 offset,
                 len: usize::try_from(len).unwrap_or(usize::MAX),
@@ -411,7 +427,10 @@ impl MappedView {
     }
 
     fn check(&self, offset: u64, len: usize) -> Result<u64, FabricError> {
-        if offset.checked_add(len as u64).is_none_or(|end| end > self.len) {
+        if offset
+            .checked_add(len as u64)
+            .is_none_or(|end| end > self.len)
+        {
             return Err(FabricError::Seg(SegError::OutOfBounds {
                 offset,
                 len,
@@ -491,7 +510,10 @@ mod tests {
         let buf = vec![0u8; 1 << 19];
         let (_, local_cost) = f.clock().time(|| ma.write_at(0, &buf).unwrap());
         let (_, remote_cost) = f.clock().time(|| mb.write_at(0, &buf).unwrap());
-        assert!(remote_cost > local_cost, "{remote_cost:?} <= {local_cost:?}");
+        assert!(
+            remote_cost > local_cost,
+            "{remote_cost:?} <= {local_cost:?}"
+        );
     }
 
     #[test]
@@ -544,12 +566,24 @@ mod tests {
             Err(FabricError::UnknownNode(_))
         ));
         assert!(matches!(
-            f.attach(a, SegKey { owner: NodeId(9), index: 0 }),
+            f.attach(
+                a,
+                SegKey {
+                    owner: NodeId(9),
+                    index: 0
+                }
+            ),
             Err(FabricError::UnknownNode(_))
         ));
         let key = f.donate(a, 4096).unwrap();
         assert!(matches!(
-            f.attach(a, SegKey { owner: a, index: key.index + 1 }),
+            f.attach(
+                a,
+                SegKey {
+                    owner: a,
+                    index: key.index + 1
+                }
+            ),
             Err(FabricError::UnknownSegment(_))
         ));
     }
@@ -595,7 +629,9 @@ mod tests {
         ma.read_at(0, &mut buf).unwrap();
         assert_eq!(&buf, b"v2------");
         // Invalidation restores coherence for cached reads too.
-        f.node_cache(a).unwrap().invalidate_range(ma.segment(), 0, 8);
+        f.node_cache(a)
+            .unwrap()
+            .invalidate_range(ma.segment(), 0, 8);
         ma.read_cached(0, &mut buf).unwrap();
         assert_eq!(&buf, b"v2------");
     }

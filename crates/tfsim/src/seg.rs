@@ -197,7 +197,10 @@ mod tests {
     fn fill_works() {
         let s = Segment::new(256).unwrap();
         s.fill(10, 5, 0xAB).unwrap();
-        assert_eq!(s.read_vec(9, 7).unwrap(), [0, 0xAB, 0xAB, 0xAB, 0xAB, 0xAB, 0]);
+        assert_eq!(
+            s.read_vec(9, 7).unwrap(),
+            [0, 0xAB, 0xAB, 0xAB, 0xAB, 0xAB, 0]
+        );
     }
 
     #[test]

@@ -9,16 +9,35 @@ const SEG: usize = 1 << 16;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Write { node: u8, offset: u16, data: Vec<u8> },
-    Read { node: u8, offset: u16, len: u16 },
+    Write {
+        node: u8,
+        offset: u16,
+        data: Vec<u8>,
+    },
+    Read {
+        node: u8,
+        offset: u16,
+        len: u16,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u8>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 1..512))
-            .prop_map(|(node, offset, data)| Op::Write { node: node % 3, offset, data }),
-        (any::<u8>(), any::<u16>(), 1..512u16)
-            .prop_map(|(node, offset, len)| Op::Read { node: node % 3, offset, len }),
+        (
+            any::<u8>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 1..512)
+        )
+            .prop_map(|(node, offset, data)| Op::Write {
+                node: node % 3,
+                offset,
+                data
+            }),
+        (any::<u8>(), any::<u16>(), 1..512u16).prop_map(|(node, offset, len)| Op::Read {
+            node: node % 3,
+            offset,
+            len
+        }),
     ]
 }
 

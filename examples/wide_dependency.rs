@@ -95,8 +95,7 @@ fn main() -> Result<(), PlasmaError> {
                 let cluster = &cluster;
                 s.spawn(move || -> Result<HashMap<u64, u64>, PlasmaError> {
                     let client = cluster.client(c)?;
-                    let ids: Vec<ObjectId> =
-                        (0..NODES).map(|p| partition_id(p, c)).collect();
+                    let ids: Vec<ObjectId> = (0..NODES).map(|p| partition_id(p, c)).collect();
                     let bufs = client.get(&ids, Duration::from_secs(30))?;
                     let mut sums: HashMap<u64, u64> = HashMap::new();
                     for buf in bufs.into_iter().flatten() {
@@ -131,7 +130,10 @@ fn main() -> Result<(), PlasmaError> {
             *combined.entry(k).or_insert(0) += v;
         }
     }
-    assert_eq!(combined, reference, "distributed result must match reference");
+    assert_eq!(
+        combined, reference,
+        "distributed result must match reference"
+    );
     println!(
         "reduce stage: {} distinct keys aggregated correctly across {} nodes",
         combined.len(),

@@ -91,7 +91,10 @@ fn unsealed_objects_never_visible_remotely() {
 
     assert!(!consumer.contains(id).unwrap());
     let got = consumer.get(&[id], Duration::from_millis(60)).unwrap();
-    assert!(got[0].is_none(), "unsealed object leaked to a remote consumer");
+    assert!(
+        got[0].is_none(),
+        "unsealed object leaked to a remote consumer"
+    );
 
     builder.write(512, &[2; 512]).unwrap();
     builder.seal().unwrap();

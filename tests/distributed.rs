@@ -107,7 +107,10 @@ fn eviction_pressure_with_remote_readers_is_safe() {
         );
         consumer.release(*id).unwrap();
     }
-    assert!(cluster.store(0).core().stats().evictions > 0, "pressure existed");
+    assert!(
+        cluster.store(0).core().stats().evictions > 0,
+        "pressure existed"
+    );
 }
 
 #[test]
@@ -151,7 +154,10 @@ fn remote_buffer_views_are_bounds_checked() {
     assert_eq!(buf.data().path(), Path::Remote);
     let mut b = [0u8; 50];
     buf.data().read_at(50, &mut b).unwrap();
-    assert!(buf.data().read_at(51, &mut b).is_err(), "read past object end");
+    assert!(
+        buf.data().read_at(51, &mut b).is_err(),
+        "read past object end"
+    );
     assert!(buf.data().read_at(u64::MAX, &mut b).is_err());
     consumer.release(id).unwrap();
 }
@@ -170,7 +176,9 @@ fn store_growth_spans_segments_transparently_for_remote_readers() {
         .map(|i| ObjectId::from_name(&format!("grown/{i}")))
         .collect();
     for (i, id) in ids.iter().enumerate() {
-        producer.put(*id, &vec![i as u8 + 1; 700 << 10], &[]).unwrap();
+        producer
+            .put(*id, &vec![i as u8 + 1; 700 << 10], &[])
+            .unwrap();
     }
     let stats = cluster.store(0).core().stats();
     assert!(stats.segments >= 3, "store must have grown: {stats:?}");
@@ -210,7 +218,9 @@ fn deferred_delete_across_the_cluster() {
 #[test]
 fn facade_crate_reexports_whole_api() {
     // Compile-time check that the memdis facade exposes every layer.
-    use memdis::{disagg as d, ipc as i, memalloc as m, netsim as n, plasma as p, rpclite as r, tfsim as t};
+    use memdis::{
+        disagg as d, ipc as i, memalloc as m, netsim as n, plasma as p, rpclite as r, tfsim as t,
+    };
     let _ = t::Fabric::virtual_thymesisflow();
     let _ = m::FirstFit::new(1024);
     let _ = n::LinkModel::grpc_lan();

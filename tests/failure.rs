@@ -1,8 +1,12 @@
-//! Failure injection: fabric link loss and degradation, memory pressure,
-//! and protocol misuse must surface as errors, not corruption or hangs.
+//! Failure injection: fabric link loss and degradation, peer store
+//! crashes, hung peers, memory pressure, and protocol misuse must surface
+//! as errors (or degraded partial answers), not corruption or hangs.
 
-use disagg::{Cluster, ClusterConfig};
-use plasma::{ObjectId, PlasmaError};
+use disagg::{
+    Cluster, ClusterConfig, DisaggConfig, DisaggStore, InterconnectConfig, Peer, PeerState,
+    RetryPolicy,
+};
+use plasma::{ObjectId, ObjectStore, PlasmaError};
 use std::time::Duration;
 use tfsim::LinkState;
 
@@ -39,9 +43,11 @@ fn degraded_link_slows_but_preserves_data() {
     let buf = consumer.get_one(id, Duration::from_secs(5)).unwrap();
 
     let (_, nominal) = cluster.clock().time(|| buf.read_all().unwrap());
-    cluster
-        .fabric()
-        .set_link(cluster.node_id(0), cluster.node_id(1), LinkState::Degraded(8.0));
+    cluster.fabric().set_link(
+        cluster.node_id(0),
+        cluster.node_id(1),
+        LinkState::Degraded(8.0),
+    );
     let (data, degraded) = cluster.clock().time(|| buf.read_all().unwrap());
     assert!(data.iter().all(|&x| x == 3), "data intact on degraded link");
     assert!(
@@ -60,9 +66,14 @@ fn store_oom_is_reported_not_hung() {
     let builder = client.create(big, 800 << 10, 0).unwrap();
     builder.write(0, &[1; 1024]).unwrap();
     // Unsealed + referenced -> unevictable; the next create must fail fast.
-    let err = client.create(ObjectId::from_name("too-big"), 800 << 10, 0).unwrap_err();
+    let err = client
+        .create(ObjectId::from_name("too-big"), 800 << 10, 0)
+        .unwrap_err();
     match err {
-        PlasmaError::OutOfMemory { requested, capacity } => {
+        PlasmaError::OutOfMemory {
+            requested,
+            capacity,
+        } => {
             assert_eq!(requested, 800 << 10);
             assert_eq!(capacity, 1 << 20);
         }
@@ -88,14 +99,20 @@ fn misuse_errors_are_precise() {
     client.put(id, b"x", &[]).unwrap();
 
     // Release without holding a reference.
-    assert_eq!(client.release(id).unwrap_err(), PlasmaError::NotReferenced(id));
+    assert_eq!(
+        client.release(id).unwrap_err(),
+        PlasmaError::NotReferenced(id)
+    );
     // Delete while a reference is held.
     let _buf = client.get_one(id, Duration::from_secs(1)).unwrap();
     assert_eq!(client.delete(id).unwrap_err(), PlasmaError::ObjectInUse(id));
     client.release(id).unwrap();
     client.delete(id).unwrap();
     // Double delete.
-    assert_eq!(client.delete(id).unwrap_err(), PlasmaError::ObjectNotFound(id));
+    assert_eq!(
+        client.delete(id).unwrap_err(),
+        PlasmaError::ObjectNotFound(id)
+    );
 }
 
 #[test]
@@ -115,6 +132,350 @@ fn empty_batch_get_is_a_noop() {
     let client = cluster.client(0).unwrap();
     let out = client.get(&[], Duration::from_secs(1)).unwrap();
     assert!(out.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Peer-store crashes: a dead interconnect degrades reads and queries to
+// partial answers, fails creates fast with a typed error, and never leaks
+// cross-node reference counts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dead_peer_degrades_reads_and_queries_but_fails_create() {
+    let mut cluster = Cluster::launch(ClusterConfig::functional(3, 4 << 20)).unwrap();
+    let c0 = cluster.client(0).unwrap();
+    let c1 = cluster.client(1).unwrap();
+    let c2 = cluster.client(2).unwrap();
+    let live = ObjectId::from_name("on-live-peer");
+    let dead = ObjectId::from_name("on-dead-peer");
+    c1.put(live, b"still here", &[]).unwrap();
+    c2.put(dead, b"unreachable", &[]).unwrap();
+
+    cluster.stop_rpc(2);
+
+    // Objects on live peers resolve: the broadcast runs per-peer, so one
+    // dead peer cannot veto an answer another peer has.
+    let buf = c0.get_one(live, Duration::from_secs(5)).unwrap();
+    assert_eq!(buf.read_all().unwrap(), b"still here");
+    c0.release(live).unwrap();
+    // Three straight transport failures marked the peer Down.
+    assert_eq!(
+        cluster.store(0).peer_state(cluster.node_id(2)),
+        PeerState::Down
+    );
+    assert_eq!(
+        cluster.store(0).peer_state(cluster.node_id(1)),
+        PeerState::Up
+    );
+
+    // Objects on the dead peer miss rather than error.
+    let out = c0.get(&[dead], Duration::ZERO).unwrap();
+    assert!(out[0].is_none());
+
+    // contains / global_list return partial answers, not errors.
+    assert!(c0.contains(live).unwrap());
+    assert!(!c0.contains(dead).unwrap());
+    let inventory = cluster.store(0).global_list().unwrap();
+    assert_eq!(inventory.len(), 2, "dead peer omitted from the inventory");
+
+    // create is the one op that cannot degrade (identifier uniqueness
+    // needs every peer's confirmation): typed failure, no residue.
+    let fresh = ObjectId::from_name("fresh");
+    let err = c0.put(fresh, b"x", &[]).unwrap_err();
+    match &err {
+        // The detail must survive the client wire protocol and name the
+        // unreachable peer.
+        PlasmaError::PeerUnavailable(m) => assert!(m.contains("store-2"), "{m:?}"),
+        other => panic!("expected PeerUnavailable, got {other:?}"),
+    }
+    assert!(!cluster.store(0).core().exists_any_state(fresh));
+
+    // And it fails *fast*: the Down peer is skipped, not re-dialed.
+    let skips_before = cluster.store(0).peer_health_stats(cluster.node_id(2)).skips;
+    let err = c0.put(fresh, b"x", &[]).unwrap_err();
+    assert!(matches!(err, PlasmaError::PeerUnavailable(_)), "{err:?}");
+    assert!(cluster.store(0).peer_health_stats(cluster.node_id(2)).skips > skips_before);
+}
+
+#[test]
+fn peer_returns_to_rotation_after_restart_and_probe() {
+    let mut cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+    let a = cluster.client(0).unwrap();
+    let b = cluster.client(1).unwrap();
+    let id = ObjectId::from_name("come-back");
+    b.put(id, b"back soon", &[]).unwrap();
+
+    cluster.stop_rpc(1);
+    assert!(
+        !a.contains(id).unwrap(),
+        "degraded partial answer while down"
+    );
+    assert_eq!(
+        cluster.store(0).peer_state(cluster.node_id(1)),
+        PeerState::Down
+    );
+    let out = a.get(&[id], Duration::ZERO).unwrap();
+    assert!(out[0].is_none());
+
+    cluster.restart_rpc(1).unwrap();
+    // The failure detector probes only after its backoff window; advance
+    // virtual time past it, then the next call carries the probe, the
+    // connector re-dials, and the peer is restored to rotation.
+    cluster.clock().charge(Duration::from_secs(1));
+    assert!(a.contains(id).unwrap());
+    assert_eq!(
+        cluster.store(0).peer_state(cluster.node_id(1)),
+        PeerState::Up
+    );
+    assert!(
+        cluster
+            .store(0)
+            .peer_health_stats(cluster.node_id(1))
+            .probes
+            >= 1
+    );
+
+    // Full service is back: cluster-wide create works again.
+    a.put(ObjectId::from_name("post-recovery"), b"x", &[])
+        .unwrap();
+    let buf = a.get_one(id, Duration::from_secs(5)).unwrap();
+    assert_eq!(buf.read_all().unwrap(), b"back soon");
+    a.release(id).unwrap();
+}
+
+#[test]
+fn deadline_bounds_calls_to_a_hung_peer() {
+    use plasma::{StoreConfig, StoreCore};
+    use rpclite::{RpcClient, Status, StatusCode};
+    use std::sync::Arc;
+
+    let fabric = tfsim::Fabric::virtual_thymesisflow();
+    let node = fabric.register_node();
+    let core = StoreCore::new(&fabric, node, StoreConfig::new("impatient", 1 << 20)).unwrap();
+    let store = DisaggStore::new(
+        core,
+        DisaggConfig {
+            interconnect: InterconnectConfig {
+                call_deadline: Some(Duration::from_millis(50)),
+                retry: RetryPolicy::none(),
+                ..InterconnectConfig::default()
+            },
+            ..DisaggConfig::default()
+        },
+    );
+
+    // A peer that accepts the call and then wedges far past the deadline.
+    let hub = ipc::InprocHub::new();
+    let listener = hub.bind("hung-peer").unwrap();
+    let svc = Arc::new(
+        |_m: u32, _b: bytes::Bytes| -> Result<bytes::Bytes, Status> {
+            std::thread::sleep(Duration::from_secs(1));
+            Err(Status::new(StatusCode::Unavailable, "eventually"))
+        },
+    );
+    let _srv = rpclite::serve(Box::new(listener), svc);
+    let hung = tfsim::NodeId(7);
+    store.add_peer(Peer {
+        node: hung,
+        name: "hung".into(),
+        client: Arc::new(RpcClient::new(Box::new(hub.connect("hung-peer").unwrap()))),
+    });
+
+    let start = std::time::Instant::now();
+    let present = store.contains(ObjectId::from_name("anything")).unwrap();
+    let elapsed = start.elapsed();
+    assert!(!present, "hung peer degrades to a partial answer");
+    assert!(
+        elapsed < Duration::from_millis(600),
+        "call must return near its 50ms deadline, not the handler's 1s: {elapsed:?}"
+    );
+    assert_eq!(store.peer_health_stats(hung).failures, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Reference-count regressions: failed cross-node operations must roll
+// back every pin they took (remote_pin_count returns to zero).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn failed_migration_releases_its_pin() {
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+    let producer = cluster.client(0).unwrap();
+    let id = ObjectId::from_name("stranded");
+    producer.put(id, &[0xAB; 32 << 10], &[]).unwrap();
+
+    // Data plane down, control plane up: migration pins the owner's copy
+    // over RPC, then fails copying the bytes over the fabric.
+    cluster
+        .fabric()
+        .set_link(cluster.node_id(0), cluster.node_id(1), LinkState::Down);
+    let err = cluster
+        .store(1)
+        .migrate_to_local(id, Duration::from_secs(5))
+        .unwrap_err();
+    assert!(matches!(err, PlasmaError::Fabric(_)), "{err:?}");
+
+    // The guard released the migration's pin; no staged residue either.
+    assert_eq!(
+        cluster.store(0).remote_pin_count(),
+        0,
+        "pin leaked on failed migration"
+    );
+    assert!(!cluster.store(1).core().exists_any_state(id));
+
+    // Nothing still pins the object: the owner can delete it.
+    cluster
+        .fabric()
+        .set_link(cluster.node_id(0), cluster.node_id(1), LinkState::Up);
+    producer.delete(id).unwrap();
+}
+
+#[test]
+fn aborted_in_use_migration_releases_its_pin() {
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+    let producer = cluster.client(0).unwrap();
+    let id = ObjectId::from_name("busy");
+    producer.put(id, &[7; 1024], &[]).unwrap();
+    let _hold = producer.get_one(id, Duration::from_secs(1)).unwrap();
+
+    let err = cluster
+        .store(1)
+        .migrate_to_local(id, Duration::from_secs(5))
+        .unwrap_err();
+    assert_eq!(err, PlasmaError::ObjectInUse(id));
+    assert_eq!(
+        cluster.store(0).remote_pin_count(),
+        0,
+        "pin leaked on aborted migration"
+    );
+    assert!(
+        !cluster.store(1).core().exists_any_state(id),
+        "staged copy not aborted"
+    );
+
+    producer.release(id).unwrap();
+    producer.delete(id).unwrap();
+}
+
+#[test]
+fn failed_release_keeps_the_pin_accounted() {
+    let mut cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+    let producer = cluster.client(1).unwrap();
+    let id = ObjectId::from_name("restore-pin");
+    producer.put(id, &[5; 2048], &[]).unwrap();
+
+    let s0 = cluster.store(0).clone();
+    let got = s0.get(&[id], Duration::from_secs(1)).unwrap();
+    assert!(got[0].is_some());
+    assert_eq!(cluster.store(1).remote_pin_count(), 1);
+
+    cluster.stop_rpc(1);
+    let err = s0.release(id).unwrap_err();
+    assert!(matches!(err, PlasmaError::PeerUnavailable(_)), "{err:?}");
+    // The optimistic decrement was rolled back: a second attempt still
+    // reaches for the owner. (ObjectNotFound here would mean the pin fell
+    // out of the local table while the owner still counts it — the leak.)
+    let err = s0.release(id).unwrap_err();
+    assert!(matches!(err, PlasmaError::PeerUnavailable(_)), "{err:?}");
+    assert_eq!(
+        cluster.store(1).remote_pin_count(),
+        1,
+        "owner still counts the pin"
+    );
+    assert_eq!(cluster.store(0).disagg_stats().releases_forwarded, 0);
+
+    // Once the owner is back, the held pin releases normally.
+    cluster.restart_rpc(1).unwrap();
+    cluster.clock().charge(Duration::from_secs(1));
+    s0.release(id).unwrap();
+    assert_eq!(cluster.store(1).remote_pin_count(), 0);
+    assert_eq!(cluster.store(0).disagg_stats().releases_forwarded, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Property: no interleaving of gets, releases, peer crashes, restarts,
+// and probe windows ever loses a pin — the owner's remote-pin count
+// always equals the references the model says are outstanding, and every
+// outstanding pin is releasable once the peer is back.
+// ---------------------------------------------------------------------------
+
+mod health_pin_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Get,
+        Release,
+        StopPeer,
+        RestartPeer,
+        Advance,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn health_transitions_never_lose_pins(ops in prop::collection::vec(prop_oneof![
+            Just(Op::Get),
+            Just(Op::Get),
+            Just(Op::Release),
+            Just(Op::Release),
+            Just(Op::StopPeer),
+            Just(Op::RestartPeer),
+            Just(Op::Advance),
+        ], 1..16)) {
+            let mut cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
+            let producer = cluster.client(1).unwrap();
+            let id = ObjectId::from_name("prop/pinned");
+            producer.put(id, &[1; 512], &[]).unwrap();
+            let store0 = cluster.store(0).clone();
+            let mut expected: u64 = 0;
+            for op in &ops {
+                match op {
+                    Op::Get => {
+                        // A successful lookup takes a pin; a degraded miss
+                        // (peer down) must not.
+                        let got = store0.get(&[id], Duration::ZERO).unwrap();
+                        if got[0].is_some() {
+                            expected += 1;
+                        }
+                    }
+                    Op::Release => {
+                        // A forwarded release drops exactly one pin; a
+                        // failed one must leave the count untouched.
+                        if store0.release(id).is_ok() {
+                            expected -= 1;
+                        }
+                    }
+                    Op::StopPeer => cluster.stop_rpc(1),
+                    Op::RestartPeer => cluster.restart_rpc(1).unwrap(),
+                    Op::Advance => cluster.clock().charge(Duration::from_millis(400)),
+                }
+                prop_assert_eq!(
+                    cluster.store(1).remote_pin_count(),
+                    expected,
+                    "pin count diverged after {:?} (ops: {:?})",
+                    op,
+                    ops
+                );
+            }
+            // Drain: with the peer back and probe windows elapsed, every
+            // outstanding pin must be releasable — none were lost.
+            cluster.restart_rpc(1).unwrap();
+            for _ in 0..32 {
+                if expected == 0 {
+                    break;
+                }
+                cluster.clock().charge(Duration::from_secs(2));
+                if store0.release(id).is_ok() {
+                    expected -= 1;
+                }
+            }
+            prop_assert_eq!(expected, 0, "outstanding pins could not be released");
+            prop_assert_eq!(cluster.store(1).remote_pin_count(), 0);
+        }
+    }
 }
 
 #[test]

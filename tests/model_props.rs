@@ -25,9 +25,18 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             name: name % 16,
             len
         }),
-        (0..3usize, any::<u8>()).prop_map(|(node, name)| Op::Get { node, name: name % 16 }),
-        (0..3usize, any::<u8>()).prop_map(|(node, name)| Op::Delete { node, name: name % 16 }),
-        (0..3usize, any::<u8>()).prop_map(|(node, name)| Op::Contains { node, name: name % 16 }),
+        (0..3usize, any::<u8>()).prop_map(|(node, name)| Op::Get {
+            node,
+            name: name % 16
+        }),
+        (0..3usize, any::<u8>()).prop_map(|(node, name)| Op::Delete {
+            node,
+            name: name % 16
+        }),
+        (0..3usize, any::<u8>()).prop_map(|(node, name)| Op::Contains {
+            node,
+            name: name % 16
+        }),
     ]
 }
 
@@ -40,10 +49,7 @@ fn fill(name: u8, len: u16) -> Vec<u8> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     #[test]
     fn cluster_agrees_with_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {

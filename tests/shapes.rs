@@ -24,7 +24,10 @@ fn fig6_shape_local_scales_with_count_remote_is_rpc_bound() {
         local_1000 > local_10 * 10.0,
         "local retrieval must scale with count: {local_1000} vs {local_10}"
     );
-    assert!((1.0..4.0).contains(&local_1000), "~1.9 ms expected, got {local_1000}");
+    assert!(
+        (1.0..4.0).contains(&local_1000),
+        "~1.9 ms expected, got {local_1000}"
+    );
     assert!(local_10 < 0.3, "~0.075 ms expected, got {local_10}");
 
     // Remote: ms-scale and dominated by the RPC, so only weakly dependent

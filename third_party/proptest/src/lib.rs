@@ -1,0 +1,559 @@
+#![allow(clippy::all)] // vendored offline stand-in
+
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace's property tests
+//! use: the [`proptest!`] test macro, [`Strategy`] with `prop_map`,
+//! [`prop_oneof!`], ranges and tuples as strategies, `any::<T>()`,
+//! `collection::vec`, regex-ish string strategies, and the `prop_assert*`
+//! macros. Differences from the real crate:
+//!
+//! * **No shrinking** — a failing case reports its inputs (via the panic
+//!   message) but is not minimized.
+//! * **Deterministic seeding** — each test's RNG is seeded from the test
+//!   name, so runs are reproducible without a regressions file
+//!   (`*.proptest-regressions` files are ignored).
+//! * **Edge-biased integers** — `any::<uN>()` favors 0/1/MAX-style edge
+//!   values 25% of the time to keep boundary coverage comparable.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Error returned by `prop_assert!`-style macros; aborts the current case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Compatibility constructor mirroring `TestCaseError::Fail(reason)`.
+    #[allow(non_snake_case)]
+    pub fn Fail(msg: impl Into<String>) -> Self {
+        Self::fail(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> Self {
+        TestCaseError(s)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(s: &str) -> Self {
+        TestCaseError(s.to_string())
+    }
+}
+
+/// Per-test configuration. Only `cases` is meaningful here.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    pub use super::{ProptestConfig as Config, TestCaseError};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// The RNG driving generation. Seeded from the test name (FNV-1a) so
+    /// every run of a given test explores the same deterministic stream.
+    pub type TestRng = SmallRng;
+
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a shareable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy; cheap to clone.
+pub struct BoxedStrategy<V>(Arc<dyn Fn(&mut SmallRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (the `prop_oneof!` backend).
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union(self.0.clone())
+    }
+}
+
+impl<V: fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut SmallRng) -> V {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// Values `any::<T>()` can produce.
+pub trait Arbitrary: fmt::Debug + Sized {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                // 25% edge values to keep boundary coverage.
+                if rng.gen_range(0..4usize) == 0 {
+                    const EDGES: &[$t] = &[0, 1, <$t>::MAX, <$t>::MAX - 1, <$t>::MAX / 2];
+                    EDGES[rng.gen_range(0..EDGES.len())]
+                } else {
+                    rng.gen_range(0..=<$t>::MAX)
+                }
+            }
+        }
+    )*};
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                if rng.gen_range(0..4usize) == 0 {
+                    const EDGES: &[$t] = &[0, 1, -1, <$t>::MIN, <$t>::MAX];
+                    EDGES[rng.gen_range(0..EDGES.len())]
+                } else {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut SmallRng) -> char {
+        // Mostly ASCII, occasionally wider BMP scalars.
+        if rng.gen_range(0..4usize) == 0 {
+            char::from_u32(rng.gen_range(0x20u32..0xD7FF)).unwrap_or('\u{FFFD}')
+        } else {
+            rng.gen_range(0x20u8..0x7F) as char
+        }
+    }
+}
+
+/// `any::<T>()` strategy.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Pattern strings as strategies. Only the length quantifier of the
+/// pattern is honored (`"...{lo,hi}"`); the generated characters are
+/// printable ASCII, a subset of every class the workspace's patterns use
+/// (`\PC` = any non-control character).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let (lo, hi) = parse_len_quantifier(self).unwrap_or((0, 16));
+        let len = if lo >= hi { lo } else { rng.gen_range(lo..=hi) };
+        (0..len)
+            .map(|_| rng.gen_range(0x20u8..0x7F) as char)
+            .collect()
+    }
+}
+
+fn parse_len_quantifier(pat: &str) -> Option<(usize, usize)> {
+    let inner = pat.strip_suffix('}')?;
+    let brace = inner.rfind('{')?;
+    let body = &inner[brace + 1..];
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((lo, hi))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+pub mod collection {
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Vectors whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            assert!(
+                self.size.start < self.size.end,
+                "collection::vec: empty size range"
+            );
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The `prop::` module alias exposed by the prelude (`prop::sample::Index`).
+pub mod prop {
+    pub use super::collection;
+    pub use super::sample;
+}
+
+pub mod sample {
+    use super::{Arbitrary, SmallRng};
+    use rand::Rng;
+
+    /// An index into a collection whose size is only known at use time.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Map onto `0..len`. Panics if `len == 0` (as in real proptest).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut SmallRng) -> Index {
+            Index(rng.gen())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+    pub use rand::rngs::SmallRng;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "{} == {} failed: {:?} != {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "{} != {} failed: both {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// The test-definition macro. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = result {
+                    panic!("proptest {} failed at case {case}/{}: {e}", stringify!($name), config.cases);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        A(u8),
+        B(u16),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0..10u8, 5..6usize), c in 1..100u64) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(b, 5);
+            prop_assert!((1..100).contains(&c));
+        }
+
+        #[test]
+        fn oneof_and_vec(ops in prop::collection::vec(prop_oneof![
+            any::<u8>().prop_map(Op::A),
+            (1..50u16).prop_map(Op::B),
+        ], 1..20)) {
+            prop_assert!(!ops.is_empty() && ops.len() < 20);
+            for op in ops {
+                if let Op::B(x) = op {
+                    prop_assert!((1..50).contains(&x));
+                }
+            }
+        }
+
+        #[test]
+        fn string_pattern_len(s in "\\PC{0,8}") {
+            prop_assert!(s.len() <= 8);
+        }
+
+        #[test]
+        fn early_return_ok(v in any::<bool>()) {
+            if v {
+                return Ok(());
+            }
+            prop_assert!(!v);
+        }
+
+        #[test]
+        fn sample_index_in_bounds(idx in any::<prop::sample::Index>()) {
+            prop_assert!(idx.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = crate::test_runner::rng_for("x");
+        let mut b = crate::test_runner::rng_for("x");
+        let s = crate::collection::vec(any::<u64>(), 1..10);
+        use crate::Strategy;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}
