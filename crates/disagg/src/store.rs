@@ -127,8 +127,16 @@ struct Inner {
     core: StoreCore,
     node: NodeId,
     peers: RwLock<Vec<Peer>>,
-    /// Remote objects we hold pinned references to: id -> (owner, count).
-    remote_held: Mutex<HashMap<ObjectId, (NodeId, u64)>>,
+    /// Remote objects we hold pinned references to, per owner:
+    /// id -> [(owner, count), ...]. Usually one owner per id, but a
+    /// migration racing our lookups can briefly leave copies on two
+    /// nodes — each owner's pins are ledgered (and released) separately
+    /// so a pin taken on one node is never "released" to another.
+    remote_held: Mutex<HashMap<ObjectId, Vec<(NodeId, u64)>>>,
+    /// Fire-and-forget RELEASEs that failed because the peer was
+    /// unreachable: (owner, id), retried after the next successful call
+    /// to that peer so the owner-side pin cannot leak for its lifetime.
+    pending_releases: Mutex<Vec<(NodeId, ObjectId)>>,
     idcache: Option<IdCache>,
     lookup_remote: bool,
     reservations: Reservations,
@@ -178,6 +186,7 @@ impl DisaggStore {
                 node,
                 peers: RwLock::new(Vec::new()),
                 remote_held: Mutex::new(HashMap::new()),
+                pending_releases: Mutex::new(Vec::new()),
                 idcache: config.id_cache.map(|(mode, cap)| IdCache::new(mode, cap)),
                 lookup_remote: config.lookup_remote,
                 reservations: Reservations::new(),
@@ -282,6 +291,7 @@ impl DisaggStore {
             {
                 Ok(resp) => {
                     inner.health.record_success(peer.node);
+                    self.flush_pending_releases(peer);
                     return Ok(resp);
                 }
                 Err(RpcError::Status(s)) if s.code != StatusCode::Unavailable => {
@@ -299,7 +309,10 @@ impl DisaggStore {
                     }
                     retry_no += 1;
                     let backoff = inner.retry.backoff(retry_no, &mut inner.retry_rng.lock());
-                    inner.clock.charge(backoff);
+                    // Advance-to rather than charge: fan-out workers
+                    // backing off concurrently model one overlapping
+                    // wait, not N stacked on the shared cluster clock.
+                    inner.clock.advance_to(inner.clock.now() + backoff);
                 }
                 Err(e) => {
                     // Protocol violation: a response arrived, but the
@@ -309,6 +322,49 @@ impl DisaggStore {
                 }
             }
         }
+    }
+
+    /// Retry parked RELEASEs against `peer` (see `Inner::pending_releases`).
+    /// Invoked after a successful call proved the peer reachable; entries
+    /// that fail again are re-queued. Uses the raw client rather than
+    /// [`DisaggStore::peer_call`] so a flush never recurses into another
+    /// flush.
+    fn flush_pending_releases(&self, peer: &Peer) {
+        let queued: Vec<ObjectId> = {
+            let mut pending = self.inner.pending_releases.lock();
+            if pending.is_empty() {
+                return;
+            }
+            let mut queued = Vec::new();
+            pending.retain(|(node, id)| {
+                if *node == peer.node {
+                    queued.push(*id);
+                    false
+                } else {
+                    true
+                }
+            });
+            queued
+        };
+        for id in queued {
+            let req = ReleaseReq {
+                requester: self.inner.node,
+                id,
+            };
+            if peer
+                .client
+                .call_with_deadline(method::RELEASE, req.encode(), self.inner.call_deadline)
+                .is_err()
+            {
+                self.inner.pending_releases.lock().push((peer.node, id));
+            }
+        }
+    }
+
+    /// Releases that failed against an unreachable peer and await retry.
+    /// Zero in steady state; tests assert no release is silently dropped.
+    pub fn pending_release_count(&self) -> usize {
+        self.inner.pending_releases.lock().len()
     }
 
     /// Run `f` against each of `peers` concurrently (scoped threads),
@@ -386,33 +442,51 @@ impl DisaggStore {
         let local_map = self.inner.core.mapping_for(&local_loc)?;
         local_map.write_at(local_loc.offset, &bytes)?;
 
-        // Drop our pin, then ask the owner to delete. If someone else still
-        // uses the owner's copy, roll back the staged local copy.
+        // Drop our pin before sealing: once the copy is sealed under this
+        // id, `remote_held` must no longer carry it or local releases
+        // would be misrouted to the old owner. A failed RELEASE aborts the
+        // staged copy — the owner's copy is untouched, nothing is lost.
         pin.release()?;
-        let peer = self
-            .peers_snapshot()
-            .into_iter()
-            .find(|p| p.node == owner)
-            .ok_or_else(|| PlasmaError::Transport(format!("no peer for {owner}")))?;
-        match self.peer_call(&peer, method::DELETE, IdReq { id }.encode()) {
-            Ok(_) => {}
-            Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::FailedPrecondition => {
-                return Err(PlasmaError::ObjectInUse(id));
-            }
-            Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
-            Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) => {
-                return Err(PlasmaError::PeerUnavailable(format!(
-                    "owner {} unreachable; migration aborted",
-                    peer.name
-                )));
-            }
-        }
+
+        // Seal the local copy *before* asking the owner to delete. From
+        // here this node serves the object, so an ambiguous DELETE outcome
+        // (executed on the owner, response lost) can no longer destroy the
+        // only surviving copy.
+        let loc = self.inner.core.seal(id)?;
+        staged.disarm();
+        self.inner.core.release(id)?; // migration's creator reference
         if let Some(cache) = &self.inner.idcache {
             cache.invalidate(id);
         }
-        staged.disarm();
-        let loc = self.inner.core.seal(id)?;
-        self.inner.core.release(id)?; // migration's creator reference
+
+        // Ask the owner to delete its copy — best effort, never at the
+        // expense of the sealed local copy.
+        let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == owner) else {
+            return Ok(loc);
+        };
+        match self.peer_call(&peer, method::DELETE, IdReq { id }.encode()) {
+            Ok(_) => {}
+            Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::NotFound => {
+                // The owner's copy is already gone: a retried DELETE whose
+                // first attempt executed (response lost) reports NotFound,
+                // and so does an owner that evicted once our pin dropped.
+            }
+            Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::FailedPrecondition => {
+                // Another client still reads the owner's copy: undo the
+                // migration (contract: nothing changes). Best effort — if
+                // a reader raced onto our local copy it stays, and the two
+                // immutable copies coexist safely.
+                let _ = self.inner.core.delete(id);
+                return Err(PlasmaError::ObjectInUse(id));
+            }
+            Err(PeerFail::Rpc(_)) | Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) => {
+                // Ambiguous or failed outcome: the owner may or may not
+                // have deleted. The sealed local copy is authoritative
+                // either way; a surviving owner copy lingers as immutable
+                // garbage until deleted or evicted. Never abort the local
+                // copy here — it may be the only one left.
+            }
+        }
         Ok(loc)
     }
 
@@ -582,8 +656,15 @@ impl DisaggStore {
                     .counters
                     .remote_found
                     .fetch_add(1, Ordering::Relaxed);
-                let entry = held.entry(loc.id).or_insert((peer.node, 0));
-                entry.1 += 1;
+                // Ledger the pin under the owner that actually took it: if
+                // the object moved between lookups (migration race), a pin
+                // on the new owner must not be merged into — and later
+                // "released" against — the stale owner's count.
+                let entries = held.entry(loc.id).or_default();
+                match entries.iter_mut().find(|(node, _)| *node == peer.node) {
+                    Some(entry) => entry.1 += 1,
+                    None => entries.push((peer.node, 1)),
+                }
                 if let Some(cache) = &self.inner.idcache {
                     cache.insert(CachedEntry {
                         location: loc,
@@ -598,7 +679,15 @@ impl DisaggStore {
                 requester: self.inner.node,
                 id,
             };
-            let _ = self.peer_call(peer, method::RELEASE, req.encode());
+            match self.peer_call(peer, method::RELEASE, req.encode()) {
+                Ok(_) | Err(PeerFail::Rpc(_)) => {}
+                Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) => {
+                    // The losing peer is unreachable right now: park the
+                    // release and retry after the next successful call to
+                    // it, instead of leaking its pin permanently.
+                    self.inner.pending_releases.lock().push((peer.node, id));
+                }
+            }
         }
     }
 }
@@ -840,10 +929,22 @@ impl ObjectStore for DisaggStore {
         let owner = {
             let mut held = self.inner.remote_held.lock();
             match held.get_mut(&id) {
-                Some((node, count)) => {
-                    let node = *node;
-                    *count -= 1;
-                    if *count == 0 {
+                Some(entries) => {
+                    // Pins on the same immutable object are fungible: any
+                    // owner's count may be drained first, as long as each
+                    // owner eventually receives exactly its own total.
+                    // Prefer one that isn't Down so a dead peer doesn't
+                    // block releasing pins held on live ones.
+                    let i = entries
+                        .iter()
+                        .position(|(node, _)| self.inner.health.state(*node) != PeerState::Down)
+                        .unwrap_or(0);
+                    let node = entries[i].0;
+                    entries[i].1 -= 1;
+                    if entries[i].1 == 0 {
+                        entries.remove(i);
+                    }
+                    if entries.is_empty() {
                         held.remove(&id);
                     }
                     Some(node)
@@ -881,12 +982,12 @@ impl ObjectStore for DisaggStore {
                 Err(e) => {
                     // Restore the decrement: the owner still counts this
                     // pin, so we must keep counting it too.
-                    self.inner
-                        .remote_held
-                        .lock()
-                        .entry(id)
-                        .and_modify(|entry| entry.1 += 1)
-                        .or_insert((owner, 1));
+                    let mut held = self.inner.remote_held.lock();
+                    let entries = held.entry(id).or_default();
+                    match entries.iter_mut().find(|(node, _)| *node == owner) {
+                        Some(entry) => entry.1 += 1,
+                        None => entries.push((owner, 1)),
+                    }
                     Err(e)
                 }
             };

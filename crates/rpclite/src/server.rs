@@ -51,6 +51,14 @@ impl ServerHandle {
         &self.metrics
     }
 
+    /// Connection-thread handles currently tracked. Finished handles are
+    /// reaped as new connections arrive, so under churn this stays near
+    /// the number of *live* connections rather than growing with every
+    /// connection ever accepted.
+    pub fn tracked_connections(&self) -> usize {
+        self.conn_threads.lock().len()
+    }
+
     /// Stop the server and wait until it is fully quiescent: the accept
     /// loop has exited and every connection thread has finished its
     /// in-flight request and returned. Clients see dead connections on
@@ -95,7 +103,12 @@ pub fn serve(mut listener: Box<dyn Listener>, service: Arc<dyn Service>) -> Serv
                         .name("rpc-conn".to_string())
                         .spawn(move || serve_conn(conn, svc, m, conn_stop))
                         .expect("spawn rpc connection thread");
-                    accept_threads.lock().push(handle);
+                    // Reap handles of connections that have since closed,
+                    // so churny long-lived servers don't accumulate one
+                    // JoinHandle per connection ever accepted.
+                    let mut threads = accept_threads.lock();
+                    threads.retain(|t| !t.is_finished());
+                    threads.push(handle);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => return,
                 Err(_) => return,

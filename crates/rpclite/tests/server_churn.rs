@@ -1,0 +1,35 @@
+//! Connection-thread bookkeeping under churn: finished handles must be
+//! reaped as new connections arrive, not accumulated until shutdown.
+
+use bytes::Bytes;
+use rpclite::{RpcClient, Status};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn finished_connection_threads_are_reaped_under_churn() {
+    let hub = ipc::InprocHub::new();
+    let listener = hub.bind("churn").unwrap();
+    let echo = Arc::new(|_m: u32, b: Bytes| -> Result<Bytes, Status> { Ok(b) });
+    let srv = rpclite::serve(Box::new(listener), echo);
+
+    for _ in 0..16 {
+        let client = RpcClient::new(Box::new(hub.connect("churn").unwrap()));
+        client.call(1, Bytes::from_static(b"ping")).unwrap();
+        drop(client);
+    }
+    // Let the dropped connections' threads notice the hangup (they poll
+    // the stop flag / socket every 20ms), then accept one more connection
+    // so the accept loop reaps the finished handles.
+    std::thread::sleep(Duration::from_millis(200));
+    let client = RpcClient::new(Box::new(hub.connect("churn").unwrap()));
+    client.call(1, Bytes::from_static(b"ping")).unwrap();
+
+    assert_eq!(srv.metrics().connections.load(Ordering::Relaxed), 17);
+    assert!(
+        srv.tracked_connections() <= 2,
+        "finished conn threads must be reaped under churn, still tracking {}",
+        srv.tracked_connections()
+    );
+}

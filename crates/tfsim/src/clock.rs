@@ -104,6 +104,29 @@ impl Clock {
         }
     }
 
+    /// Advance the clock to at least `target` simulation time (no-op if
+    /// already past it).
+    ///
+    /// Unlike [`Clock::charge`], concurrent waiters overlap instead of
+    /// stacking: N threads each waiting until `now + d` advance the clock
+    /// by `d` once, not N times. This is the right shape for wall-clock
+    /// waits such as retry backoff, where parallel fan-out workers sleep
+    /// through the *same* interval.
+    pub fn advance_to(&self, target: Duration) {
+        match self.inner.mode {
+            ClockMode::Virtual => {
+                let ns = u64::try_from(target.as_nanos()).unwrap_or(u64::MAX);
+                self.inner.virt_ns.fetch_max(ns, Ordering::Relaxed);
+            }
+            ClockMode::Throttle => {
+                let now = self.inner.epoch.elapsed();
+                if target > now {
+                    spin_for(target - now);
+                }
+            }
+        }
+    }
+
     /// Current simulation time.
     ///
     /// In `Virtual` mode: the accumulated virtual time. In `Throttle` mode:
@@ -189,6 +212,43 @@ mod tests {
         let c = Clock::virtual_time();
         c.charge_spanning(Duration::from_millis(3), Duration::from_millis(2));
         assert_eq!(c.now(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn advance_to_raises_but_never_rewinds() {
+        let c = Clock::virtual_time();
+        c.charge(Duration::from_millis(10));
+        c.advance_to(Duration::from_millis(4)); // already past: no-op
+        assert_eq!(c.now(), Duration::from_millis(10));
+        c.advance_to(Duration::from_millis(25));
+        assert_eq!(c.now(), Duration::from_millis(25));
+    }
+
+    #[test]
+    fn concurrent_advance_to_overlaps_instead_of_stacking() {
+        // N workers each waiting until now+d must model one shared wait of
+        // d, not N stacked ones (the retry-backoff shape).
+        let c = Clock::virtual_time();
+        let target = c.now() + Duration::from_millis(10);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || c.advance_to(target));
+            }
+        });
+        assert_eq!(c.now(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn advance_to_throttled_waits_real_time() {
+        let c = Clock::throttled();
+        let start = Instant::now();
+        c.advance_to(c.now() + Duration::from_millis(3));
+        assert!(start.elapsed() >= Duration::from_millis(3));
+        // A target already in the past returns immediately.
+        let start = Instant::now();
+        c.advance_to(Duration::ZERO);
+        assert!(start.elapsed() < Duration::from_millis(3));
     }
 
     #[test]

@@ -392,6 +392,181 @@ fn failed_release_keeps_the_pin_accounted() {
     assert_eq!(cluster.store(0).disagg_stats().releases_forwarded, 1);
 }
 
+#[test]
+fn migration_survives_ambiguous_owner_delete() {
+    use disagg::proto::method;
+    use plasma::{StoreConfig, StoreCore};
+    use rpclite::{RpcClient, Status, StatusCode};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let fabric = tfsim::Fabric::virtual_thymesisflow();
+    let n0 = fabric.register_node();
+    let n1 = fabric.register_node();
+    let core0 = StoreCore::new(&fabric, n0, StoreConfig::new("migrator", 1 << 20)).unwrap();
+    let core1 = StoreCore::new(&fabric, n1, StoreConfig::new("owner", 1 << 20)).unwrap();
+    let s0 = DisaggStore::new(core0, DisaggConfig::default());
+    let s1 = DisaggStore::new(core1, DisaggConfig::default());
+
+    let id = ObjectId::from_name("ambiguous-delete");
+    s1.create(id, 1024, 0).unwrap();
+    s1.seal(id).unwrap();
+    s1.release(id).unwrap(); // creator reference
+
+    // The owner's interconnect, wrapped: the first DELETE *executes* but
+    // its response is replaced with Unavailable — the "owner deleted the
+    // object, then the response was lost" interleaving. The blind retry
+    // then sees the true post-state, NotFound.
+    let real = s1.interconnect_service();
+    let lose_delete_response = Arc::new(AtomicBool::new(true));
+    let flag = Arc::clone(&lose_delete_response);
+    let svc = Arc::new(move |m: u32, b: bytes::Bytes| {
+        let resp = real.call(m, b);
+        if m == method::DELETE && resp.is_ok() && flag.swap(false, Ordering::SeqCst) {
+            return Err(Status::new(StatusCode::Unavailable, "response lost"));
+        }
+        resp
+    });
+    let hub = ipc::InprocHub::new();
+    let _srv = rpclite::serve(Box::new(hub.bind("flaky-owner").unwrap()), svc);
+    s0.add_peer(Peer {
+        node: n1,
+        name: "owner".into(),
+        client: Arc::new(RpcClient::new(Box::new(
+            hub.connect("flaky-owner").unwrap(),
+        ))),
+    });
+
+    // The object must survive migration: the local copy is sealed before
+    // the owner is asked to delete, so the ambiguous DELETE outcome can
+    // never destroy the only remaining copy.
+    let loc = s0.migrate_to_local(id, Duration::from_secs(5)).unwrap();
+    assert_eq!(loc.seg.owner, n0);
+    assert!(
+        s0.core().contains(id),
+        "migrated copy must be sealed locally"
+    );
+    assert!(!s1.core().exists_any_state(id), "owner copy deleted");
+    assert_eq!(s1.remote_pin_count(), 0, "migration pin released");
+    assert!(
+        !lose_delete_response.load(Ordering::SeqCst),
+        "the lossy DELETE path was exercised"
+    );
+}
+
+#[test]
+fn pin_ledger_tracks_owners_separately_across_migration_races() {
+    let mut cluster = Cluster::launch(ClusterConfig::functional(3, 1 << 20)).unwrap();
+    let id = ObjectId::from_name("dual-copy");
+    // Force the dual-copy state a migration race can leave behind: two
+    // peers each hold a sealed copy of the same id (created through the
+    // core, bypassing the reserve handshake exactly as migration staging
+    // does).
+    for i in [1, 2] {
+        let core = cluster.store(i).core();
+        core.create(id, 256, 0).unwrap();
+        core.seal(id).unwrap();
+        core.release(id).unwrap();
+    }
+    let s0 = cluster.store(0).clone();
+
+    // First lookup pins whichever copy was absorbed first; the duplicate
+    // pin is released straight back, so exactly one pin stands.
+    let got = s0.get(&[id], Duration::from_secs(1)).unwrap();
+    assert!(got[0].is_some());
+    assert_eq!(
+        cluster.store(1).remote_pin_count() + cluster.store(2).remote_pin_count(),
+        1
+    );
+
+    // Peer 1 crashes; the next lookup resolves — and pins — on peer 2.
+    cluster.stop_rpc(1);
+    let got = s0.get(&[id], Duration::ZERO).unwrap();
+    assert!(got[0].is_some());
+    assert_eq!(cluster.store(2).remote_pin_count(), 1);
+
+    // Each pin must release to the owner that took it. (A ledger keyed
+    // only by id would merge both under peer 1, leaving peer 2's pin —
+    // and its copy — unevictable forever.)
+    cluster.restart_rpc(1).unwrap();
+    for _ in 0..2 {
+        cluster.clock().charge(Duration::from_secs(2));
+        s0.release(id).unwrap();
+    }
+    assert_eq!(cluster.store(1).remote_pin_count(), 0, "peer 1 pin stuck");
+    assert_eq!(cluster.store(2).remote_pin_count(), 0, "peer 2 pin stuck");
+}
+
+#[test]
+fn unreachable_duplicate_release_is_parked_then_flushed() {
+    use disagg::proto::method;
+    use plasma::{StoreConfig, StoreCore};
+    use rpclite::{RpcClient, Status, StatusCode};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let fabric = tfsim::Fabric::virtual_thymesisflow();
+    let nodes: Vec<_> = (0..3).map(|_| fabric.register_node()).collect();
+    let mk = |i: usize, name: &str| {
+        let core = StoreCore::new(&fabric, nodes[i], StoreConfig::new(name, 1 << 20)).unwrap();
+        DisaggStore::new(core, DisaggConfig::default())
+    };
+    let s0 = mk(0, "observer");
+    let s1 = mk(1, "winner");
+    let s2 = mk(2, "loser");
+
+    // Dual-copy state again: both peers hold the id.
+    let id = ObjectId::from_name("parked-release");
+    for s in [&s1, &s2] {
+        s.create(id, 128, 0).unwrap();
+        s.seal(id).unwrap();
+        s.release(id).unwrap();
+    }
+
+    let hub = ipc::InprocHub::new();
+    let _srv1 = rpclite::serve(
+        Box::new(hub.bind("winner").unwrap()),
+        s1.interconnect_service(),
+    );
+    // Peer 2 answers lookups but drops every RELEASE while `flaky` holds.
+    let real = s2.interconnect_service();
+    let flaky = Arc::new(AtomicBool::new(true));
+    let f = Arc::clone(&flaky);
+    let svc2 = Arc::new(move |m: u32, b: bytes::Bytes| {
+        if m == method::RELEASE && f.load(Ordering::SeqCst) {
+            return Err(Status::new(StatusCode::Unavailable, "flaky"));
+        }
+        real.call(m, b)
+    });
+    let _srv2 = rpclite::serve(Box::new(hub.bind("loser").unwrap()), svc2);
+    for (i, name) in [(1usize, "winner"), (2, "loser")] {
+        s0.add_peer(Peer {
+            node: nodes[i],
+            name: name.into(),
+            client: Arc::new(RpcClient::new(Box::new(hub.connect(name).unwrap()))),
+        });
+    }
+
+    // The broadcast pins on both peers; the duplicate-pin release to the
+    // loser fails and must be parked for retry, not silently dropped.
+    let got = s0.get(&[id], Duration::from_secs(1)).unwrap();
+    assert!(got[0].is_some());
+    assert_eq!(s1.remote_pin_count(), 1);
+    assert_eq!(s2.remote_pin_count(), 1, "duplicate pin still on the loser");
+    assert_eq!(s0.pending_release_count(), 1);
+
+    // The loser heals; the next successful call to it flushes the parked
+    // release and the stranded pin drains.
+    flaky.store(false, Ordering::SeqCst);
+    fabric.clock().charge(Duration::from_secs(10)); // past the probe window
+    assert!(s0.contains(id).unwrap());
+    assert_eq!(s2.remote_pin_count(), 0, "parked release flushed");
+    assert_eq!(s0.pending_release_count(), 0);
+    assert_eq!(s1.remote_pin_count(), 1, "winning pin untouched");
+    s0.release(id).unwrap();
+    assert_eq!(s1.remote_pin_count(), 0);
+}
+
 // ---------------------------------------------------------------------------
 // Property: no interleaving of gets, releases, peer crashes, restarts,
 // and probe windows ever loses a pin — the owner's remote-pin count
