@@ -14,7 +14,7 @@
 //!
 //! Usage: `cargo run -p bench --bin fig6 --release [-- --small --reps N]`
 
-use bench::{render_table, run_benchmark, HarnessOpts, Summary};
+use bench::{print_store_side, render_table, run_benchmark, HarnessOpts, Summary};
 use disagg::{Cluster, ClusterConfig};
 
 fn main() {
@@ -60,4 +60,5 @@ fn main() {
             &rows
         )
     );
+    print_store_side(&cluster);
 }

@@ -12,7 +12,7 @@
 //!
 //! Usage: `cargo run -p bench --bin fig7 --release [-- --small --reps N]`
 
-use bench::{render_table, run_benchmark, HarnessOpts, Summary};
+use bench::{print_store_side, render_table, run_benchmark, HarnessOpts, Summary};
 use disagg::{Cluster, ClusterConfig};
 
 fn main() {
@@ -66,4 +66,5 @@ fn main() {
         );
         println!("Paper reports:            local ~6.5 GiB/s, remote ~5.75 GiB/s, penalty ~11.5%");
     }
+    print_store_side(&cluster);
 }

@@ -8,7 +8,7 @@
 //!
 //! Usage: `cargo run -p bench --bin table1 --release [-- --small --reps N]`
 
-use bench::{commit_objects, render_table, HarnessOpts};
+use bench::{commit_objects, print_store_side, render_table, HarnessOpts};
 use disagg::{Cluster, ClusterConfig};
 
 fn main() {
@@ -61,4 +61,5 @@ fn main() {
         "{}",
         render_table(&["#", "commit total (ms)", "per object (µs)"], &rows)
     );
+    print_store_side(&cluster);
 }

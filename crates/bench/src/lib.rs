@@ -5,7 +5,9 @@
 //!
 //! * [`workload`] — Table I benchmark specs and object commit routines;
 //! * [`measure`] — summary statistics and text-table rendering;
-//! * [`runner`] — the paper's retrieval/read measurement procedure.
+//! * [`runner`] — the paper's retrieval/read measurement procedure;
+//! * [`storeside`] — store-side latency report from the obs registries,
+//!   appended to the figure output.
 //!
 //! See DESIGN.md §4 for the experiment index (which binary regenerates
 //! which table/figure) and EXPERIMENTS.md for paper-vs-measured results.
@@ -13,9 +15,11 @@
 pub mod cli;
 pub mod measure;
 pub mod runner;
+pub mod storeside;
 pub mod workload;
 
 pub use cli::HarnessOpts;
 pub use measure::{gibps, percentile, render_table, Summary};
 pub use runner::{one_rep, run_benchmark, BenchResult, RepSample, READ_CHUNK};
+pub use storeside::{print_store_side, render_store_side};
 pub use workload::{commit_objects, random_data, BenchSpec, TABLE_I, TABLE_I_SMALL};

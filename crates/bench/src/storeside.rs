@@ -1,0 +1,112 @@
+//! Store-side observability report appended to the figure harnesses.
+//!
+//! The figures time the *client* side on the simulation clock; this
+//! report adds the *store* side from the obs registries — the same
+//! snapshots any node can fetch from any peer over the `METRICS`
+//! interconnect verb. Store-side latencies are wall-clock nanoseconds of
+//! harness execution (the hot paths record real elapsed time), so they
+//! complement, not replace, the modeled client timings: use them to see
+//! where requests spend time inside the store, not to compare against
+//! the paper's testbed numbers.
+
+use crate::measure::render_table;
+use disagg::Cluster;
+use obs::MetricsSnapshot;
+
+/// The store-side histograms worth a row in a figure report, with the
+/// label shown in the table.
+const REPORT_HISTOGRAMS: &[(&str, &str)] = &[
+    ("disagg.get.local_hit.latency_ns", "get (local hit)"),
+    ("disagg.get.remote_hit.latency_ns", "get (remote hit)"),
+    ("disagg.get.miss.latency_ns", "get (miss)"),
+    ("disagg.lookup.fanout.latency_ns", "remote lookup fan-out"),
+    ("disagg.create.latency_ns", "create (disagg)"),
+    ("plasma.create.latency_ns", "create (plasma core)"),
+    ("plasma.seal.latency_ns", "seal"),
+    ("plasma.get.latency_ns", "get (plasma core)"),
+    ("plasma.release.latency_ns", "release"),
+];
+
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+/// Render the merged store-side latency table for a finished run:
+/// one row per instrumented operation that actually recorded samples,
+/// p50/p90/p99/max in microseconds.
+pub fn render_store_side(merged: &MetricsSnapshot) -> String {
+    let mut rows = Vec::new();
+    for (name, label) in REPORT_HISTOGRAMS {
+        let Some(h) = merged.histogram(name) else {
+            continue;
+        };
+        if h.count == 0 {
+            continue;
+        }
+        rows.push(vec![
+            (*label).to_string(),
+            h.count.to_string(),
+            us(h.p50()),
+            us(h.p90()),
+            us(h.p99()),
+            us(h.max),
+        ]);
+    }
+    if rows.is_empty() {
+        return "  (no store-side samples recorded)\n".to_string();
+    }
+    render_table(
+        &["store-side op", "count", "p50 (µs)", "p90", "p99", "max"],
+        &rows,
+    )
+}
+
+/// Fetch every node's snapshot over the interconnect (partial if a peer
+/// is unreachable), merge, and render. Printed *after* the existing
+/// figure output so no established field changes.
+pub fn print_store_side(cluster: &Cluster) {
+    match cluster.store(0).merged_cluster_metrics() {
+        Ok(merged) => {
+            println!("\nStore-side service time (merged across nodes, wall-clock):");
+            print!("{}", render_store_side(&merged));
+        }
+        Err(e) => eprintln!("store-side metrics unavailable: {e:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Histogram;
+
+    #[test]
+    fn report_skips_absent_and_empty_histograms() {
+        let mut snap = MetricsSnapshot::default();
+        let empty = Histogram::new();
+        snap.histograms
+            .insert("plasma.get.latency_ns".into(), empty.snapshot());
+        let live = Histogram::new();
+        live.record(1_500);
+        live.record(2_500);
+        snap.histograms
+            .insert("plasma.create.latency_ns".into(), live.snapshot());
+
+        let table = render_store_side(&snap);
+        assert!(table.contains("create (plasma core)"), "{table}");
+        assert!(!table.contains("get (plasma core)"), "{table}");
+        // Two samples, microsecond scaling applied.
+        let row: Vec<&str> = table
+            .lines()
+            .find(|l| l.contains("create (plasma core)"))
+            .unwrap()
+            .split_whitespace()
+            .collect();
+        assert!(row.contains(&"2"), "{row:?}");
+    }
+
+    #[test]
+    fn report_on_empty_snapshot_says_so() {
+        let snap = MetricsSnapshot::default();
+        assert!(render_store_side(&snap).contains("no store-side samples"));
+    }
+}

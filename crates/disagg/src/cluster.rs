@@ -8,6 +8,7 @@
 //! "rack-scale solutions [with] multiple nodes" (paper §V-B).
 
 use crate::idcache::CacheMode;
+use crate::proto::method;
 use crate::store::{DisaggConfig, DisaggStore, InterconnectConfig, Peer};
 use ipc::{Conn, InprocHub};
 use netsim::{LinkModel, SharedLink};
@@ -15,7 +16,7 @@ use plasma::{
     AllocatorKind, ClientCost, Notifications, PlasmaClient, PlasmaError, PlasmaServer, StoreConfig,
     StoreCore,
 };
-use rpclite::{NetCost, RpcClient, ServerHandle};
+use rpclite::{ClientMetrics, NetCost, RpcClient, ServerHandle};
 use std::sync::Arc;
 use tfsim::{Clock, ClockMode, CostModel, Fabric, NodeId};
 
@@ -162,7 +163,7 @@ impl Cluster {
                 };
                 let dial_hub = hub.clone();
                 let target = format!("rpc-{j}");
-                let client = RpcClient::with_connector(
+                let mut client = RpcClient::with_connector(
                     Box::new(move || {
                         dial_hub
                             .connect(&target)
@@ -170,6 +171,14 @@ impl Cluster {
                     }),
                     Some(net),
                 );
+                // Per-verb call-latency histograms and failure counters,
+                // registered in the *calling* store's registry so its
+                // metrics snapshot covers the interconnect client side.
+                client.set_metrics(ClientMetrics::register(
+                    nodes[i].store.core().registry(),
+                    &format!("rpc.client.store-{j}"),
+                    method::VERBS,
+                ));
                 nodes[i].store.add_peer(Peer {
                     node: nodes[j].node,
                     name: format!("store-{j}"),

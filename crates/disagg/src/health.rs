@@ -18,10 +18,12 @@
 //! All timing runs on the cluster's [`Clock`], so under virtual time the
 //! whole state machine is deterministic and instant to test.
 
+use obs::{Counter, Registry};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 use tfsim::{Clock, NodeId};
 
@@ -106,12 +108,21 @@ impl Entry {
     }
 }
 
+/// State-transition counters, recorded exactly once per transition (a
+/// repeat failure of an already-`Suspect` peer does not re-count).
+struct TransitionCounters {
+    to_suspect: Arc<Counter>,
+    to_down: Arc<Counter>,
+    recovered: Arc<Counter>,
+}
+
 /// Failure detector for the peers of one node. Cheap to share behind the
 /// store's `Arc`; all methods take `&self`.
 pub struct PeerHealth {
     cfg: HealthConfig,
     clock: Clock,
     entries: Mutex<HashMap<NodeId, Entry>>,
+    metrics: Option<TransitionCounters>,
 }
 
 impl PeerHealth {
@@ -120,7 +131,22 @@ impl PeerHealth {
             cfg,
             clock,
             entries: Mutex::new(HashMap::new()),
+            metrics: None,
         }
+    }
+
+    /// Like [`PeerHealth::new`], with state-transition counters
+    /// (`disagg.health.to_suspect` / `.to_down` / `.recovered`)
+    /// registered in `registry`. Each counter increments exactly once
+    /// per transition, summed over all peers.
+    pub fn with_metrics(cfg: HealthConfig, clock: Clock, registry: &Registry) -> Self {
+        let mut health = PeerHealth::new(cfg, clock);
+        health.metrics = Some(TransitionCounters {
+            to_suspect: registry.counter("disagg.health.to_suspect"),
+            to_down: registry.counter("disagg.health.to_down"),
+            recovered: registry.counter("disagg.health.recovered"),
+        });
+        health
     }
 
     /// Decide whether a call to `peer` should proceed. `Probe` admissions
@@ -151,6 +177,11 @@ impl PeerHealth {
     pub fn record_success(&self, peer: NodeId) {
         let mut entries = self.entries.lock();
         let entry = entries.entry(peer).or_insert_with(Entry::new);
+        if entry.state != PeerState::Up {
+            if let Some(m) = &self.metrics {
+                m.recovered.inc();
+            }
+        }
         entry.state = PeerState::Up;
         entry.consecutive_failures = 0;
         entry.stats.successes += 1;
@@ -168,9 +199,17 @@ impl PeerHealth {
                 entry.state = PeerState::Down;
                 entry.backoff = self.cfg.probe_backoff;
                 entry.next_probe_at = self.clock.now() + entry.backoff;
+                if let Some(m) = &self.metrics {
+                    m.to_down.inc();
+                }
             }
-        } else if entry.consecutive_failures >= self.cfg.suspect_after {
+        } else if entry.consecutive_failures >= self.cfg.suspect_after
+            && entry.state != PeerState::Suspect
+        {
             entry.state = PeerState::Suspect;
+            if let Some(m) = &self.metrics {
+                m.to_suspect.inc();
+            }
         }
     }
 
@@ -372,6 +411,122 @@ mod tests {
         assert_eq!(h.state(NodeId(1)), PeerState::Down);
         assert_eq!(h.state(NodeId(2)), PeerState::Up);
         assert_eq!(h.admit(NodeId(2)), Admission::Attempt);
+    }
+
+    /// Exhaustive walk of the state machine: every (state, event) pair
+    /// and the state it must land in. `suspect_after: 1`, `down_after: 3`.
+    #[test]
+    fn exhaustive_transition_table() {
+        let p = NodeId(1);
+        // (label, events to apply from a fresh tracker, expected state)
+        // F = record_failure, S = record_success, W = advance one probe
+        // window, A = admit (result ignored here).
+        let table: &[(&str, &str, PeerState)] = &[
+            ("fresh peer", "", PeerState::Up),
+            ("Up + success", "S", PeerState::Up),
+            ("Up + failure", "F", PeerState::Suspect),
+            ("Suspect + success", "FS", PeerState::Up),
+            (
+                "Suspect + failure (below down_after)",
+                "FF",
+                PeerState::Suspect,
+            ),
+            ("Suspect + failure (at down_after)", "FFF", PeerState::Down),
+            ("Down + failure", "FFFF", PeerState::Down),
+            ("Down + admit inside window (skip)", "FFFA", PeerState::Down),
+            (
+                "Down + probe admitted, not yet answered",
+                "FFFWA",
+                PeerState::Down,
+            ),
+            ("Down + probe failure", "FFFWAF", PeerState::Down),
+            ("Down + probe success", "FFFWAS", PeerState::Up),
+            (
+                "recovered peer + failure starts over",
+                "FFFWASF",
+                PeerState::Suspect,
+            ),
+        ];
+        for (label, events, expected) in table {
+            let clock = Clock::virtual_time();
+            let h = tracker(&clock);
+            for ev in events.chars() {
+                match ev {
+                    'F' => h.record_failure(p),
+                    'S' => h.record_success(p),
+                    'W' => clock.charge(Duration::from_millis(100)),
+                    'A' => {
+                        h.admit(p);
+                    }
+                    other => panic!("bad event {other}"),
+                }
+            }
+            assert_eq!(h.state(p), *expected, "{label}");
+        }
+    }
+
+    #[test]
+    fn denied_probe_never_flips_state() {
+        let clock = Clock::virtual_time();
+        let h = tracker(&clock);
+        let p = NodeId(1);
+        for _ in 0..3 {
+            h.record_failure(p);
+        }
+        assert_eq!(h.state(p), PeerState::Down);
+        // The backoff window has not elapsed: every admit is denied and
+        // the peer must stay Down with its failure count intact.
+        for _ in 0..10 {
+            assert_eq!(h.admit(p), Admission::Skip);
+            assert_eq!(h.state(p), PeerState::Down);
+        }
+        assert_eq!(h.stats(p).skips, 10);
+        assert_eq!(h.stats(p).probes, 0);
+        // Even after winning a probe, the *admission itself* does not
+        // change state — only the recorded outcome does.
+        clock.charge(Duration::from_millis(100));
+        assert_eq!(h.admit(p), Admission::Probe);
+        assert_eq!(h.state(p), PeerState::Down);
+    }
+
+    #[test]
+    fn metrics_record_each_transition_exactly_once() {
+        let clock = Clock::virtual_time();
+        let registry = obs::Registry::new();
+        let h = PeerHealth::with_metrics(
+            HealthConfig {
+                suspect_after: 1,
+                down_after: 3,
+                probe_backoff: Duration::from_millis(100),
+                probe_backoff_max: Duration::from_millis(400),
+            },
+            clock.clone(),
+            &registry,
+        );
+        let p = NodeId(1);
+        // Five consecutive failures: one Up→Suspect, one Suspect→Down —
+        // the repeats inside each state must not re-count.
+        for _ in 0..5 {
+            h.record_failure(p);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("disagg.health.to_suspect"), 1);
+        assert_eq!(snap.counter("disagg.health.to_down"), 1);
+        assert_eq!(snap.counter("disagg.health.recovered"), 0);
+        // Recovery counts once, and repeat successes while Up don't.
+        h.record_success(p);
+        h.record_success(p);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("disagg.health.recovered"), 1);
+        // A second full cycle counts a second time for each transition.
+        for _ in 0..5 {
+            h.record_failure(p);
+        }
+        h.record_success(p);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("disagg.health.to_suspect"), 2);
+        assert_eq!(snap.counter("disagg.health.to_down"), 2);
+        assert_eq!(snap.counter("disagg.health.recovered"), 2);
     }
 
     #[test]

@@ -130,6 +130,17 @@ impl IdCache {
             self.misses.load(Ordering::Relaxed),
         )
     }
+
+    /// Fraction of lookups that hit, in `[0, 1]` (0 before any lookup).
+    pub fn hit_ratio(&self) -> f64 {
+        let (hits, misses) = self.counters();
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +188,19 @@ mod tests {
         assert!(c.lookup(entry(2).location.id).is_none(), "LRU evicted");
         assert!(c.lookup(entry(1).location.id).is_some());
         assert!(c.lookup(entry(3).location.id).is_some());
+    }
+
+    #[test]
+    fn hit_ratio_tracks_counters() {
+        let c = IdCache::new(CacheMode::Pinning, 4);
+        assert_eq!(c.hit_ratio(), 0.0);
+        let e = entry(1);
+        c.insert(e.clone());
+        assert!(c.lookup(e.location.id).is_some()); // hit
+        assert!(c.lookup(entry(2).location.id).is_none()); // miss
+        assert!(c.lookup(entry(3).location.id).is_none()); // miss
+        let ratio = c.hit_ratio();
+        assert!((ratio - 1.0 / 3.0).abs() < 1e-9, "ratio={ratio}");
     }
 
     #[test]

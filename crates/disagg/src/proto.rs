@@ -27,6 +27,21 @@ pub mod method {
     pub const LIST: u32 = 6;
     /// Forwarded deferred delete (`IdReq` → `BoolResp` deleted-now).
     pub const DELETE_DEFERRED: u32 = 7;
+    /// Metrics introspection (empty → `MetricsResp`): the responder's
+    /// full [`obs`] snapshot, so any node can observe any peer live.
+    pub const METRICS: u32 = 8;
+
+    /// Method-id → verb-name table (metric labels, diagnostics).
+    pub const VERBS: &[(u32, &str)] = &[
+        (LOOKUP, "lookup"),
+        (RESERVE, "reserve"),
+        (RELEASE, "release"),
+        (CONTAINS, "contains"),
+        (DELETE, "delete"),
+        (LIST, "list"),
+        (DELETE_DEFERRED, "delete_deferred"),
+        (METRICS, "metrics"),
+    ];
 }
 
 fn enc_id(e: &mut MsgEnc, field: u32, id: &ObjectId) {
@@ -274,6 +289,31 @@ impl ListResp {
     }
 }
 
+/// Response to a METRICS call: the responder's serialized
+/// [`obs::MetricsSnapshot`] (opaque here; the obs codec owns the format,
+/// so the interconnect never needs re-releasing when metrics evolve).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsResp {
+    pub node: NodeId,
+    pub snapshot: Bytes,
+}
+
+impl MetricsResp {
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.node.0)).bytes(2, &self.snapshot);
+        e.finish()
+    }
+
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(MetricsResp {
+            node: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            snapshot: f.bytes(2)?,
+        })
+    }
+}
+
 /// Boolean response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoolResp {
@@ -391,6 +431,30 @@ mod tests {
             entries: vec![],
         };
         assert_eq!(ListResp::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn metrics_resp_roundtrip() {
+        let r = MetricsResp {
+            node: NodeId(7),
+            snapshot: Bytes::from_static(&[1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+        };
+        assert_eq!(MetricsResp::decode(r.encode()).unwrap(), r);
+        let empty = MetricsResp {
+            node: NodeId(0),
+            snapshot: Bytes::new(),
+        };
+        assert_eq!(MetricsResp::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn verb_table_covers_every_method_id() {
+        for id in 1..=method::METRICS {
+            assert!(
+                method::VERBS.iter().any(|(v, _)| *v == id),
+                "method id {id} missing from VERBS"
+            );
+        }
     }
 
     #[test]

@@ -20,12 +20,13 @@
 use crate::health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 use crate::idcache::{CacheMode, CachedEntry, IdCache};
 use crate::proto::{
-    method, BoolResp, IdReq, ListEntry, ListResp, LookupReq, LookupResp, ReleaseReq, ReserveReq,
-    ReserveResp,
+    method, BoolResp, IdReq, ListEntry, ListResp, LookupReq, LookupResp, MetricsResp, ReleaseReq,
+    ReserveReq, ReserveResp,
 };
 use crate::usage::{RemoteRefs, Reservations, ReserveOutcome};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
+use obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use parking_lot::{Mutex, RwLock};
 use plasma::{
     ObjectId, ObjectInfo, ObjectLocation, ObjectStore, PlasmaError, StoreCore, StoreStats,
@@ -123,6 +124,51 @@ impl Default for DisaggConfig {
     }
 }
 
+/// Pre-resolved [`obs`] handles for the distributed layer, registered in
+/// the wrapped core's registry so one snapshot covers every layer of the
+/// node. Hot paths record through these `Arc`s — atomics only, no
+/// registry lookup.
+struct DisaggMetrics {
+    /// `get` latency for ids served by the local core on the first pass.
+    get_local_hit: Arc<Histogram>,
+    /// `get` latency for ids resolved by a remote lookup round.
+    get_remote_hit: Arc<Histogram>,
+    /// `get` latency for ids still unresolved when the call returned.
+    get_miss: Arc<Histogram>,
+    /// End-to-end `create` latency (reserve broadcast + local allocate).
+    create: Arc<Histogram>,
+    /// Latency of one remote-lookup round (cache consults + fan-out).
+    lookup_fanout: Arc<Histogram>,
+    idcache_hits: Arc<Counter>,
+    idcache_misses: Arc<Counter>,
+    /// Interconnect call retries (attempts after the first).
+    peer_retries: Arc<Counter>,
+    /// Parked RELEASEs awaiting an unreachable peer (current backlog).
+    pending_releases: Arc<Gauge>,
+    migrations_completed: Arc<Counter>,
+    migrations_aborted_in_use: Arc<Counter>,
+    migrations_failed: Arc<Counter>,
+}
+
+impl DisaggMetrics {
+    fn new(registry: &Registry) -> DisaggMetrics {
+        DisaggMetrics {
+            get_local_hit: registry.histogram("disagg.get.local_hit.latency_ns"),
+            get_remote_hit: registry.histogram("disagg.get.remote_hit.latency_ns"),
+            get_miss: registry.histogram("disagg.get.miss.latency_ns"),
+            create: registry.histogram("disagg.create.latency_ns"),
+            lookup_fanout: registry.histogram("disagg.lookup.fanout.latency_ns"),
+            idcache_hits: registry.counter("disagg.idcache.hits"),
+            idcache_misses: registry.counter("disagg.idcache.misses"),
+            peer_retries: registry.counter("disagg.peer.retries"),
+            pending_releases: registry.gauge("disagg.pending_releases"),
+            migrations_completed: registry.counter("disagg.migrations.completed"),
+            migrations_aborted_in_use: registry.counter("disagg.migrations.aborted_in_use"),
+            migrations_failed: registry.counter("disagg.migrations.failed"),
+        }
+    }
+}
+
 struct Inner {
     core: StoreCore,
     node: NodeId,
@@ -142,6 +188,7 @@ struct Inner {
     reservations: Reservations,
     remote_refs: RemoteRefs,
     counters: DisaggCounters,
+    metrics: DisaggMetrics,
     health: PeerHealth,
     retry: RetryPolicy,
     call_deadline: Option<Duration>,
@@ -175,9 +222,15 @@ impl DisaggStore {
     pub fn new(core: StoreCore, config: DisaggConfig) -> Self {
         let node = core.node();
         let clock = core.fabric().clock().clone();
+        let metrics = DisaggMetrics::new(core.registry());
         DisaggStore {
             inner: Arc::new(Inner {
-                health: PeerHealth::new(config.interconnect.health, clock.clone()),
+                health: PeerHealth::with_metrics(
+                    config.interconnect.health,
+                    clock.clone(),
+                    core.registry(),
+                ),
+                metrics,
                 retry: config.interconnect.retry,
                 call_deadline: config.interconnect.call_deadline,
                 clock,
@@ -238,6 +291,68 @@ impl DisaggStore {
     /// Remote-id-cache counters, if a cache is configured: (hits, misses).
     pub fn idcache_counters(&self) -> Option<(u64, u64)> {
         self.inner.idcache.as_ref().map(|c| c.counters())
+    }
+
+    /// Point-in-time snapshot of every metric this node records. The
+    /// plasma core, the distributed layer, and (when the harness wires
+    /// them) the interconnect RPC clients all share the core's registry,
+    /// so one snapshot covers the whole node.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner.core.registry().snapshot()
+    }
+
+    /// Fetch one peer's metrics snapshot over the interconnect
+    /// (`METRICS` RPC): any node can introspect any peer live.
+    pub fn peer_metrics(&self, node: NodeId) -> Result<MetricsSnapshot, PlasmaError> {
+        let peer = self
+            .peers_snapshot()
+            .into_iter()
+            .find(|p| p.node == node)
+            .ok_or_else(|| PlasmaError::Transport(format!("no peer for {node}")))?;
+        match self.peer_call(&peer, method::METRICS, Bytes::new()) {
+            Ok(body) => Self::decode_metrics(body).map(|(_, snap)| snap),
+            Err(PeerFail::Skipped) => Err(PlasmaError::PeerUnavailable(format!(
+                "peer {} is down",
+                peer.name
+            ))),
+            Err(PeerFail::Unreachable(m)) => Err(PlasmaError::PeerUnavailable(m)),
+            Err(PeerFail::Rpc(e)) => Err(Self::rpc_err(e)),
+        }
+    }
+
+    /// Cluster-wide metrics: this node's snapshot plus every reachable
+    /// peer's, queried in parallel. Like [`DisaggStore::global_list`],
+    /// unreachable peers are omitted — the snapshot degrades to a
+    /// partial cluster view instead of failing.
+    pub fn cluster_metrics(&self) -> Result<Vec<(NodeId, MetricsSnapshot)>, PlasmaError> {
+        let mut out = Vec::with_capacity(self.peer_count() + 1);
+        out.push((self.inner.node, self.metrics_snapshot()));
+        let peers = self.peers_snapshot();
+        let responses = self.fanout(&peers, |peer| {
+            self.peer_call(peer, method::METRICS, Bytes::new())
+        });
+        for response in responses {
+            let Ok(body) = response else { continue };
+            out.push(Self::decode_metrics(body)?);
+        }
+        Ok(out)
+    }
+
+    /// Merged cluster snapshot: the fold of
+    /// [`DisaggStore::cluster_metrics`] (merging is associative and
+    /// commutative, so the order of nodes does not matter).
+    pub fn merged_cluster_metrics(&self) -> Result<MetricsSnapshot, PlasmaError> {
+        Ok(MetricsSnapshot::merged(
+            self.cluster_metrics()?.iter().map(|(_, snap)| snap),
+        ))
+    }
+
+    fn decode_metrics(body: Bytes) -> Result<(NodeId, MetricsSnapshot), PlasmaError> {
+        let resp = MetricsResp::decode(body)
+            .map_err(|e| PlasmaError::Protocol(format!("metrics response: {e}")))?;
+        let snap = MetricsSnapshot::decode(&resp.snapshot)
+            .map_err(|e| PlasmaError::Protocol(format!("metrics snapshot: {e}")))?;
+        Ok((resp.node, snap))
     }
 
     /// References this store holds on behalf of remote nodes.
@@ -308,6 +423,7 @@ impl DisaggStore {
                         )));
                     }
                     retry_no += 1;
+                    inner.metrics.peer_retries.inc();
                     let backoff = inner.retry.backoff(retry_no, &mut inner.retry_rng.lock());
                     // Advance-to rather than charge: fan-out workers
                     // backing off concurrently model one overlapping
@@ -344,6 +460,10 @@ impl DisaggStore {
                     true
                 }
             });
+            self.inner
+                .metrics
+                .pending_releases
+                .set(pending.len() as i64);
             queued
         };
         for id in queued {
@@ -356,9 +476,20 @@ impl DisaggStore {
                 .call_with_deadline(method::RELEASE, req.encode(), self.inner.call_deadline)
                 .is_err()
             {
-                self.inner.pending_releases.lock().push((peer.node, id));
+                self.park_release(peer.node, id);
             }
         }
+    }
+
+    /// Park a RELEASE against an unreachable peer for later retry,
+    /// tracking the backlog gauge.
+    fn park_release(&self, owner: NodeId, id: ObjectId) {
+        let mut pending = self.inner.pending_releases.lock();
+        pending.push((owner, id));
+        self.inner
+            .metrics
+            .pending_releases
+            .set(pending.len() as i64);
     }
 
     /// Releases that failed against an unreachable peer and await retry.
@@ -394,6 +525,21 @@ impl DisaggStore {
     /// harmless; if another client still holds the owner's copy, migration
     /// aborts with [`PlasmaError::ObjectInUse`] and nothing changes.
     pub fn migrate_to_local(
+        &self,
+        id: ObjectId,
+        timeout: Duration,
+    ) -> Result<ObjectLocation, PlasmaError> {
+        let result = self.migrate_inner(id, timeout);
+        let m = &self.inner.metrics;
+        match &result {
+            Ok(_) => m.migrations_completed.inc(),
+            Err(PlasmaError::ObjectInUse(_)) => m.migrations_aborted_in_use.inc(),
+            Err(_) => m.migrations_failed.inc(),
+        }
+        result
+    }
+
+    fn migrate_inner(
         &self,
         id: ObjectId,
         timeout: Duration,
@@ -538,6 +684,7 @@ impl DisaggStore {
         if missing.is_empty() {
             return;
         }
+        let pass_started = Instant::now();
         let mut found: HashMap<ObjectId, ObjectLocation> = HashMap::new();
 
         // Consult the id cache first.
@@ -547,6 +694,7 @@ impl DisaggStore {
                 Some(entry) if cache.mode() == CacheMode::Direct => {
                     // Direct mode: trust the cached location outright — no
                     // RPC, no pin (the paper's corruption hazard).
+                    self.inner.metrics.idcache_hits.inc();
                     self.inner
                         .counters
                         .direct_cache_reads
@@ -555,10 +703,14 @@ impl DisaggStore {
                     false
                 }
                 Some(entry) => {
+                    self.inner.metrics.idcache_hits.inc();
                     targeted.entry(entry.peer.0).or_default().push(*id);
                     false
                 }
-                None => true,
+                None => {
+                    self.inner.metrics.idcache_misses.inc();
+                    true
+                }
             });
             let peers = self.peers_snapshot();
             for (peer_node, ids) in targeted {
@@ -604,6 +756,10 @@ impl DisaggStore {
             }
         }
 
+        self.inner
+            .metrics
+            .lookup_fanout
+            .record_duration(pass_started.elapsed());
         for (slot, id) in out.iter_mut().zip(ids) {
             if slot.is_none() {
                 if let Some(loc) = found.get(id) {
@@ -685,8 +841,79 @@ impl DisaggStore {
                     // The losing peer is unreachable right now: park the
                     // release and retry after the next successful call to
                     // it, instead of leaking its pin permanently.
-                    self.inner.pending_releases.lock().push((peer.node, id));
+                    self.park_release(peer.node, id);
                 }
+            }
+        }
+    }
+
+    /// Uninstrumented body of [`ObjectStore::get`]. Slots resolved by a
+    /// remote lookup round are flagged in `remote_slots` so the wrapper
+    /// can split its latency recording local-hit / remote-hit / miss.
+    fn get_inner(
+        &self,
+        ids: &[ObjectId],
+        timeout: Duration,
+        remote_slots: &mut [bool],
+    ) -> Result<Vec<Option<ObjectLocation>>, PlasmaError> {
+        let deadline = Instant::now() + timeout;
+        let mut out: Vec<Option<ObjectLocation>> = vec![None; ids.len()];
+        loop {
+            // Pass 1: local, non-blocking (pins found objects).
+            for (slot, id) in out.iter_mut().zip(ids) {
+                if slot.is_none() {
+                    *slot = self.inner.core.get_local(*id);
+                }
+            }
+            if out.iter().all(Option::is_some) {
+                return Ok(out);
+            }
+
+            // Pass 2: remote lookup for misses (degrades gracefully when
+            // peers are unreachable — their objects just stay missing).
+            if self.inner.lookup_remote {
+                let filled_before: Vec<bool> = out.iter().map(Option::is_some).collect();
+                self.remote_lookup_pass(ids, &mut out);
+                for (flag, (was, slot)) in remote_slots
+                    .iter_mut()
+                    .zip(filled_before.iter().zip(out.iter()))
+                {
+                    if !*was && slot.is_some() {
+                        *flag = true;
+                    }
+                }
+                if out.iter().all(Option::is_some) {
+                    return Ok(out);
+                }
+            }
+
+            // Pass 3: wait briefly for local seals, then re-poll. The wait
+            // is bounded so objects sealed *remotely* after our lookup are
+            // discovered by the next remote pass.
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(out);
+            }
+            let remaining: Vec<ObjectId> = ids
+                .iter()
+                .zip(&out)
+                .filter(|(_, o)| o.is_none())
+                .map(|(id, _)| *id)
+                .collect();
+            let wait = if self.inner.lookup_remote && self.peer_count() > 0 {
+                left.min(REMOTE_POLL)
+            } else {
+                left
+            };
+            let waited = self.inner.core.get_wait(&remaining, wait);
+            let mut it = waited.into_iter();
+            for slot in out.iter_mut() {
+                if slot.is_none() {
+                    *slot = it.next().flatten();
+                }
+            }
+            if out.iter().all(Option::is_some) || Instant::now() >= deadline {
+                return Ok(out);
             }
         }
     }
@@ -770,6 +997,7 @@ impl ObjectStore for DisaggStore {
         data_size: u64,
         metadata_size: u64,
     ) -> Result<ObjectLocation, PlasmaError> {
+        let started = Instant::now();
         if self.inner.core.exists_any_state(id) {
             return Err(PlasmaError::ObjectExists(id));
         }
@@ -856,6 +1084,7 @@ impl ObjectStore for DisaggStore {
             let _ = self.inner.core.abort(id);
             return Err(PlasmaError::ObjectExists(id));
         }
+        self.inner.metrics.create.record_duration(started.elapsed());
         Ok(loc)
     }
 
@@ -868,57 +1097,25 @@ impl ObjectStore for DisaggStore {
         ids: &[ObjectId],
         timeout: Duration,
     ) -> Result<Vec<Option<ObjectLocation>>, PlasmaError> {
-        let deadline = Instant::now() + timeout;
-        let mut out: Vec<Option<ObjectLocation>> = vec![None; ids.len()];
-        loop {
-            // Pass 1: local, non-blocking (pins found objects).
-            for (slot, id) in out.iter_mut().zip(ids) {
-                if slot.is_none() {
-                    *slot = self.inner.core.get_local(*id);
-                }
-            }
-            if out.iter().all(Option::is_some) {
-                return Ok(out);
-            }
-
-            // Pass 2: remote lookup for misses (degrades gracefully when
-            // peers are unreachable — their objects just stay missing).
-            if self.inner.lookup_remote {
-                self.remote_lookup_pass(ids, &mut out);
-                if out.iter().all(Option::is_some) {
-                    return Ok(out);
-                }
-            }
-
-            // Pass 3: wait briefly for local seals, then re-poll. The wait
-            // is bounded so objects sealed *remotely* after our lookup are
-            // discovered by the next remote pass.
-            let left = deadline.saturating_duration_since(Instant::now());
-            if left.is_zero() {
-                return Ok(out);
-            }
-            let remaining: Vec<ObjectId> = ids
-                .iter()
-                .zip(&out)
-                .filter(|(_, o)| o.is_none())
-                .map(|(id, _)| *id)
-                .collect();
-            let wait = if self.inner.lookup_remote && self.peer_count() > 0 {
-                left.min(REMOTE_POLL)
-            } else {
-                left
-            };
-            let waited = self.inner.core.get_wait(&remaining, wait);
-            let mut it = waited.into_iter();
-            for slot in out.iter_mut() {
-                if slot.is_none() {
-                    *slot = it.next().flatten();
-                }
-            }
-            if out.iter().all(Option::is_some) || Instant::now() >= deadline {
-                return Ok(out);
+        let started = Instant::now();
+        let mut remote_slots = vec![false; ids.len()];
+        let result = self.get_inner(ids, timeout, &mut remote_slots);
+        if let Ok(out) = &result {
+            // One sample per requested id, classified by how (whether) it
+            // resolved. The whole-call elapsed time is attributed to each
+            // id: that is the latency a caller of a 1-id get observed.
+            let elapsed = started.elapsed();
+            let m = &self.inner.metrics;
+            for (slot, was_remote) in out.iter().zip(&remote_slots) {
+                let hist = match (slot.is_some(), *was_remote) {
+                    (true, true) => &m.get_remote_hit,
+                    (true, false) => &m.get_local_hit,
+                    (false, _) => &m.get_miss,
+                };
+                hist.record_duration(elapsed);
             }
         }
+        result
     }
 
     fn release(&self, id: ObjectId) -> Result<(), PlasmaError> {
@@ -1228,6 +1425,11 @@ impl Service for Interconnect {
                 }
                 .encode())
             }
+            method::METRICS => Ok(MetricsResp {
+                node: inner.node,
+                snapshot: Bytes::from(self.store.metrics_snapshot().encode()),
+            }
+            .encode()),
             other => Err(Status::unimplemented(other)),
         }
     }

@@ -1,0 +1,31 @@
+//! # obs — lock-free metrics for the disaggregated store
+//!
+//! A small observability layer shared by every crate in the workspace:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (atomic).
+//! * [`Gauge`] — signed instantaneous value (atomic).
+//! * [`Histogram`] — fixed-bucket log₂-scale latency histogram with
+//!   p50/p90/p99/max snapshots. Recording is a single `fetch_add` per
+//!   bucket plus count/sum/max updates — no locks on the hot path.
+//! * [`Registry`] — a named collection of the above. Handles are
+//!   `Arc`-shared; lookup-by-name takes a read lock but instrumented
+//!   code pre-registers handles once and records through atomics only.
+//! * [`MetricsSnapshot`] — a point-in-time copy of a registry that can
+//!   be serialized onto the store interconnect, merged across nodes
+//!   (element-wise sum / max), and rendered in a text exposition format.
+//! * [`ScopedTimer`] — records wall-clock elapsed time into a histogram
+//!   when dropped.
+//!
+//! The store-side histograms measure *wall-clock* service time (they are
+//! meaningful even when the cluster runs under the virtual `tfsim`
+//! clock, where modeled time and wall time diverge).
+
+mod metric;
+mod registry;
+mod snapshot;
+
+pub use metric::{
+    bucket_hi, bucket_index, bucket_lo, Counter, Gauge, Histogram, ScopedTimer, BUCKETS,
+};
+pub use registry::Registry;
+pub use snapshot::{CodecError, HistogramSnapshot, MetricsSnapshot};

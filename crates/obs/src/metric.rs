@@ -1,0 +1,255 @@
+//! Atomic metric primitives: counters, gauges, log-scale histograms.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Number of histogram buckets: one per power of two of a `u64` value.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index holding `value`: `floor(log2(max(value, 1)))`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    (63 - (value | 1).leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i`.
+#[inline]
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+#[inline]
+pub fn bucket_hi(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. a backlog depth).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket log₂-scale histogram. Bucket `i` holds values in
+/// `[bucket_lo(i), bucket_hi(i)]`; recording touches only atomics.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation. Lock-free: four relaxed atomic ops.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a wall-clock duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Start a scoped wall-clock timer that records into this histogram
+    /// when dropped.
+    pub fn start_timer(self: &Arc<Histogram>) -> ScopedTimer {
+        ScopedTimer {
+            hist: Arc::clone(self),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Consistent-enough point-in-time copy (relaxed reads; counts may
+    /// lag sums by in-flight records, which merge semantics tolerate).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Records wall-clock elapsed time into a histogram on drop.
+///
+/// ```
+/// use obs::Registry;
+/// let reg = Registry::new();
+/// let hist = reg.histogram("op.latency_ns");
+/// {
+///     let _t = hist.start_timer();
+///     // ... the operation being measured ...
+/// } // recorded here
+/// assert_eq!(hist.snapshot().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct ScopedTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl ScopedTimer {
+    /// Stop the timer without recording (e.g. on an error path that
+    /// should not pollute the success-latency histogram).
+    pub fn discard(mut self) {
+        self.armed = false;
+    }
+
+    /// Record now and disarm, returning the observed duration.
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.hist.record_duration(elapsed);
+        self.armed = false;
+        elapsed
+    }
+}
+
+impl Drop for ScopedTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            assert!(bucket_lo(i) <= bucket_hi(i));
+            assert_eq!(bucket_index(bucket_lo(i)), i);
+            assert_eq!(bucket_index(bucket_hi(i)), i);
+            if i > 0 {
+                assert_eq!(bucket_hi(i - 1) + 1, bucket_lo(i));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1_001_006);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn scoped_timer_records_on_drop_and_discard_skips() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        h.start_timer().discard();
+        assert_eq!(h.count(), 1);
+        let d = h.start_timer().stop();
+        assert_eq!(h.count(), 2);
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Named metric registry.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::metric::{Counter, Gauge, Histogram};
+use crate::snapshot::MetricsSnapshot;
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the first call for a
+/// name registers the metric, later calls return the same handle.
+/// Instrumented code should resolve handles once (at construction) and
+/// record through them — recording is atomics-only; only registration
+/// and snapshotting take the registry locks.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub fn new() -> Arc<Registry> {
+        Arc::new(Registry::default())
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(name.to_string()).or_default())
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(self.histograms.write().entry(name.to_string()).or_default())
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_handle() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(-3);
+        reg.histogram("h").record(42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("c"), Some(&7));
+        assert_eq!(snap.gauges.get("g"), Some(&-3));
+        assert_eq!(snap.histograms.get("h").map(|h| h.count), Some(1));
+    }
+}

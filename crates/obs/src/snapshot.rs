@@ -1,0 +1,379 @@
+//! Serializable, mergeable point-in-time metric snapshots.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::metric::{bucket_hi, bucket_lo, BUCKETS};
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (`BUCKETS` entries, log₂ scale).
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Quantile estimate for `q ∈ [0, 1]`.
+    ///
+    /// Walks the cumulative bucket counts to the bucket holding the
+    /// rank-`ceil(q·count)` observation and returns that bucket's upper
+    /// bound clamped to the recorded maximum — so the estimate always
+    /// lies inside `[bucket_lo, bucket_hi]` of the bucket containing
+    /// the true quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_hi(i).min(self.max).max(bucket_lo(i));
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Element-wise merge: bucket counts/count/sum add, max takes max.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Point-in-time copy of a whole [`crate::Registry`]. Serializable onto
+/// the store interconnect and mergeable across nodes: counters, gauges,
+/// histogram buckets and sums add element-wise by name; histogram `max`
+/// takes the maximum. Merging is associative and commutative, so a
+/// cluster snapshot is simply the fold of per-node snapshots in any
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Merge `other` into `self` (element-wise by metric name).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Fold an iterator of snapshots into one merged snapshot.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a MetricsSnapshot>) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Compact binary encoding (histogram buckets stored sparsely).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.push(WIRE_VERSION);
+        put_u32(&mut out, self.counters.len() as u32);
+        for (name, v) in &self.counters {
+            put_name(&mut out, name);
+            put_u64(&mut out, *v);
+        }
+        put_u32(&mut out, self.gauges.len() as u32);
+        for (name, v) in &self.gauges {
+            put_name(&mut out, name);
+            put_u64(&mut out, *v as u64);
+        }
+        put_u32(&mut out, self.histograms.len() as u32);
+        for (name, h) in &self.histograms {
+            put_name(&mut out, name);
+            put_u64(&mut out, h.count);
+            put_u64(&mut out, h.sum);
+            put_u64(&mut out, h.max);
+            let nonzero: Vec<(usize, u64)> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| **c != 0)
+                .map(|(i, c)| (i, *c))
+                .collect();
+            put_u16(&mut out, nonzero.len() as u16);
+            for (i, c) in nonzero {
+                out.push(i as u8);
+                put_u64(&mut out, c);
+            }
+        }
+        out
+    }
+
+    /// Decode a snapshot previously produced by [`MetricsSnapshot::encode`].
+    pub fn decode(buf: &[u8]) -> Result<MetricsSnapshot, CodecError> {
+        let mut r = Reader { buf, pos: 0 };
+        if r.u8()? != WIRE_VERSION {
+            return Err(CodecError("unsupported snapshot version"));
+        }
+        let mut snap = MetricsSnapshot::default();
+        for _ in 0..r.u32()? {
+            let name = r.name()?;
+            snap.counters.insert(name, r.u64()?);
+        }
+        for _ in 0..r.u32()? {
+            let name = r.name()?;
+            snap.gauges.insert(name, r.u64()? as i64);
+        }
+        for _ in 0..r.u32()? {
+            let name = r.name()?;
+            let mut h = HistogramSnapshot {
+                count: r.u64()?,
+                sum: r.u64()?,
+                max: r.u64()?,
+                ..HistogramSnapshot::default()
+            };
+            for _ in 0..r.u16()? {
+                let idx = r.u8()? as usize;
+                if idx >= h.buckets.len() {
+                    return Err(CodecError("bucket index out of range"));
+                }
+                h.buckets[idx] = r.u64()?;
+            }
+            snap.histograms.insert(name, h);
+        }
+        Ok(snap)
+    }
+
+    /// Human-readable text exposition, one metric per line.
+    pub fn to_text(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "counter   {name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "gauge     {name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram {name} count={} mean_ns={} p50_ns={} p90_ns={} p99_ns={} max_ns={}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max,
+            );
+        }
+        out
+    }
+}
+
+const WIRE_VERSION: u8 = 1;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_name(out: &mut Vec<u8>, name: &str) {
+    let bytes = name.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    put_u16(out, len as u16);
+    out.extend_from_slice(&bytes[..len]);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(CodecError("truncated snapshot"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn name(&mut self) -> Result<String, CodecError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError("metric name not utf-8"))
+    }
+}
+
+/// Snapshot decode failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecError(pub &'static str);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "metrics snapshot codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::{bucket_index, Histogram};
+
+    #[test]
+    fn quantiles_are_within_recorded_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1500);
+        }
+        let s = h.snapshot();
+        let b = bucket_index(1500);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!(v >= bucket_lo(b) && v <= bucket_hi(b), "q={q} v={v}");
+        }
+        assert_eq!(s.quantile(1.0), 1500); // clamped to max
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("a.b".into(), 42);
+        snap.gauges.insert("g".into(), -17);
+        let h = Histogram::new();
+        h.record(3);
+        h.record(1_000_000);
+        snap.histograms.insert("h".into(), h.snapshot());
+        let decoded = MetricsSnapshot::decode(&snap.encode()).expect("decode");
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MetricsSnapshot::decode(&[]).is_err());
+        assert!(MetricsSnapshot::decode(&[99]).is_err());
+        assert!(MetricsSnapshot::decode(&[1, 5, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn merge_sums_by_name() {
+        let mut a = MetricsSnapshot::default();
+        a.counters.insert("c".into(), 1);
+        let mut b = MetricsSnapshot::default();
+        b.counters.insert("c".into(), 2);
+        b.counters.insert("only_b".into(), 5);
+        let h = Histogram::new();
+        h.record(10);
+        b.histograms.insert("h".into(), h.snapshot());
+        let merged = MetricsSnapshot::merged([&a, &b]);
+        assert_eq!(merged.counter("c"), 3);
+        assert_eq!(merged.counter("only_b"), 5);
+        assert_eq!(merged.histogram("h").unwrap().count, 1);
+        a.merge(&b);
+        assert_eq!(a, merged);
+    }
+
+    #[test]
+    fn text_exposition_lists_all_metrics() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("hits".into(), 9);
+        snap.gauges.insert("backlog".into(), 2);
+        let h = Histogram::new();
+        h.record(1000);
+        snap.histograms.insert("lat".into(), h.snapshot());
+        let text = snap.to_text();
+        assert!(text.contains("counter   hits 9"));
+        assert!(text.contains("gauge     backlog 2"));
+        assert!(text.contains("histogram lat count=1"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the obs metric primitives: quantile bounds, merge
+//! algebra, and lock-free recording under concurrency.
+
+use obs::{bucket_hi, bucket_index, bucket_lo, Counter, Histogram, MetricsSnapshot};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Build a snapshot from generated counters, gauges, and histogram
+/// value lists. Counter values are bounded so merging three snapshots
+/// cannot overflow u64; duplicate generated names simply overwrite.
+fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        prop::collection::vec(("[a-z]{1,3}", 0u64..(1 << 40)), 0..4),
+        prop::collection::vec(("[a-z]{1,3}", -(1i64 << 40)..(1 << 40)), 0..4),
+        prop::collection::vec(
+            ("[a-z]{1,3}", prop::collection::vec(any::<u64>(), 0..20)),
+            0..3,
+        ),
+    )
+        .prop_map(|(counters, gauges, hists)| {
+            let mut snap = MetricsSnapshot::default();
+            for (name, v) in counters {
+                snap.counters.insert(name, v);
+            }
+            for (name, v) in gauges {
+                snap.gauges.insert(name, v);
+            }
+            for (name, values) in hists {
+                let h = Histogram::new();
+                for v in values {
+                    h.record(v);
+                }
+                snap.histograms.insert(name, h.snapshot());
+            }
+            snap
+        })
+}
+
+proptest! {
+    /// The quantile estimate always lies inside the bucket holding the
+    /// true rank-`ceil(q·count)` observation.
+    #[test]
+    fn quantile_stays_within_true_bucket(
+        values in prop::collection::vec(any::<u64>(), 1..100),
+        q_mille in 0u64..=1000,
+    ) {
+        let q = q_mille as f64 / 1000.0;
+        let h = Histogram::new();
+        for v in &values {
+            h.record(*v);
+        }
+        let snap = h.snapshot();
+        let estimate = snap.quantile(q);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let count = sorted.len() as u64;
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let true_value = sorted[(rank - 1) as usize];
+        let b = bucket_index(true_value);
+        prop_assert!(
+            estimate >= bucket_lo(b) && estimate <= bucket_hi(b),
+            "estimate {estimate} outside bucket {b} = [{}, {}] of true value {true_value}",
+            bucket_lo(b),
+            bucket_hi(b),
+        );
+    }
+
+    /// Merging snapshots is commutative: a ∪ b == b ∪ a.
+    #[test]
+    fn merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        let ab = MetricsSnapshot::merged([&a, &b]);
+        let ba = MetricsSnapshot::merged([&b, &a]);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging snapshots is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let mut left = MetricsSnapshot::merged([&a, &b]);
+        left.merge(&c);
+        let bc = MetricsSnapshot::merged([&b, &c]);
+        let right = MetricsSnapshot::merged([&a, &bc]);
+        prop_assert_eq!(left, right);
+    }
+
+    /// The wire codec round-trips every snapshot exactly.
+    #[test]
+    fn codec_round_trips(snap in arb_snapshot()) {
+        let decoded = MetricsSnapshot::decode(&snap.encode()).expect("decode");
+        prop_assert_eq!(decoded, snap);
+    }
+}
+
+/// Counter increments from many threads are never lost and reads are
+/// monotone (a sampled value never goes backwards).
+#[test]
+fn concurrent_counter_increments_are_monotonic_and_lossless() {
+    const THREADS: usize = 8;
+    const INCS: u64 = 100_000;
+    let counter = Arc::new(Counter::default());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let watcher = {
+        let counter = Arc::clone(&counter);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let now = counter.get();
+                assert!(now >= last, "counter went backwards: {last} -> {now}");
+                last = now;
+            }
+            last
+        })
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..INCS {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    done.store(true, Ordering::Release);
+    watcher.join().expect("watcher panicked");
+    assert_eq!(counter.get(), THREADS as u64 * INCS);
+}
+
+/// The histogram hot path is atomics-only: 8 threads × 100k records
+/// land every sample, and the aggregates agree with what was recorded.
+#[test]
+fn concurrent_histogram_records_are_lossless() {
+    const THREADS: u64 = 8;
+    const RECORDS: u64 = 100_000;
+    let hist = Arc::new(Histogram::new());
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let hist = Arc::clone(&hist);
+            s.spawn(move || {
+                for i in 0..RECORDS {
+                    // Values spread over many buckets, deterministic sum.
+                    hist.record(t * RECORDS + i);
+                }
+            });
+        }
+    });
+    let snap = hist.snapshot();
+    let n = THREADS * RECORDS;
+    assert_eq!(snap.count, n);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), n);
+    assert_eq!(snap.max, n - 1);
+    assert_eq!(snap.sum, n * (n - 1) / 2);
+}

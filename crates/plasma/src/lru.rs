@@ -105,4 +105,48 @@ mod tests {
         assert_eq!(lru.len(), 1);
         assert!(lru.contains(&id(7)));
     }
+
+    #[test]
+    fn reinsertion_after_remove_goes_to_mru() {
+        let mut lru = LruIndex::new();
+        lru.touch(id(1));
+        lru.touch(id(2));
+        lru.touch(id(3));
+        // id(1) gains a reference (removed), then is released again:
+        // it must re-enter at the MRU end, not its old position.
+        assert!(lru.remove(&id(1)));
+        lru.touch(id(1));
+        assert_eq!(lru.pop_lru(), Some(id(2)));
+        assert_eq!(lru.pop_lru(), Some(id(3)));
+        assert_eq!(lru.pop_lru(), Some(id(1)));
+    }
+
+    #[test]
+    fn order_stable_across_interleaved_touch_remove_cycles() {
+        let mut lru = LruIndex::new();
+        for n in 1..=5u8 {
+            lru.touch(id(n));
+        }
+        // Cycle every entry once through remove+touch in reverse order;
+        // the pop order must follow the *new* touch order exactly.
+        for n in (1..=5u8).rev() {
+            lru.remove(&id(n));
+            lru.touch(id(n));
+        }
+        let popped: Vec<_> = std::iter::from_fn(|| lru.pop_lru()).collect();
+        assert_eq!(popped, vec![id(5), id(4), id(3), id(2), id(1)]);
+    }
+
+    #[test]
+    fn pop_on_empty_is_stable_not_looping() {
+        let mut lru = LruIndex::new();
+        assert_eq!(lru.pop_lru(), None);
+        lru.touch(id(1));
+        assert_eq!(lru.pop_lru(), Some(id(1)));
+        // Popping an exhausted index keeps returning None (the store's
+        // eviction loop relies on this to fail fast with OutOfMemory).
+        assert_eq!(lru.pop_lru(), None);
+        assert_eq!(lru.pop_lru(), None);
+        assert!(lru.is_empty());
+    }
 }

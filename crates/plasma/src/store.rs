@@ -28,6 +28,7 @@ use crate::lru::LruIndex;
 use crate::object::{ObjectEntry, ObjectInfo, ObjectLocation, ObjectState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use memalloc::{Buddy, DlSeg, FirstFit, RegionAllocator, SizeMap};
+use obs::{Counter, Histogram, Registry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -156,6 +157,33 @@ impl State {
     }
 }
 
+/// Pre-registered `obs` handles for the store's hot paths. Wall-clock
+/// operation latency plus eviction counters; all recording is
+/// atomics-only (the registry is touched once, at construction).
+struct StoreMetrics {
+    registry: Arc<Registry>,
+    create: Arc<Histogram>,
+    seal: Arc<Histogram>,
+    get: Arc<Histogram>,
+    release: Arc<Histogram>,
+    evictions: Arc<Counter>,
+    evicted_bytes: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    fn new(registry: Arc<Registry>) -> StoreMetrics {
+        StoreMetrics {
+            create: registry.histogram("plasma.create.latency_ns"),
+            seal: registry.histogram("plasma.seal.latency_ns"),
+            get: registry.histogram("plasma.get.latency_ns"),
+            release: registry.histogram("plasma.release.latency_ns"),
+            evictions: registry.counter("plasma.evictions"),
+            evicted_bytes: registry.counter("plasma.evicted_bytes"),
+            registry,
+        }
+    }
+}
+
 struct Inner {
     name: String,
     node: NodeId,
@@ -164,6 +192,7 @@ struct Inner {
     fabric: Fabric,
     state: Mutex<State>,
     seal_cv: Condvar,
+    metrics: StoreMetrics,
 }
 
 /// The store engine. Cheap to clone (shared handle).
@@ -202,6 +231,7 @@ impl StoreCore {
                     },
                 }),
                 seal_cv: Condvar::new(),
+                metrics: StoreMetrics::new(Registry::new()),
             }),
         })
     }
@@ -209,6 +239,14 @@ impl StoreCore {
     /// The store's name.
     pub fn name(&self) -> &str {
         &self.inner.name
+    }
+
+    /// The node-wide metrics registry. The store registers its own
+    /// `plasma.*` metrics here; higher layers (disagg, rpclite clients)
+    /// register theirs in the same registry so one snapshot covers the
+    /// whole node.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.metrics.registry
     }
 
     /// The node this store runs on.
@@ -260,6 +298,7 @@ impl StoreCore {
         data_size: u64,
         metadata_size: u64,
     ) -> Result<ObjectLocation, PlasmaError> {
+        let t0 = Instant::now();
         let total = data_size + metadata_size;
         let mut st = self.inner.state.lock();
         if st.objects.contains_key(&id) {
@@ -297,6 +336,8 @@ impl StoreCore {
         st.stats.creates += 1;
         st.stats.objects += 1;
         st.stats.allocated_bytes = st.allocated_bytes();
+        drop(st);
+        self.inner.metrics.create.record_duration(t0.elapsed());
         Ok(loc)
     }
 
@@ -338,6 +379,7 @@ impl StoreCore {
     /// Seal an object: it becomes immutable and visible to `get`. Wakes
     /// blocked getters and notifies subscribers.
     pub fn seal(&self, id: ObjectId) -> Result<ObjectLocation, PlasmaError> {
+        let t0 = Instant::now();
         let loc = {
             let mut st = self.inner.state.lock();
             let entry = st
@@ -357,12 +399,14 @@ impl StoreCore {
             loc
         };
         self.inner.seal_cv.notify_all();
+        self.inner.metrics.seal.record_duration(t0.elapsed());
         Ok(loc)
     }
 
     /// Non-blocking lookup of a sealed object. On success the caller gains
     /// a reference (pinning the object against eviction).
     pub fn get_local(&self, id: ObjectId) -> Option<ObjectLocation> {
+        let t0 = Instant::now();
         let mut st = self.inner.state.lock();
         let loc = match st.objects.get_mut(&id) {
             Some(e) if e.state == ObjectState::Sealed && !e.pending_deletion => {
@@ -376,6 +420,8 @@ impl StoreCore {
             Some(l) => {
                 st.lru.remove(&id);
                 st.stats.gets += 1;
+                drop(st);
+                self.inner.metrics.get.record_duration(t0.elapsed());
                 Some(l)
             }
             None => {
@@ -389,6 +435,13 @@ impl StoreCore {
     /// sealed. Returns locations in request order (`None` = not available
     /// in time). Each `Some` carries a reference the caller must release.
     pub fn get_wait(&self, ids: &[ObjectId], timeout: Duration) -> Vec<Option<ObjectLocation>> {
+        let t0 = Instant::now();
+        let out = self.get_wait_inner(ids, timeout);
+        self.inner.metrics.get.record_duration(t0.elapsed());
+        out
+    }
+
+    fn get_wait_inner(&self, ids: &[ObjectId], timeout: Duration) -> Vec<Option<ObjectLocation>> {
         let deadline = Instant::now() + timeout;
         let mut out: Vec<Option<ObjectLocation>> = vec![None; ids.len()];
         let mut st = self.inner.state.lock();
@@ -450,6 +503,7 @@ impl StoreCore {
     /// Drop one reference. When the last reference is gone the object
     /// becomes evictable.
     pub fn release(&self, id: ObjectId) -> Result<(), PlasmaError> {
+        let t0 = Instant::now();
         let mut st = self.inner.state.lock();
         let entry = st
             .objects
@@ -470,6 +524,8 @@ impl StoreCore {
             }
         }
         st.stats.releases += 1;
+        drop(st);
+        self.inner.metrics.release.record_duration(t0.elapsed());
         Ok(())
     }
 
@@ -548,6 +604,8 @@ impl StoreCore {
         self.drop_object_locked(st, victim);
         st.stats.evictions += 1;
         st.stats.evicted_bytes += bytes;
+        self.inner.metrics.evictions.inc();
+        self.inner.metrics.evicted_bytes.add(bytes);
         true
     }
 
@@ -904,6 +962,99 @@ mod tests {
         let err = s.create(id(2), 700 << 10, 0).unwrap_err();
         assert!(matches!(err, PlasmaError::OutOfMemory { .. }));
         assert!(s.contains(id(1)));
+    }
+
+    #[test]
+    fn all_pinned_returns_oom_instead_of_looping() {
+        let s = store(1 << 20);
+        // Several sealed objects, every one still referenced: the LRU
+        // index is empty, so an impossible allocation must fail fast
+        // with OutOfMemory instead of spinning in the eviction loop.
+        for n in 1..=3u8 {
+            s.create(id(n), 200 << 10, 0).unwrap();
+            s.seal(id(n)).unwrap(); // creator ref retained -> pinned
+        }
+        let start = Instant::now();
+        let err = s.create(id(9), 700 << 10, 0).unwrap_err();
+        assert!(
+            matches!(err, PlasmaError::OutOfMemory { .. }),
+            "got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "OOM must be immediate, not a loop"
+        );
+        let st = s.stats();
+        assert_eq!(st.evictions, 0);
+        assert_eq!(st.evicted_bytes, 0);
+        for n in 1..=3u8 {
+            assert!(s.contains(id(n)), "pinned object {n} must survive");
+        }
+    }
+
+    #[test]
+    fn eviction_order_stable_under_reinsertion() {
+        let s = store(1 << 20);
+        for n in 1..=3u8 {
+            s.create(id(n), 300 << 10, 0).unwrap();
+            s.seal(id(n)).unwrap();
+            s.release(id(n)).unwrap();
+        }
+        // Re-pin and re-release object 1: it must move to the MRU end,
+        // leaving object 2 as the eviction victim.
+        s.get_local(id(1)).unwrap();
+        s.release(id(1)).unwrap();
+        s.create(id(4), 300 << 10, 0).unwrap();
+        assert!(!s.contains(id(2)), "oldest untouched object evicted first");
+        assert!(s.contains(id(1)) && s.contains(id(3)));
+        // Next eviction takes object 3, then object 1 — the re-inserted
+        // object is evicted last.
+        assert_eq!(s.evict(1), 300 << 10);
+        assert!(!s.contains(id(3)));
+        assert!(s.contains(id(1)));
+        assert_eq!(s.evict(1), 300 << 10);
+        assert!(!s.contains(id(1)));
+    }
+
+    #[test]
+    fn eviction_metrics_match_stats_and_each_other() {
+        let s = store(1 << 20);
+        for n in 1..=3u8 {
+            s.create(id(n), 200 << 10, 0).unwrap();
+            s.seal(id(n)).unwrap();
+            s.release(id(n)).unwrap();
+        }
+        let reclaimed = s.evict(350 << 10); // pops two 200 KiB objects
+        assert_eq!(reclaimed, 400 << 10);
+        let st = s.stats();
+        assert_eq!(st.evictions, 2);
+        assert_eq!(st.evicted_bytes, 400 << 10);
+        // The obs counters must agree exactly with the store stats.
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter("plasma.evictions"), st.evictions);
+        assert_eq!(snap.counter("plasma.evicted_bytes"), st.evicted_bytes);
+    }
+
+    #[test]
+    fn op_latency_histograms_record_activity() {
+        let s = store(1 << 20);
+        s.create(id(1), 64, 0).unwrap();
+        s.seal(id(1)).unwrap();
+        s.get_local(id(1)).unwrap();
+        s.release(id(1)).unwrap();
+        let snap = s.registry().snapshot();
+        for name in [
+            "plasma.create.latency_ns",
+            "plasma.seal.latency_ns",
+            "plasma.get.latency_ns",
+            "plasma.release.latency_ns",
+        ] {
+            let h = snap
+                .histogram(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert!(h.count >= 1, "{name} not recorded");
+            assert!(h.max > 0, "{name} recorded zero wall time");
+        }
     }
 
     #[test]

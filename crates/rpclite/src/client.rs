@@ -23,11 +23,13 @@ use crate::service::{Status, StatusCode};
 use bytes::Bytes;
 use ipc::Conn;
 use netsim::SharedLink;
+use obs::{Counter, Histogram, Registry};
 use parking_lot::Mutex;
 use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tfsim::Clock;
 
 /// Errors surfaced by RPC calls.
@@ -88,6 +90,58 @@ pub struct NetCost {
 /// Dials a fresh connection when the current one is poisoned.
 pub type Connector = Box<dyn Fn() -> io::Result<Box<dyn Conn>> + Send + Sync>;
 
+/// Pre-registered metric handles for one client (one logical channel).
+///
+/// Per-verb wall-clock call latency plus failure-mode counters. Handles
+/// are resolved once at registration, so the record path in
+/// [`RpcClient::call_with_deadline`] touches atomics only — no registry
+/// lookup, no lock.
+pub struct ClientMetrics {
+    /// Latency histograms indexed by method id (`None` for gaps).
+    by_method: Vec<Option<Arc<Histogram>>>,
+    /// Latency of calls whose method id was not pre-registered.
+    other: Arc<Histogram>,
+    /// Calls that failed with [`RpcError::Deadline`].
+    deadline_expired: Arc<Counter>,
+    /// Times a poisoned or absent connection was redialed.
+    redials: Arc<Counter>,
+    /// Times a failed call poisoned (dropped) the connection.
+    poisoned: Arc<Counter>,
+}
+
+impl ClientMetrics {
+    /// Register this client's metrics under `prefix` (e.g.
+    /// `rpc.client.store-1`). `verbs` maps method ids to verb names for
+    /// per-verb latency histograms; unlisted methods land in
+    /// `{prefix}.other.latency_ns`.
+    pub fn register(
+        registry: &Registry,
+        prefix: &str,
+        verbs: &[(u32, &str)],
+    ) -> Arc<ClientMetrics> {
+        let max_id = verbs.iter().map(|(id, _)| *id).max().unwrap_or(0) as usize;
+        let mut by_method = vec![None; max_id + 1];
+        for (id, name) in verbs {
+            by_method[*id as usize] =
+                Some(registry.histogram(&format!("{prefix}.{name}.latency_ns")));
+        }
+        Arc::new(ClientMetrics {
+            by_method,
+            other: registry.histogram(&format!("{prefix}.other.latency_ns")),
+            deadline_expired: registry.counter(&format!("{prefix}.deadline_expired")),
+            redials: registry.counter(&format!("{prefix}.redials")),
+            poisoned: registry.counter(&format!("{prefix}.poisoned")),
+        })
+    }
+
+    fn latency(&self, method: u32) -> &Arc<Histogram> {
+        self.by_method
+            .get(method as usize)
+            .and_then(|h| h.as_ref())
+            .unwrap_or(&self.other)
+    }
+}
+
 /// A blocking unary RPC client.
 ///
 /// `None` in the connection slot means the previous connection was
@@ -97,6 +151,7 @@ pub struct RpcClient {
     conn: Mutex<Option<Box<dyn Conn>>>,
     connector: Option<Connector>,
     net: Option<NetCost>,
+    metrics: Option<Arc<ClientMetrics>>,
     next_id: AtomicU64,
     calls: AtomicU64,
     reconnects: AtomicU64,
@@ -114,6 +169,7 @@ impl RpcClient {
             conn: Mutex::new(Some(conn)),
             connector: None,
             net,
+            metrics: None,
             next_id: AtomicU64::new(1),
             calls: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
@@ -127,10 +183,17 @@ impl RpcClient {
             conn: Mutex::new(None),
             connector: Some(connector),
             net,
+            metrics: None,
             next_id: AtomicU64::new(1),
             calls: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
         }
+    }
+
+    /// Attach pre-registered metric handles (see [`ClientMetrics`]).
+    /// Called once while building the client, before it is shared.
+    pub fn set_metrics(&mut self, metrics: Arc<ClientMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// Total successful calls issued.
@@ -159,6 +222,7 @@ impl RpcClient {
         body: Bytes,
         deadline: Option<Duration>,
     ) -> Result<Bytes, RpcError> {
+        let started = Instant::now();
         let call_id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let request = Request {
             call_id,
@@ -179,6 +243,9 @@ impl RpcClient {
                     })?;
                     let fresh = connector().map_err(RpcError::Transport)?;
                     self.reconnects.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &self.metrics {
+                        m.redials.inc();
+                    }
                     slot.insert(fresh)
                 }
             };
@@ -188,12 +255,21 @@ impl RpcClient {
                     // The stream may hold a partial or stale response;
                     // poison the connection so the next call redials.
                     *slot = None;
+                    if let Some(m) = &self.metrics {
+                        m.poisoned.inc();
+                        if matches!(e, RpcError::Deadline(_)) {
+                            m.deadline_expired.inc();
+                        }
+                    }
                     return Err(e);
                 }
             }
         };
         if response.call_id != call_id {
             *self.conn.lock() = None;
+            if let Some(m) = &self.metrics {
+                m.poisoned.inc();
+            }
             return Err(RpcError::Protocol(format!(
                 "call id mismatch: sent {call_id}, got {}",
                 response.call_id
@@ -209,6 +285,12 @@ impl RpcClient {
             net.clock.charge(net.link.delay(req_len + resp_len));
         }
         self.calls.fetch_add(1, Ordering::Relaxed);
+        // A completed exchange (even one carrying an error status) is a
+        // measured call; transport/deadline failures are counted above
+        // instead of polluting the latency distribution.
+        if let Some(m) = &self.metrics {
+            m.latency(method).record_duration(started.elapsed());
+        }
         response.result.map_err(RpcError::Status)
     }
 
@@ -439,6 +521,63 @@ mod tests {
                 .unwrap();
             assert_eq!(out, body);
         }
+    }
+
+    #[test]
+    fn client_metrics_record_latency_and_failure_modes() {
+        let hub = InprocHub::new();
+        let listener = hub.bind("svc").unwrap();
+        let _srv = serve(Box::new(listener), echo_service());
+        let registry = obs::Registry::new();
+        let dial_hub = hub.clone();
+        let mut client = RpcClient::with_connector(
+            Box::new(move || {
+                dial_hub
+                    .connect("svc")
+                    .map(|c| Box::new(c) as Box<dyn Conn>)
+            }),
+            None,
+        );
+        client.set_metrics(ClientMetrics::register(
+            &registry,
+            "rpc.client.peer",
+            &[(1, "echo"), (3, "hang")],
+        ));
+
+        client.call(1, Bytes::from_static(b"x")).unwrap();
+        client.call(1, Bytes::from_static(b"y")).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rpc.client.peer.redials"), 1);
+        let echo = snap.histogram("rpc.client.peer.echo.latency_ns").unwrap();
+        assert_eq!(echo.count, 2);
+        assert!(echo.p50() > 0, "in-process call still takes wall time");
+
+        // Deadline expiry: counted, poisons the connection, and does NOT
+        // pollute the verb's latency histogram.
+        client
+            .call_with_deadline(3, Bytes::new(), Some(Duration::from_millis(20)))
+            .unwrap_err();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rpc.client.peer.deadline_expired"), 1);
+        assert_eq!(snap.counter("rpc.client.peer.poisoned"), 1);
+        assert_eq!(
+            snap.histogram("rpc.client.peer.hang.latency_ns")
+                .unwrap()
+                .count,
+            0
+        );
+
+        // A completed exchange carrying an error status is still measured;
+        // unregistered verbs land in the `other` bucket.
+        client.call(99, Bytes::new()).unwrap_err();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rpc.client.peer.redials"), 2);
+        assert_eq!(
+            snap.histogram("rpc.client.peer.other.latency_ns")
+                .unwrap()
+                .count,
+            1
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod server;
 pub mod service;
 pub mod wire;
 
-pub use client::{Connector, NetCost, RpcClient, RpcError};
+pub use client::{ClientMetrics, Connector, NetCost, RpcClient, RpcError};
 pub use envelope::{Request, Response};
 pub use server::{serve, ServerHandle, ServerMetrics};
 pub use service::{MethodId, Service, Status, StatusCode};

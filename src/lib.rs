@@ -7,6 +7,7 @@
 //! * [`memalloc`] — region allocators
 //! * [`netsim`] — network latency/jitter models
 //! * [`ipc`] — framed message transports
+//! * [`obs`] — lock-free metrics registry and mergeable snapshots
 //! * [`rpclite`] — synchronous unary RPC
 //! * [`plasma`] — single-node Plasma object store
 //! * [`disagg`] — the distributed, memory-disaggregated store
@@ -15,6 +16,7 @@ pub use disagg;
 pub use ipc;
 pub use memalloc;
 pub use netsim;
+pub use obs;
 pub use plasma;
 pub use rpclite;
 pub use tfsim;

@@ -244,6 +244,57 @@ fn peer_returns_to_rotation_after_restart_and_probe() {
 }
 
 #[test]
+fn metrics_from_unreachable_peer_degrade_to_partial_snapshot() {
+    let mut cluster = Cluster::launch(ClusterConfig::functional(3, 1 << 20)).unwrap();
+    let c1 = cluster.client(1).unwrap();
+    c1.put(ObjectId::from_name("metrics-live"), b"x", &[])
+        .unwrap();
+
+    cluster.stop_rpc(2);
+
+    // Cluster introspection degrades like global_list: the unreachable
+    // peer is omitted, the live peers' snapshots still come back.
+    let parts = cluster.store(0).cluster_metrics().unwrap();
+    assert_eq!(
+        parts.len(),
+        2,
+        "dead peer omitted from the cluster snapshot"
+    );
+    assert!(parts.iter().any(|(n, _)| *n == cluster.node_id(0)));
+    assert!(parts.iter().any(|(n, _)| *n == cluster.node_id(1)));
+    assert!(!parts.iter().any(|(n, _)| *n == cluster.node_id(2)));
+    // Node 1's answer is a real snapshot, not an empty shell.
+    let (_, snap1) = parts
+        .iter()
+        .find(|(n, _)| *n == cluster.node_id(1))
+        .unwrap();
+    assert!(snap1
+        .histogram("plasma.create.latency_ns")
+        .is_some_and(|h| h.count >= 1));
+    // The merged view still works over the partial set.
+    let merged = cluster.store(0).merged_cluster_metrics().unwrap();
+    assert!(merged.histogram("plasma.create.latency_ns").is_some());
+
+    // Directly targeting the dead peer is a typed error, not a hang.
+    let err = cluster
+        .store(0)
+        .peer_metrics(cluster.node_id(2))
+        .unwrap_err();
+    assert!(matches!(err, PlasmaError::PeerUnavailable(_)), "{err:?}");
+
+    // Restart + probe window: the full cluster snapshot is back, and the
+    // very first introspection call doubles as the recovery probe.
+    cluster.restart_rpc(2).unwrap();
+    cluster.clock().charge(Duration::from_secs(1));
+    let parts = cluster.store(0).cluster_metrics().unwrap();
+    assert_eq!(parts.len(), 3, "recovered peer rejoins the snapshot");
+    assert_eq!(
+        cluster.store(0).peer_state(cluster.node_id(2)),
+        PeerState::Up
+    );
+}
+
+#[test]
 fn deadline_bounds_calls_to_a_hung_peer() {
     use plasma::{StoreConfig, StoreCore};
     use rpclite::{RpcClient, Status, StatusCode};
