@@ -5,7 +5,7 @@
 //! of interconnect RPC channels (with gRPC-calibrated delay injection),
 //! and a Plasma IPC endpoint per store for clients. The paper's testbed is
 //! the 2-node instance of this; the design — and this harness — support
-//! "rack-scale solutions [with] multiple nodes" (paper §V-B).
+//! "rack-scale solutions \[with\] multiple nodes" (paper §V-B).
 
 use crate::idcache::CacheMode;
 use crate::proto::method;
@@ -210,6 +210,7 @@ impl Cluster {
         self.nodes.len()
     }
 
+    /// True if the cluster has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
     }

@@ -79,9 +79,13 @@ pub enum Admission {
 /// Per-peer counters, for tests and diagnostics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PeerStats {
+    /// Calls to this peer that completed successfully.
     pub successes: u64,
+    /// Calls to this peer that failed.
     pub failures: u64,
+    /// Calls skipped because the peer was `Down`.
     pub skips: u64,
+    /// Recovery probes issued while the peer was `Down`.
     pub probes: u64,
 }
 
@@ -126,6 +130,7 @@ pub struct PeerHealth {
 }
 
 impl PeerHealth {
+    /// New detector with all peers assumed `Up`.
     pub fn new(cfg: HealthConfig, clock: Clock) -> Self {
         PeerHealth {
             cfg,

@@ -25,13 +25,19 @@ use tfsim::NodeId;
 /// Safety mode of the id cache (see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheMode {
+    /// Cached hits hold a remote pin: safe, the default.
     Pinning,
+    /// Cached hits reuse the location without re-pinning: fast but the
+    /// owner may evict underneath the reader (the paper's hazard).
     Direct,
 }
 
+/// A cached remote location and the peer that owns it.
 #[derive(Debug, Clone)]
 pub struct CachedEntry {
+    /// Where the object's payload lives in the shared fabric.
     pub location: ObjectLocation,
+    /// The owning node the location was learned from.
     pub peer: NodeId,
 }
 
@@ -53,6 +59,7 @@ pub struct IdCache {
 }
 
 impl IdCache {
+    /// New cache holding at most `capacity` entries (must be non-zero).
     pub fn new(mode: CacheMode, capacity: usize) -> Self {
         assert!(capacity > 0);
         IdCache {
@@ -64,6 +71,7 @@ impl IdCache {
         }
     }
 
+    /// The safety mode the cache was built with.
     pub fn mode(&self) -> CacheMode {
         self.mode
     }
@@ -115,10 +123,12 @@ impl IdCache {
         }
     }
 
+    /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()
     }
 
+    /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

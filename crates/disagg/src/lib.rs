@@ -15,6 +15,10 @@
 //! * [`IdCache`] — the paper's future-work remote-identifier cache, in a
 //!   safe (pinning) and an unsafe (direct) variant.
 //!
+//! Remote lookups ride the batched `GET_MANY` interconnect verb: all ids
+//! one peer must answer for travel in a single round trip, and
+//! [`DisaggStore::batch_get`] exposes the batched hot path directly.
+//!
 //! ## Example: two nodes sharing an object
 //!
 //! ```
@@ -35,6 +39,8 @@
 //! assert_eq!(buf.read_all().unwrap(), b"column data");
 //! consumer.release(id).unwrap();
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod cluster;
 pub mod health;

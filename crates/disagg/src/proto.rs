@@ -30,6 +30,14 @@ pub mod method {
     /// Metrics introspection (empty → `MetricsResp`): the responder's
     /// full [`obs`] snapshot, so any node can observe any peer live.
     pub const METRICS: u32 = 8;
+    /// Batched multi-get (`GetManyReq` → `GetManyResp`): pin and return
+    /// fabric descriptors for many object ids in one round trip, with
+    /// per-id status for partial success. The remote-get hot path — K
+    /// objects on one owner cost one RPC instead of K.
+    pub const GET_MANY: u32 = 9;
+
+    /// Highest assigned method id (bounds exhaustiveness checks).
+    pub const MAX: u32 = GET_MANY;
 
     /// Method-id → verb-name table (metric labels, diagnostics).
     pub const VERBS: &[(u32, &str)] = &[
@@ -41,6 +49,7 @@ pub mod method {
         (LIST, "list"),
         (DELETE_DEFERRED, "delete_deferred"),
         (METRICS, "metrics"),
+        (GET_MANY, "get_many"),
     ];
 }
 
@@ -85,10 +94,12 @@ pub struct LookupReq {
     pub requester: NodeId,
     /// If true, found objects are pinned on behalf of the requester.
     pub pin: bool,
+    /// Object ids to look up.
     pub ids: Vec<ObjectId>,
 }
 
 impl LookupReq {
+    /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut e = MsgEnc::new();
         e.uint(1, u64::from(self.requester.0))
@@ -99,6 +110,7 @@ impl LookupReq {
         e.finish()
     }
 
+    /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         let ids = f
@@ -120,10 +132,12 @@ impl LookupReq {
 /// Lookup response: the subset of requested objects present (sealed) here.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LookupResp {
+    /// Fabric descriptors for the requested objects present here.
     pub found: Vec<ObjectLocation>,
 }
 
 impl LookupResp {
+    /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut e = MsgEnc::new();
         for loc in &self.found {
@@ -132,6 +146,7 @@ impl LookupResp {
         e.finish()
     }
 
+    /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         let found = f
@@ -147,14 +162,142 @@ impl LookupResp {
     }
 }
 
+/// Batched multi-get request: pin and return fabric descriptors for many
+/// object ids in one round trip (the remote `batch_get` hot path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetManyReq {
+    /// Node issuing the get (found objects are pinned on its behalf).
+    pub requester: NodeId,
+    /// Object ids to fetch.
+    pub ids: Vec<ObjectId>,
+}
+
+impl GetManyReq {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0));
+        for id in &self.ids {
+            enc_id(&mut e, 2, id);
+        }
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let ids = f
+            .get_all(2)
+            .map(|v| {
+                v.as_bytes()
+                    .ok_or(WireError::MissingField(2))
+                    .and_then(dec_id)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GetManyReq {
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            ids,
+        })
+    }
+}
+
+/// Per-id outcome of a multi-get. The RPC as a whole succeeds even when
+/// only some ids are present (partial success); each entry says what
+/// happened to its id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetManyStatus {
+    /// The object is sealed here; it has been pinned for the requester
+    /// and its fabric descriptor is attached.
+    Pinned = 0,
+    /// The object is not sealed on the responder.
+    NotFound = 1,
+}
+
+impl GetManyStatus {
+    fn from_u64(v: u64) -> GetManyStatus {
+        match v {
+            0 => GetManyStatus::Pinned,
+            _ => GetManyStatus::NotFound,
+        }
+    }
+}
+
+/// One id's entry in a [`GetManyResp`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetManyEntry {
+    /// The requested id this entry answers for.
+    pub id: ObjectId,
+    /// What happened to it on the responder.
+    pub status: GetManyStatus,
+    /// Fabric descriptor; present iff `status` is
+    /// [`GetManyStatus::Pinned`].
+    pub location: Option<ObjectLocation>,
+}
+
+/// Multi-get response: one entry per requested id, in request order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetManyResp {
+    /// Per-id outcomes.
+    pub entries: Vec<GetManyEntry>,
+}
+
+impl GetManyResp {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        for entry in &self.entries {
+            let mut m = MsgEnc::new();
+            enc_id(&mut m, 1, &entry.id);
+            m.uint(2, entry.status as u64);
+            if let Some(loc) = &entry.location {
+                m.message(3, enc_location(loc));
+            }
+            e.message(1, m);
+        }
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let entries = f
+            .get_all(1)
+            .map(|v| -> Result<GetManyEntry, WireError> {
+                let m = MsgDec::new(v.as_bytes().cloned().ok_or(WireError::MissingField(1))?)
+                    .collect()?;
+                let location = match m.get(3) {
+                    Some(fv) => Some(dec_location(
+                        fv.as_bytes().cloned().ok_or(WireError::MissingField(3))?,
+                    )?),
+                    None => None,
+                };
+                Ok(GetManyEntry {
+                    id: dec_id(&m.bytes(1)?)?,
+                    status: GetManyStatus::from_u64(m.uint_or(2, 1)),
+                    location,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GetManyResp { entries })
+    }
+
+    /// The pinned entries' fabric descriptors, in response order.
+    pub fn found(&self) -> impl Iterator<Item = &ObjectLocation> {
+        self.entries.iter().filter_map(|e| e.location.as_ref())
+    }
+}
+
 /// Id-reservation request (system-wide identifier uniqueness).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReserveReq {
+    /// Node requesting the reservation.
     pub requester: NodeId,
+    /// The id to reserve.
     pub id: ObjectId,
 }
 
 impl ReserveReq {
+    /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut e = MsgEnc::new();
         e.uint(1, u64::from(self.requester.0));
@@ -162,6 +305,7 @@ impl ReserveReq {
         e.finish()
     }
 
+    /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         Ok(ReserveReq {
@@ -179,12 +323,14 @@ pub struct ReserveResp {
 }
 
 impl ReserveResp {
+    /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut e = MsgEnc::new();
         e.uint(1, u64::from(self.granted));
         e.finish()
     }
 
+    /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         Ok(ReserveResp {
@@ -196,11 +342,14 @@ impl ReserveResp {
 /// Release references the responder holds on behalf of `requester`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReleaseReq {
+    /// Node whose references should be released.
     pub requester: NodeId,
+    /// The object to release.
     pub id: ObjectId,
 }
 
 impl ReleaseReq {
+    /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut e = MsgEnc::new();
         e.uint(1, u64::from(self.requester.0));
@@ -208,6 +357,7 @@ impl ReleaseReq {
         e.finish()
     }
 
+    /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         Ok(ReleaseReq {
@@ -220,16 +370,19 @@ impl ReleaseReq {
 /// Contains / delete requests carry just an id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IdReq {
+    /// The object in question.
     pub id: ObjectId,
 }
 
 impl IdReq {
+    /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut e = MsgEnc::new();
         enc_id(&mut e, 1, &self.id);
         e.finish()
     }
 
+    /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         Ok(IdReq {
@@ -241,20 +394,27 @@ impl IdReq {
 /// Per-object info in a list response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ListEntry {
+    /// Object id.
     pub id: ObjectId,
+    /// Payload size in bytes.
     pub data_size: u64,
+    /// Metadata size in bytes.
     pub metadata_size: u64,
+    /// Reference count at list time.
     pub ref_count: u64,
 }
 
 /// Response to a LIST: the responder's sealed objects.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ListResp {
+    /// Responding node.
     pub node: NodeId,
+    /// The responder's sealed objects.
     pub entries: Vec<ListEntry>,
 }
 
 impl ListResp {
+    /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut e = MsgEnc::new();
         e.uint(1, u64::from(self.node.0));
@@ -269,6 +429,7 @@ impl ListResp {
         e.finish()
     }
 
+    /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         let node = NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?);
@@ -294,17 +455,21 @@ impl ListResp {
 /// so the interconnect never needs re-releasing when metrics evolve).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsResp {
+    /// Responding node.
     pub node: NodeId,
+    /// Serialized [`obs::MetricsSnapshot`].
     pub snapshot: Bytes,
 }
 
 impl MetricsResp {
+    /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut e = MsgEnc::new();
         e.uint(1, u64::from(self.node.0)).bytes(2, &self.snapshot);
         e.finish()
     }
 
+    /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         Ok(MetricsResp {
@@ -317,16 +482,19 @@ impl MetricsResp {
 /// Boolean response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoolResp {
+    /// The boolean payload.
     pub value: bool,
 }
 
 impl BoolResp {
+    /// Serialize to wire bytes.
     pub fn encode(&self) -> Bytes {
         let mut e = MsgEnc::new();
         e.uint(1, u64::from(self.value));
         e.finish()
     }
 
+    /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
         Ok(BoolResp {
@@ -448,8 +616,42 @@ mod tests {
     }
 
     #[test]
+    fn get_many_roundtrip() {
+        let req = GetManyReq {
+            requester: NodeId(1),
+            ids: vec![ObjectId::from_name("a"), ObjectId::from_name("b")],
+        };
+        assert_eq!(GetManyReq::decode(req.encode()).unwrap(), req);
+        let empty = GetManyReq {
+            requester: NodeId(0),
+            ids: vec![],
+        };
+        assert_eq!(GetManyReq::decode(empty.encode()).unwrap(), empty);
+
+        let resp = GetManyResp {
+            entries: vec![
+                GetManyEntry {
+                    id: loc(1).id,
+                    status: GetManyStatus::Pinned,
+                    location: Some(loc(1)),
+                },
+                GetManyEntry {
+                    id: ObjectId::from_name("missing"),
+                    status: GetManyStatus::NotFound,
+                    location: None,
+                },
+            ],
+        };
+        let back = GetManyResp::decode(resp.encode()).unwrap();
+        assert_eq!(back, resp);
+        assert_eq!(back.found().count(), 1);
+        let none = GetManyResp { entries: vec![] };
+        assert_eq!(GetManyResp::decode(none.encode()).unwrap(), none);
+    }
+
+    #[test]
     fn verb_table_covers_every_method_id() {
-        for id in 1..=method::METRICS {
+        for id in 1..=method::MAX {
             assert!(
                 method::VERBS.iter().any(|(v, _)| *v == id),
                 "method id {id} missing from VERBS"

@@ -15,13 +15,16 @@
 //! `get` control flow mirrors §IV-A2: look locally first; on a miss, RPC
 //! the peers to look up the identifier; the object *data* is then read by
 //! the client directly through the disaggregated fabric — never copied
-//! over the network. An optional [`IdCache`] accelerates repeat lookups.
+//! over the network. Remote lookups are batched: every id a single peer
+//! must answer for travels in one `GET_MANY` round trip (see
+//! [`DisaggStore::batch_get`]), and an optional [`IdCache`] accelerates
+//! repeat lookups.
 
 use crate::health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 use crate::idcache::{CacheMode, CachedEntry, IdCache};
 use crate::proto::{
-    method, BoolResp, IdReq, ListEntry, ListResp, LookupReq, LookupResp, MetricsResp, ReleaseReq,
-    ReserveReq, ReserveResp,
+    method, BoolResp, GetManyEntry, GetManyReq, GetManyResp, GetManyStatus, IdReq, ListEntry,
+    ListResp, LookupReq, LookupResp, MetricsResp, ReleaseReq, ReserveReq, ReserveResp,
 };
 use crate::usage::{RemoteRefs, Reservations, ReserveOutcome};
 use bytes::Bytes;
@@ -73,10 +76,15 @@ pub struct DisaggCounters {
 /// Snapshot of [`DisaggCounters`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DisaggStats {
+    /// Lookup RPCs issued to peers (GET_MANY batches count once each).
     pub lookup_rpcs: u64,
+    /// Objects resolved via remote lookup.
     pub remote_found: u64,
+    /// Reserve RPCs issued on create.
     pub reserve_rpcs: u64,
+    /// Releases forwarded to owning peers.
     pub releases_forwarded: u64,
+    /// Gets served from the Direct-mode id cache (no RPC, no pin).
     pub direct_cache_reads: u64,
 }
 
@@ -139,6 +147,9 @@ struct DisaggMetrics {
     create: Arc<Histogram>,
     /// Latency of one remote-lookup round (cache consults + fan-out).
     lookup_fanout: Arc<Histogram>,
+    /// Ids carried per GET_MANY RPC issued to a peer — the batching
+    /// factor of the multi-get hot path (1 = degenerated to unary).
+    get_many_batch: Arc<Histogram>,
     idcache_hits: Arc<Counter>,
     idcache_misses: Arc<Counter>,
     /// Interconnect call retries (attempts after the first).
@@ -158,6 +169,7 @@ impl DisaggMetrics {
             get_miss: registry.histogram("disagg.get.miss.latency_ns"),
             create: registry.histogram("disagg.create.latency_ns"),
             lookup_fanout: registry.histogram("disagg.lookup.fanout.latency_ns"),
+            get_many_batch: registry.histogram("disagg.get_many.batch_size"),
             idcache_hits: registry.counter("disagg.idcache.hits"),
             idcache_misses: registry.counter("disagg.idcache.misses"),
             peer_retries: registry.counter("disagg.peer.retries"),
@@ -669,11 +681,29 @@ impl DisaggStore {
         Ok(out)
     }
 
+    /// Resolve many objects in one batched pass — the multi-get hot path.
+    ///
+    /// Semantically identical to [`ObjectStore::get`] with the same id
+    /// slice (which already batches: all ids a single peer owns travel in
+    /// **one** `GET_MANY` round trip, not one RPC per id). This alias
+    /// exists so callers reaching for a batch API find the batched
+    /// guarantee spelled out: `N` small objects held by one owner cost
+    /// one RPC, and the ids-per-RPC distribution is observable as the
+    /// `disagg.get_many.batch_size` histogram.
+    pub fn batch_get(
+        &self,
+        ids: &[ObjectId],
+        timeout: Duration,
+    ) -> Result<Vec<Option<ObjectLocation>>, PlasmaError> {
+        ObjectStore::get(self, ids, timeout)
+    }
+
     /// One remote-lookup round for the `None` slots of `out`: consult the
-    /// id cache (targeted lookups or direct reads), then broadcast to
-    /// peers for the rest — in parallel. Unreachable peers contribute
-    /// nothing; their objects simply stay unresolved this round, so a
-    /// dead peer degrades `get` to a miss instead of an error.
+    /// id cache (targeted `GET_MANY` batches or direct reads), then
+    /// broadcast a batched `GET_MANY` to peers for the rest — in
+    /// parallel. Unreachable peers contribute nothing; their objects
+    /// simply stay unresolved this round, so a dead peer degrades `get`
+    /// to a miss instead of an error.
     fn remote_lookup_pass(&self, ids: &[ObjectId], out: &mut [Option<ObjectLocation>]) {
         let mut missing: Vec<ObjectId> = ids
             .iter()
@@ -715,9 +745,9 @@ impl DisaggStore {
             let peers = self.peers_snapshot();
             for (peer_node, ids) in targeted {
                 match peers.iter().find(|p| p.node.0 == peer_node) {
-                    Some(peer) => match self.lookup_rpc(peer, &ids) {
+                    Some(peer) => match self.get_many_rpc(peer, &ids) {
                         Ok(resp) => {
-                            self.absorb_lookup(peer, resp, &mut found);
+                            self.absorb_lookup(peer, resp.found().copied().collect(), &mut found);
                             // Cache pointed at a peer that no longer has
                             // some ids: invalidate and re-broadcast those.
                             for id in ids {
@@ -748,10 +778,10 @@ impl DisaggStore {
             .collect();
         if !remaining.is_empty() {
             let peers = self.peers_snapshot();
-            let responses = self.fanout(&peers, |peer| self.lookup_rpc(peer, &remaining));
+            let responses = self.fanout(&peers, |peer| self.get_many_rpc(peer, &remaining));
             for (peer, response) in peers.iter().zip(responses) {
                 if let Ok(resp) = response {
-                    self.absorb_lookup(peer, resp, &mut found);
+                    self.absorb_lookup(peer, resp.found().copied().collect(), &mut found);
                 }
             }
         }
@@ -769,41 +799,48 @@ impl DisaggStore {
         }
     }
 
-    /// Issue one pinning lookup RPC for `ids` to one peer.
-    fn lookup_rpc(&self, peer: &Peer, ids: &[ObjectId]) -> Result<LookupResp, PeerFail> {
+    /// Issue one pinning GET_MANY RPC for `ids` to one peer: every id the
+    /// peer holds sealed comes back pinned (attributed to this node) with
+    /// its fabric descriptor attached — one round trip regardless of how
+    /// many ids the batch carries. Counted under `lookup_rpcs`, and the
+    /// batch size is recorded in `disagg.get_many.batch_size`.
+    fn get_many_rpc(&self, peer: &Peer, ids: &[ObjectId]) -> Result<GetManyResp, PeerFail> {
         if ids.is_empty() {
-            return Ok(LookupResp { found: Vec::new() });
+            return Ok(GetManyResp {
+                entries: Vec::new(),
+            });
         }
-        let req = LookupReq {
+        let req = GetManyReq {
             requester: self.inner.node,
-            pin: true,
             ids: ids.to_vec(),
         };
-        let result = self.peer_call(peer, method::LOOKUP, req.encode());
+        let result = self.peer_call(peer, method::GET_MANY, req.encode());
         if !matches!(result, Err(PeerFail::Skipped)) {
             self.inner
                 .counters
                 .lookup_rpcs
                 .fetch_add(1, Ordering::Relaxed);
+            self.inner.metrics.get_many_batch.record(ids.len() as u64);
         }
-        LookupResp::decode(result?)
-            .map_err(|e| PeerFail::Rpc(RpcError::Protocol(format!("lookup response: {e}"))))
+        GetManyResp::decode(result?)
+            .map_err(|e| PeerFail::Rpc(RpcError::Protocol(format!("get_many response: {e}"))))
     }
 
-    /// Fold one peer's lookup response into `found`, recording the pins
-    /// it took on our behalf. If two peers answered for the same id (a
-    /// migration raced the broadcast), the first absorbed pin wins and
-    /// the duplicate is released back to the losing peer.
+    /// Fold the locations one peer returned (with pins taken on our
+    /// behalf) into `found`, ledgering each pin under that peer. If two
+    /// peers answered for the same id (a migration raced the broadcast),
+    /// the first absorbed pin wins and the duplicate is released back to
+    /// the losing peer.
     fn absorb_lookup(
         &self,
         peer: &Peer,
-        resp: LookupResp,
+        pinned: Vec<ObjectLocation>,
         found: &mut HashMap<ObjectId, ObjectLocation>,
     ) {
         let mut duplicates: Vec<ObjectId> = Vec::new();
         {
             let mut held = self.inner.remote_held.lock();
-            for loc in resp.found {
+            for loc in pinned {
                 if found.contains_key(&loc.id) {
                     duplicates.push(loc.id);
                     continue;
@@ -1424,6 +1461,34 @@ impl Service for Interconnect {
                     entries,
                 }
                 .encode())
+            }
+            method::GET_MANY => {
+                let req = GetManyReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                // Partial success by design: each id answers for itself.
+                // Pins are taken (and attributed to the requester) only
+                // for ids found sealed here, so a NotFound entry can
+                // never leak a reference in the owner's ledger.
+                let entries = req
+                    .ids
+                    .into_iter()
+                    .map(|id| match inner.core.get_local(id) {
+                        Some(loc) => {
+                            inner.remote_refs.pin(req.requester, loc.id);
+                            GetManyEntry {
+                                id,
+                                status: GetManyStatus::Pinned,
+                                location: Some(loc),
+                            }
+                        }
+                        None => GetManyEntry {
+                            id,
+                            status: GetManyStatus::NotFound,
+                            location: None,
+                        },
+                    })
+                    .collect();
+                Ok(GetManyResp { entries }.encode())
             }
             method::METRICS => Ok(MetricsResp {
                 node: inner.node,

@@ -26,6 +26,7 @@ pub struct RemoteRefs {
 }
 
 impl RemoteRefs {
+    /// New, empty ledger.
     pub fn new() -> Self {
         Self::default()
     }
@@ -91,11 +92,14 @@ pub struct Reservations {
 /// Outcome of an incoming reserve request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReserveOutcome {
+    /// The id is free here; the requester may create it.
     Granted,
+    /// The id already exists or a better-ranked create is pending.
     Rejected,
 }
 
 impl Reservations {
+    /// New table with no pending creates.
     pub fn new() -> Self {
         Self::default()
     }

@@ -82,6 +82,18 @@ impl Conn for InprocConn {
     fn peer(&self) -> String {
         self.label.clone()
     }
+
+    fn try_clone(&self) -> io::Result<Box<dyn Conn>> {
+        // Crossbeam endpoints are cheaply cloneable. Frames go to whichever
+        // clone happens to be blocked in `recv`, so callers must follow the
+        // one-receiver discipline documented on `Conn::try_clone`.
+        Ok(Box::new(InprocConn {
+            tx: self.tx.clone(),
+            rx: self.rx.clone(),
+            label: self.label.clone(),
+            recv_timeout: self.recv_timeout,
+        }))
+    }
 }
 
 type Registry = Arc<Mutex<HashMap<String, Sender<InprocConn>>>>;
@@ -282,6 +294,20 @@ mod tests {
             server.recv().unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn cloned_halves_split_send_and_recv() {
+        let hub = InprocHub::new();
+        let mut listener = hub.bind("s").unwrap();
+        let mut client = hub.connect("s").unwrap();
+        let mut server = listener.accept().unwrap();
+        // Send via the clone, receive the echo via the original.
+        let mut sender = client.try_clone().unwrap();
+        sender.send(&Frame::new(1, &b"via-clone"[..])).unwrap();
+        let f = server.recv().unwrap();
+        server.send(&Frame::new(2, f.payload)).unwrap();
+        assert_eq!(&client.recv().unwrap().payload[..], b"via-clone");
     }
 
     #[test]

@@ -73,6 +73,14 @@ impl Conn for TcpConn {
     fn peer(&self) -> String {
         self.label.clone()
     }
+
+    fn try_clone(&self) -> io::Result<Box<dyn Conn>> {
+        // Clone the OS-level stream. The clone gets a fresh (empty) read
+        // buffer, so it must be taken before any `recv` has buffered bytes
+        // — see the discipline documented on `Conn::try_clone`.
+        let stream = self.reader.get_ref().try_clone()?;
+        Ok(Box::new(Self::from_stream(stream, self.label.clone())?))
+    }
 }
 
 /// See `uds::await_first_byte`; duplicated because `BufReader<S>` exposes
@@ -226,6 +234,17 @@ mod tests {
         drop(client);
         let err = server.recv().unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn cloned_halves_split_send_and_recv() {
+        let (mut server, mut client) = pair();
+        // Send via the clone, receive the echo via the original.
+        let mut sender = client.try_clone().unwrap();
+        sender.send(&Frame::new(1, &b"via-clone"[..])).unwrap();
+        let f = server.recv().unwrap();
+        server.send(&Frame::new(2, f.payload)).unwrap();
+        assert_eq!(&client.recv().unwrap().payload[..], b"via-clone");
     }
 
     #[test]

@@ -31,13 +31,26 @@ pub trait Conn: Send {
 
     /// A short label describing the peer (diagnostics only).
     fn peer(&self) -> String;
+
+    /// Clone the connection so one half can send while the other receives
+    /// (e.g. a pipelined RPC client's dedicated reader thread).
+    ///
+    /// The clone shares the underlying stream. Discipline: take the clone
+    /// while the connection is quiescent (right after it is established,
+    /// before any `recv`), and from then on let exactly **one** half call
+    /// [`Conn::recv`] — concurrent receivers would race for frames (the
+    /// in-process transport hands each frame to whichever clone polls
+    /// first, and the socket transports each buffer reads privately, so a
+    /// late clone could strand bytes already buffered by the original).
+    /// Both halves may send: frames are written atomically.
+    fn try_clone(&self) -> io::Result<Box<dyn Conn>>;
 }
 
 /// A connection acceptor with cooperative shutdown.
 pub trait Listener: Send {
     /// Accept the next connection. Blocks; returns `Interrupted` promptly
-    /// after [`Listener::stop`] has been requested (possibly from another
-    /// thread via the handle).
+    /// after [`StopHandle::stop`] has been requested (possibly from
+    /// another thread via the handle).
     fn accept(&mut self) -> io::Result<Box<dyn Conn>>;
 
     /// A cloneable handle that unblocks and permanently stops `accept`.

@@ -98,6 +98,14 @@ impl Conn for UdsConn {
     fn peer(&self) -> String {
         self.label.clone()
     }
+
+    fn try_clone(&self) -> io::Result<Box<dyn Conn>> {
+        // Clone the OS-level stream. The clone gets a fresh (empty) read
+        // buffer, so it must be taken before any `recv` has buffered bytes
+        // — see the discipline documented on `Conn::try_clone`.
+        let stream = self.reader.get_ref().try_clone()?;
+        Ok(Box::new(Self::from_stream(stream, self.label.clone())?))
+    }
 }
 
 /// Listener on a Unix socket path. Removes the socket file on drop.
@@ -255,6 +263,20 @@ mod tests {
             t.join().unwrap().unwrap_err().kind(),
             io::ErrorKind::Interrupted
         );
+    }
+
+    #[test]
+    fn cloned_halves_split_send_and_recv() {
+        let path = tmp_sock("clone");
+        let mut listener = UdsListener::bind(&path).unwrap();
+        let mut client = UdsConn::connect(&path).unwrap();
+        let mut server = listener.accept().unwrap();
+        // Send via the clone, receive the echo via the original.
+        let mut sender = client.try_clone().unwrap();
+        sender.send(&Frame::new(1, &b"via-clone"[..])).unwrap();
+        let f = server.recv().unwrap();
+        server.send(&Frame::new(2, f.payload)).unwrap();
+        assert_eq!(&client.recv().unwrap().payload[..], b"via-clone");
     }
 
     #[test]

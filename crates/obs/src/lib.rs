@@ -19,6 +19,24 @@
 //! The store-side histograms measure *wall-clock* service time (they are
 //! meaningful even when the cluster runs under the virtual `tfsim`
 //! clock, where modeled time and wall time diverge).
+//!
+//! ## Example
+//!
+//! ```
+//! use obs::Registry;
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("server.requests");
+//! let latency = registry.histogram("server.latency_ns");
+//! requests.inc();
+//! latency.record(1_500);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("server.requests"), 1);
+//! assert_eq!(snap.histogram("server.latency_ns").unwrap().count, 1);
+//! ```
+
+#![deny(missing_docs)]
 
 mod metric;
 mod registry;

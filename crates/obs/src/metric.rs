@@ -40,20 +40,24 @@ pub fn bucket_hi(i: usize) -> u64 {
 pub struct Counter(AtomicU64);
 
 impl Counter {
+    /// New counter starting at zero.
     pub fn new() -> Counter {
         Counter::default()
     }
 
+    /// Increment by one.
     #[inline]
     pub fn inc(&self) {
         self.add(1);
     }
 
+    /// Increment by `n`.
     #[inline]
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -65,25 +69,30 @@ impl Counter {
 pub struct Gauge(AtomicI64);
 
 impl Gauge {
+    /// New gauge starting at zero.
     pub fn new() -> Gauge {
         Gauge::default()
     }
 
+    /// Overwrite the current value.
     #[inline]
     pub fn set(&self, v: i64) {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Add `n` to the current value.
     #[inline]
     pub fn add(&self, n: i64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Subtract `n` from the current value.
     #[inline]
     pub fn sub(&self, n: i64) {
         self.0.fetch_sub(n, Ordering::Relaxed);
     }
 
+    /// Current value.
     #[inline]
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -112,6 +121,7 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// New, empty histogram.
     pub fn new() -> Histogram {
         Histogram::default()
     }
@@ -131,6 +141,7 @@ impl Histogram {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
+    /// Number of observations recorded so far.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
     }

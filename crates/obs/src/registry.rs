@@ -23,10 +23,12 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// New, empty registry (shared handle).
     pub fn new() -> Arc<Registry> {
         Arc::new(Registry::default())
     }
 
+    /// Get or create the counter registered under `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
         if let Some(c) = self.counters.read().get(name) {
             return Arc::clone(c);
@@ -34,6 +36,7 @@ impl Registry {
         Arc::clone(self.counters.write().entry(name.to_string()).or_default())
     }
 
+    /// Get or create the gauge registered under `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
         if let Some(g) = self.gauges.read().get(name) {
             return Arc::clone(g);
@@ -41,6 +44,7 @@ impl Registry {
         Arc::clone(self.gauges.write().entry(name.to_string()).or_default())
     }
 
+    /// Get or create the histogram registered under `name`.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         if let Some(h) = self.histograms.read().get(name) {
             return Arc::clone(h);

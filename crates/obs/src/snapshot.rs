@@ -10,8 +10,11 @@ use crate::metric::{bucket_hi, bucket_lo, BUCKETS};
 pub struct HistogramSnapshot {
     /// Per-bucket observation counts (`BUCKETS` entries, log₂ scale).
     pub buckets: Vec<u64>,
+    /// Total number of observations.
     pub count: u64,
+    /// Sum of all observed values (saturating).
     pub sum: u64,
+    /// Largest observed value.
     pub max: u64,
 }
 
@@ -49,14 +52,17 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Median estimate ([`HistogramSnapshot::quantile`] at 0.50).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
     }
 
+    /// 90th-percentile estimate.
     pub fn p90(&self) -> u64 {
         self.quantile(0.90)
     }
 
+    /// 99th-percentile estimate.
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
@@ -88,8 +94,11 @@ impl HistogramSnapshot {
 /// order.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
+    /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
     pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
@@ -116,14 +125,17 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Value of the named counter (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Value of the named gauge (0 if absent).
     pub fn gauge(&self, name: &str) -> i64 {
         self.gauges.get(name).copied().unwrap_or(0)
     }
 
+    /// Snapshot of the named histogram, if it was ever recorded to.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
     }

@@ -8,19 +8,25 @@ use crate::wire::{MsgDec, MsgEnc, WireError};
 use bytes::Bytes;
 use ipc::Frame;
 
-/// Frame type tags.
-pub const FRAME_REQUEST: u32 = 0x5251; // "RQ"
-pub const FRAME_RESPONSE: u32 = 0x5250; // "RP"
+/// Frame type tag marking a request envelope ("RQ").
+pub const FRAME_REQUEST: u32 = 0x5251;
+/// Frame type tag marking a response envelope ("RP").
+pub const FRAME_RESPONSE: u32 = 0x5250;
 
 /// A unary request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
+    /// Correlation id: echoed back verbatim in the matching [`Response`],
+    /// letting a pipelined client demultiplex out-of-order completions.
     pub call_id: u64,
+    /// Method id dispatched by the service.
     pub method: u32,
+    /// Opaque request payload.
     pub body: Bytes,
 }
 
 impl Request {
+    /// Encode into a [`FRAME_REQUEST`] frame.
     pub fn to_frame(&self) -> Frame {
         let mut e = MsgEnc::new();
         e.uint(1, self.call_id)
@@ -29,6 +35,7 @@ impl Request {
         Frame::new(FRAME_REQUEST, e.finish())
     }
 
+    /// Decode from a frame's payload.
     pub fn from_frame(frame: &Frame) -> Result<Request, WireError> {
         let fields = MsgDec::new(frame.payload.clone()).collect()?;
         Ok(Request {
@@ -42,11 +49,14 @@ impl Request {
 /// A unary response: either a body (Ok) or a status.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
+    /// Correlation id of the [`Request`] this response answers.
     pub call_id: u64,
+    /// Response body on success, error status otherwise.
     pub result: Result<Bytes, Status>,
 }
 
 impl Response {
+    /// Encode into a [`FRAME_RESPONSE`] frame.
     pub fn to_frame(&self) -> Frame {
         let mut e = MsgEnc::new();
         e.uint(1, self.call_id);
@@ -63,6 +73,7 @@ impl Response {
         Frame::new(FRAME_RESPONSE, e.finish())
     }
 
+    /// Decode from a frame's payload.
     pub fn from_frame(frame: &Frame) -> Result<Response, WireError> {
         let fields = MsgDec::new(frame.payload.clone()).collect()?;
         let call_id = fields.uint(1)?;

@@ -6,13 +6,15 @@
 //!
 //! * a protobuf-style wire format ([`wire`]: varints, ZigZag, tagged
 //!   length-delimited fields),
-//! * a unary request/response envelope ([`envelope`]),
-//! * a blocking client ([`RpcClient`]) that serializes calls on one
-//!   connection and optionally charges a modeled network round-trip
-//!   ([`NetCost`]) to the simulation clock — reproducing the ms-scale,
-//!   jittery retrieval latency of the paper's Fig. 6,
-//! * a server ([`serve`]) with a dedicated accept thread and synchronous
-//!   per-connection servicing.
+//! * a correlation-id-tagged request/response envelope ([`envelope`]),
+//! * a **pipelined** client ([`RpcClient`]) that keeps many requests in
+//!   flight on one connection — [`RpcClient::call`] blocks only its own
+//!   caller, and [`RpcClient::call_async`] returns a [`PendingCall`] to
+//!   wait on later — and optionally charges a modeled network round trip
+//!   ([`NetCost`]) to the simulation clock, with concurrent calls
+//!   overlapping their round trips as on a real wire,
+//! * a server ([`serve`]) with a dedicated accept thread and concurrent
+//!   per-connection servicing (responses return in completion order).
 //!
 //! Transports come from the [`ipc`] crate, so services run identically over
 //! Unix domain sockets or in-process channels.
@@ -39,13 +41,15 @@
 //! assert_eq!(&reply[..], b"hello plasma");
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod client;
 pub mod envelope;
 pub mod server;
 pub mod service;
 pub mod wire;
 
-pub use client::{ClientMetrics, Connector, NetCost, RpcClient, RpcError};
+pub use client::{ClientMetrics, Connector, NetCost, PendingCall, RpcClient, RpcError};
 pub use envelope::{Request, Response};
 pub use server::{serve, ServerHandle, ServerMetrics};
 pub use service::{MethodId, Service, Status, StatusCode};

@@ -1,11 +1,15 @@
-//! RPC server: accept loop + per-connection synchronous servicing.
+//! RPC server: accept loop + per-connection concurrent servicing.
 //!
-//! Matches the paper's gRPC configuration: a dedicated server thread
-//! services calls synchronously in unary mode. Each accepted connection
-//! gets a thread that decodes requests, invokes the [`Service`], and
-//! writes back responses in order.
+//! Each accepted connection gets a reader thread that decodes requests
+//! and dispatches every call to its own handler thread; responses are
+//! written back through a mutex-shared clone of the connection (frame
+//! writes are atomic) **in completion order, not arrival order**. This is
+//! what lets a pipelined client keep many correlation-id-tagged requests
+//! in flight: a slow call no longer blocks the responses of faster calls
+//! behind it.
 //!
-//! Connection threads poll the server's stop flag between requests, so
+//! Connection threads poll the server's stop flag between requests and
+//! join their outstanding handlers on exit, so
 //! [`ServerHandle::shutdown`] tears the whole server down deterministically
 //! — after it returns, no handler is running and no response will be
 //! written. Failure-injection tests rely on this to stop a peer node and
@@ -27,8 +31,11 @@ const CONN_POLL: Duration = Duration::from_millis(20);
 /// Counters exposed by a running server.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
+    /// Requests decoded and dispatched to the service.
     pub calls: AtomicU64,
+    /// Calls that returned an error status (plus undecodable requests).
     pub errors: AtomicU64,
+    /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
 }
 
@@ -47,6 +54,7 @@ impl ServerHandle {
         &self.addr
     }
 
+    /// Counters for this server (calls, errors, connections).
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
     }
@@ -135,41 +143,67 @@ fn serve_conn(
     if conn.set_recv_timeout(Some(CONN_POLL)).is_err() {
         return;
     }
+    // Handlers run concurrently and share the write half of the
+    // connection behind a mutex; frames are written atomically, so
+    // responses interleave cleanly in completion order.
+    let writer: Arc<Mutex<Box<dyn ipc::Conn>>> = match conn.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     loop {
         if stop.is_stopped() {
-            return;
+            break;
         }
         let frame = match conn.recv() {
             Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => continue, // idle; re-check stop
-            Err(_) => return,                                          // peer gone
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                // Idle: re-check stop and reap finished handlers so a
+                // long-lived connection doesn't accumulate handles.
+                handlers.retain(|h| !h.is_finished());
+                continue;
+            }
+            Err(_) => break, // peer gone
         };
         if frame.msg_type != FRAME_REQUEST {
             // Protocol violation: drop the connection.
-            return;
+            break;
         }
-        let response = match Request::from_frame(&frame) {
-            Ok(req) => {
-                metrics.calls.fetch_add(1, Ordering::Relaxed);
-                let result = service.call(req.method, req.body);
-                if result.is_err() {
-                    metrics.errors.fetch_add(1, Ordering::Relaxed);
-                }
-                Response {
-                    call_id: req.call_id,
-                    result,
-                }
-            }
-            Err(e) => {
-                metrics.errors.fetch_add(1, Ordering::Relaxed);
-                Response {
-                    call_id: 0,
-                    result: Err(Status::invalid_argument(format!("bad request: {e}"))),
-                }
-            }
-        };
-        if conn.send(&response.to_frame()).is_err() {
-            return;
-        }
+        let svc = Arc::clone(&service);
+        let m = Arc::clone(&metrics);
+        let w = Arc::clone(&writer);
+        let handle = std::thread::Builder::new()
+            .name("rpc-handler".to_string())
+            .spawn(move || {
+                let response = match Request::from_frame(&frame) {
+                    Ok(req) => {
+                        m.calls.fetch_add(1, Ordering::Relaxed);
+                        let result = svc.call(req.method, req.body);
+                        if result.is_err() {
+                            m.errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Response {
+                            call_id: req.call_id,
+                            result,
+                        }
+                    }
+                    Err(e) => {
+                        m.errors.fetch_add(1, Ordering::Relaxed);
+                        Response {
+                            call_id: 0,
+                            result: Err(Status::invalid_argument(format!("bad request: {e}"))),
+                        }
+                    }
+                };
+                let _ = w.lock().send(&response.to_frame());
+            })
+            .expect("spawn rpc handler thread");
+        handlers.retain(|h| !h.is_finished());
+        handlers.push(handle);
+    }
+    // Drain in-flight handlers before tearing the connection down, so
+    // shutdown keeps its "no handler survives" guarantee.
+    for h in handlers {
+        let _ = h.join();
     }
 }

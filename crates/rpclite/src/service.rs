@@ -15,18 +15,28 @@ pub type MethodId = u32;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u32)]
 pub enum StatusCode {
+    /// Success.
     Ok = 0,
+    /// The request was malformed or undecodable.
     InvalidArgument = 3,
+    /// The call's deadline expired before a response arrived.
     DeadlineExceeded = 4,
+    /// The referenced entity does not exist.
     NotFound = 5,
+    /// The entity already exists.
     AlreadyExists = 6,
+    /// The operation is not valid in the entity's current state.
     FailedPrecondition = 9,
+    /// The service failed internally.
     Internal = 13,
+    /// The service is temporarily unable to answer (retryable).
     Unavailable = 14,
+    /// The method id is not implemented by the service.
     Unimplemented = 12,
 }
 
 impl StatusCode {
+    /// Decode a wire value; unknown codes map to [`StatusCode::Internal`].
     pub fn from_u32(v: u32) -> StatusCode {
         match v {
             0 => StatusCode::Ok,
@@ -45,11 +55,14 @@ impl StatusCode {
 /// An error status returned by a service.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Status {
+    /// Machine-readable error class.
     pub code: StatusCode,
+    /// Human-readable detail.
     pub message: String,
 }
 
 impl Status {
+    /// Build a status from a code and message.
     pub fn new(code: StatusCode, message: impl Into<String>) -> Self {
         Status {
             code,
@@ -57,22 +70,27 @@ impl Status {
         }
     }
 
+    /// Shorthand for [`StatusCode::NotFound`].
     pub fn not_found(message: impl Into<String>) -> Self {
         Self::new(StatusCode::NotFound, message)
     }
 
+    /// Shorthand for [`StatusCode::AlreadyExists`].
     pub fn already_exists(message: impl Into<String>) -> Self {
         Self::new(StatusCode::AlreadyExists, message)
     }
 
+    /// Shorthand for [`StatusCode::InvalidArgument`].
     pub fn invalid_argument(message: impl Into<String>) -> Self {
         Self::new(StatusCode::InvalidArgument, message)
     }
 
+    /// Shorthand for [`StatusCode::Internal`].
     pub fn internal(message: impl Into<String>) -> Self {
         Self::new(StatusCode::Internal, message)
     }
 
+    /// Shorthand for [`StatusCode::Unimplemented`], naming the method.
     pub fn unimplemented(method: MethodId) -> Self {
         Self::new(
             StatusCode::Unimplemented,
@@ -90,9 +108,11 @@ impl fmt::Display for Status {
 impl std::error::Error for Status {}
 
 /// A unary-call service: decode the request, do the work, encode the reply.
-/// Handlers run synchronously on the connection's server thread (the
-/// paper's gRPC configuration: synchronous servicing, unary mode).
+/// Each call runs synchronously on its own handler thread; calls from one
+/// connection may execute concurrently (the server writes responses back
+/// in completion order, keyed by correlation id).
 pub trait Service: Send + Sync {
+    /// Handle one unary call.
     fn call(&self, method: MethodId, request: Bytes) -> Result<Bytes, Status>;
 }
 

@@ -100,6 +100,7 @@ pub struct MsgEnc {
 }
 
 impl MsgEnc {
+    /// New, empty encoder.
     pub fn new() -> Self {
         Self::default()
     }
@@ -138,6 +139,7 @@ impl MsgEnc {
         self.bytes(field, &inner.buf)
     }
 
+    /// Freeze the encoded message into immutable bytes.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
     }
@@ -146,11 +148,14 @@ impl MsgEnc {
 /// One decoded field.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FieldValue {
+    /// A varint-encoded integer.
     Uint(u64),
+    /// A length-delimited byte string.
     Bytes(Bytes),
 }
 
 impl FieldValue {
+    /// The integer value, or `None` for a bytes field.
     pub fn as_uint(&self) -> Option<u64> {
         match self {
             FieldValue::Uint(v) => Some(*v),
@@ -158,6 +163,7 @@ impl FieldValue {
         }
     }
 
+    /// The byte string, or `None` for an integer field.
     pub fn as_bytes(&self) -> Option<&Bytes> {
         match self {
             FieldValue::Bytes(b) => Some(b),
@@ -174,6 +180,7 @@ pub struct MsgDec {
 }
 
 impl MsgDec {
+    /// Decoder over an encoded message body.
     pub fn new(buf: Bytes) -> Self {
         MsgDec { buf }
     }
@@ -235,22 +242,26 @@ impl Fields {
             .map(|(_, v)| v)
     }
 
+    /// Required `uint64` field.
     pub fn uint(&self, field: u32) -> Result<u64, WireError> {
         self.get(field)
             .and_then(FieldValue::as_uint)
             .ok_or(WireError::MissingField(field))
     }
 
+    /// Optional `uint64` field with a default.
     pub fn uint_or(&self, field: u32, default: u64) -> u64 {
         self.get(field)
             .and_then(FieldValue::as_uint)
             .unwrap_or(default)
     }
 
+    /// Required `sint64` (zigzag) field.
     pub fn sint(&self, field: u32) -> Result<i64, WireError> {
         self.uint(field).map(unzigzag)
     }
 
+    /// Required `bytes` field.
     pub fn bytes(&self, field: u32) -> Result<Bytes, WireError> {
         self.get(field)
             .and_then(FieldValue::as_bytes)
@@ -258,6 +269,7 @@ impl Fields {
             .ok_or(WireError::MissingField(field))
     }
 
+    /// Required UTF-8 `string` field.
     pub fn string(&self, field: u32) -> Result<String, WireError> {
         let b = self.bytes(field)?;
         String::from_utf8(b.to_vec()).map_err(|_| WireError::MissingField(field))

@@ -52,12 +52,18 @@ fn remote_gets_show_in_peer_snapshot_with_nonzero_latency() {
             .map_or(0, |h| h.count),
         0
     );
-    // ...and B's interconnect client recorded one lookup RPC per get.
+    // ...and B's interconnect client recorded one GET_MANY RPC per get
+    // (remote lookups travel over the batched multi-get verb), each
+    // carrying a single id.
     let lookups = snap_b
-        .histogram("rpc.client.store-0.lookup.latency_ns")
+        .histogram("rpc.client.store-0.get_many.latency_ns")
         .expect("per-verb client histogram on node B");
     assert_eq!(lookups.count, N as u64);
     assert!(lookups.p50() > 0);
+    let batch = snap_b
+        .histogram("disagg.get_many.batch_size")
+        .expect("batch-size histogram on node B");
+    assert_eq!((batch.count, batch.max), (N as u64, 1));
 
     for id in &ids {
         store_b.release(*id).unwrap();
