@@ -1,0 +1,380 @@
+//! Fault plans: seeded, serializable schedules of wire-level faults.
+//!
+//! A [`FaultPlan`] is the *entire* description of a chaos run: the seed
+//! every pseudo-random decision derives from, plus a sequence of
+//! [`StepPlan`]s, each giving per-fault-class rates (in parts per
+//! million, so the plan serializes exactly — no floats), the delay
+//! distribution, and the structural faults in force (partitions, frozen
+//! nodes). Two injectors built from equal plans produce byte-identical
+//! fault schedules; a plan printed by a failing soak can be replayed
+//! verbatim with `cargo run -p bench --bin chaos -- --replay plan.txt`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One network partition in force during a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// First node index.
+    pub a: usize,
+    /// Second node index.
+    pub b: usize,
+    /// If true, only traffic flowing from `a` to `b` is cut (requests
+    /// from `a` and responses from `a`); if false, both directions.
+    pub one_way: bool,
+}
+
+/// Fault rates and structural faults for one window of the schedule.
+///
+/// All rates are parts-per-million probabilities applied independently
+/// per frame; they are evaluated cumulatively in the order drop, delay,
+/// duplicate, corrupt, truncate, so their sum must stay ≤ 1 000 000.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StepPlan {
+    /// Probability (ppm) of silently dropping a frame.
+    pub drop_ppm: u32,
+    /// Probability (ppm) of delaying a frame.
+    pub delay_ppm: u32,
+    /// Probability (ppm) of delivering a frame twice.
+    pub dup_ppm: u32,
+    /// Probability (ppm) of flipping bits in a frame's payload.
+    pub corrupt_ppm: u32,
+    /// Probability (ppm) of truncating a frame's payload.
+    pub truncate_ppm: u32,
+    /// Injected delay lower bound, microseconds.
+    pub delay_lo_us: u64,
+    /// Injected delay upper bound, microseconds.
+    pub delay_hi_us: u64,
+    /// Partitions in force during this step.
+    pub partitions: Vec<Partition>,
+    /// Nodes whose every frame (either direction) is held for
+    /// [`StepPlan::freeze_hold_us`] — a stop-the-world pause seen from
+    /// the network, without killing the process.
+    pub frozen: Vec<usize>,
+    /// How long frames touching a frozen node are held, microseconds.
+    pub freeze_hold_us: u64,
+}
+
+impl StepPlan {
+    /// A step that injects nothing.
+    pub fn quiet() -> StepPlan {
+        StepPlan::default()
+    }
+
+    /// Whether this step can affect any frame at all.
+    pub fn is_quiet(&self) -> bool {
+        self.drop_ppm == 0
+            && self.delay_ppm == 0
+            && self.dup_ppm == 0
+            && self.corrupt_ppm == 0
+            && self.truncate_ppm == 0
+            && self.partitions.is_empty()
+            && self.frozen.is_empty()
+    }
+}
+
+/// A complete, self-describing fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of every per-frame pseudo-random decision.
+    pub seed: u64,
+    /// Frames per (link, direction) stream spent in each step before
+    /// advancing to the next. Step index is derived from the stream's
+    /// own frame counter — never from wall time — so the schedule is
+    /// independent of thread interleaving.
+    pub span: u64,
+    /// The steps, in order. The last step stays in force forever.
+    pub steps: Vec<StepPlan>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a control).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            span: u64::MAX,
+            steps: vec![StepPlan::quiet()],
+        }
+    }
+
+    /// Generate a randomized plan for a `nodes`-node cluster: `steps`
+    /// windows of `span` frames each, mixing rate faults with occasional
+    /// partitions and freezes. Same `(seed, nodes, steps, span)` ⇒ same
+    /// plan, always.
+    pub fn generate(seed: u64, nodes: usize, steps: usize, span: u64) -> FaultPlan {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0A5_1A11);
+        let mut plan = FaultPlan {
+            seed,
+            span,
+            steps: Vec::with_capacity(steps),
+        };
+        for _ in 0..steps {
+            let mut step = StepPlan {
+                drop_ppm: rng.gen_range(0..120_000),
+                delay_ppm: rng.gen_range(0..150_000),
+                dup_ppm: rng.gen_range(0..60_000),
+                corrupt_ppm: rng.gen_range(0..40_000),
+                truncate_ppm: rng.gen_range(0..40_000),
+                delay_lo_us: rng.gen_range(50..500),
+                delay_hi_us: 0,
+                partitions: Vec::new(),
+                frozen: Vec::new(),
+                freeze_hold_us: rng.gen_range(500..3_000),
+            };
+            step.delay_hi_us = step.delay_lo_us + rng.gen_range(100..4_000u64);
+            if nodes >= 2 && rng.gen_range(0..100u32) < 25 {
+                let a = rng.gen_range(0..nodes);
+                let mut b = rng.gen_range(0..nodes);
+                if b == a {
+                    b = (b + 1) % nodes;
+                }
+                step.partitions.push(Partition {
+                    a,
+                    b,
+                    one_way: rng.gen_range(0..2u32) == 1,
+                });
+            }
+            if rng.gen_range(0..100u32) < 20 {
+                step.frozen.push(rng.gen_range(0..nodes));
+            }
+            plan.steps.push(step);
+        }
+        plan
+    }
+
+    /// Serialize to the plan text format (stable, diff-friendly, exact —
+    /// every field is an integer). Round-trips through [`FaultPlan::parse`].
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("plan v1 seed={} span={}\n", self.seed, self.span));
+        for step in &self.steps {
+            out.push_str(&format!(
+                "step drop={} delay={} dup={} corrupt={} truncate={} \
+                 delay_us={}..{} freeze_us={}",
+                step.drop_ppm,
+                step.delay_ppm,
+                step.dup_ppm,
+                step.corrupt_ppm,
+                step.truncate_ppm,
+                step.delay_lo_us,
+                step.delay_hi_us,
+                step.freeze_hold_us,
+            ));
+            for p in &step.partitions {
+                let arrow = if p.one_way { "->" } else { "<->" };
+                out.push_str(&format!(" part={}{arrow}{}", p.a, p.b));
+            }
+            for n in &step.frozen {
+                out.push_str(&format!(" frozen={n}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the text format produced by [`FaultPlan::serialize`].
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty plan")?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("plan") || parts.next() != Some("v1") {
+            return Err(format!("bad plan header: {header}"));
+        }
+        let mut seed = None;
+        let mut span = None;
+        for kv in parts {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("bad token {kv}"))?;
+            match k {
+                "seed" => seed = Some(v.parse().map_err(|e| format!("seed: {e}"))?),
+                "span" => span = Some(v.parse().map_err(|e| format!("span: {e}"))?),
+                _ => return Err(format!("unknown header field {k}")),
+            }
+        }
+        let mut plan = FaultPlan {
+            seed: seed.ok_or("missing seed")?,
+            span: span.ok_or("missing span")?,
+            steps: Vec::new(),
+        };
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("step") {
+                return Err(format!("bad step line: {line}"));
+            }
+            let mut step = StepPlan::quiet();
+            for kv in parts {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad token {kv}"))?;
+                let int = |v: &str| v.parse::<u64>().map_err(|e| format!("{k}: {e}"));
+                match k {
+                    "drop" => step.drop_ppm = int(v)? as u32,
+                    "delay" => step.delay_ppm = int(v)? as u32,
+                    "dup" => step.dup_ppm = int(v)? as u32,
+                    "corrupt" => step.corrupt_ppm = int(v)? as u32,
+                    "truncate" => step.truncate_ppm = int(v)? as u32,
+                    "delay_us" => {
+                        let (lo, hi) = v.split_once("..").ok_or("delay_us needs lo..hi")?;
+                        step.delay_lo_us = lo.parse().map_err(|e| format!("delay lo: {e}"))?;
+                        step.delay_hi_us = hi.parse().map_err(|e| format!("delay hi: {e}"))?;
+                    }
+                    "freeze_us" => step.freeze_hold_us = int(v)?,
+                    "part" => {
+                        let (spec, one_way) = match v.split_once("<->") {
+                            Some((a, b)) => ((a, b), false),
+                            None => (v.split_once("->").ok_or("bad partition")?, true),
+                        };
+                        step.partitions.push(Partition {
+                            a: spec.0.parse().map_err(|e| format!("part a: {e}"))?,
+                            b: spec.1.parse().map_err(|e| format!("part b: {e}"))?,
+                            one_way,
+                        });
+                    }
+                    "frozen" => step.frozen.push(int(v)? as usize),
+                    _ => return Err(format!("unknown step field {k}")),
+                }
+            }
+            plan.steps.push(step);
+        }
+        if plan.steps.is_empty() {
+            return Err("plan has no steps".into());
+        }
+        Ok(plan)
+    }
+}
+
+/// Greedily shrink `plan` while `repro` still returns true (i.e. the
+/// failure still reproduces). Tries, in order and to fixpoint: replacing
+/// whole steps with quiet ones, removing individual partitions and
+/// freezes, and zeroing individual rate classes. The result is a plan
+/// where every remaining fault is necessary for the repro — the smallest
+/// schedule this greedy pass can find, not a global minimum.
+///
+/// `repro` is called O(faults) times; with a deterministic runner each
+/// call is an independent full replay.
+pub fn minimize(plan: &FaultPlan, mut repro: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let mut best = plan.clone();
+    loop {
+        let mut shrunk = false;
+
+        // Pass 1: whole steps → quiet.
+        for i in 0..best.steps.len() {
+            if best.steps[i].is_quiet() {
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate.steps[i] = StepPlan::quiet();
+            if repro(&candidate) {
+                best = candidate;
+                shrunk = true;
+            }
+        }
+
+        // Pass 2: individual structural faults.
+        for i in 0..best.steps.len() {
+            for p in (0..best.steps[i].partitions.len()).rev() {
+                let mut candidate = best.clone();
+                candidate.steps[i].partitions.remove(p);
+                if repro(&candidate) {
+                    best = candidate;
+                    shrunk = true;
+                }
+            }
+            for f in (0..best.steps[i].frozen.len()).rev() {
+                let mut candidate = best.clone();
+                candidate.steps[i].frozen.remove(f);
+                if repro(&candidate) {
+                    best = candidate;
+                    shrunk = true;
+                }
+            }
+        }
+
+        // Pass 3: individual rate classes.
+        for i in 0..best.steps.len() {
+            for field in 0..5 {
+                let mut candidate = best.clone();
+                let step = &mut candidate.steps[i];
+                let slot = match field {
+                    0 => &mut step.drop_ppm,
+                    1 => &mut step.delay_ppm,
+                    2 => &mut step.dup_ppm,
+                    3 => &mut step.corrupt_ppm,
+                    _ => &mut step.truncate_ppm,
+                };
+                if *slot == 0 {
+                    continue;
+                }
+                *slot = 0;
+                if repro(&candidate) {
+                    best = candidate;
+                    shrunk = true;
+                }
+            }
+        }
+
+        if !shrunk {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = FaultPlan::generate(99, 3, 4, 200);
+        let b = FaultPlan::generate(99, 3, 4, 200);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::generate(100, 3, 4, 200));
+        assert_eq!(a.steps.len(), 4);
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let plan = FaultPlan::generate(7, 4, 6, 150);
+        let text = plan.serialize();
+        let back = FaultPlan::parse(&text).unwrap();
+        assert_eq!(plan, back);
+        // And the text itself is stable.
+        assert_eq!(text, back.serialize());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("").is_err());
+        assert!(FaultPlan::parse("plan v2 seed=1 span=2").is_err());
+        assert!(FaultPlan::parse("plan v1 seed=1 span=2\nstep bogus=3").is_err());
+        assert!(FaultPlan::parse("plan v1 seed=1 span=2").is_err()); // no steps
+    }
+
+    #[test]
+    fn minimize_strips_irrelevant_faults() {
+        // Synthetic repro: fails iff step 1 still has a partition 0->1.
+        let mut plan = FaultPlan::generate(3, 3, 4, 100);
+        plan.steps[1].partitions = vec![Partition {
+            a: 0,
+            b: 1,
+            one_way: true,
+        }];
+        let needle = plan.steps[1].partitions[0];
+        let minimized = minimize(&plan, |p| {
+            p.steps
+                .get(1)
+                .is_some_and(|s| s.partitions.contains(&needle))
+        });
+        // Everything except the needle partition is gone.
+        for (i, step) in minimized.steps.iter().enumerate() {
+            if i == 1 {
+                assert_eq!(step.partitions, vec![needle]);
+                assert_eq!(step.drop_ppm, 0);
+                assert!(step.frozen.is_empty());
+            } else {
+                assert!(step.is_quiet(), "step {i} not quiet: {step:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The nemesis soak: drive a faulted cluster with a recorded workload,
+//! settle, and check the history.
+//!
+//! [`run_plan`] is the whole experiment in one call:
+//!
+//! 1. Launch an N-node cluster whose interconnect is wrapped by a
+//!    [`ChaosInjector`] executing the given [`FaultPlan`].
+//! 2. One worker thread per node drives that node's Plasma client with a
+//!    seeded random mix of put / get / batched get / delete / contains
+//!    over a small colliding namespace, recording every operation (with
+//!    real-time intervals and checksummed payload verdicts) into a
+//!    [`HistoryRecorder`].
+//! 3. Disarm the injector and run a settle phase over the now-clean
+//!    network: retry the releases that failed under fire (each failure
+//!    left its requester-side ledger entry in place), sweep `contains`
+//!    probes until parked remote releases have flushed (any successful
+//!    interconnect call flushes them), then reconcile pins so owners
+//!    can trim pins orphaned by responses the nemesis dropped.
+//! 4. Quiesce audit: every ledger must be empty — owner-side remote
+//!    pins, requester-side held pins, parked releases.
+//! 5. Run the [`crate::checker`] over the recorded history.
+//!
+//! Fault decisions are deterministic per (link, direction, seq) — see
+//! [`crate::inject`] — so replaying a failing `(plan, SoakConfig)` pair
+//! reproduces the same fault schedule. Thread interleaving still varies
+//! between runs, so a *violation* reproduces statistically, but a plan
+//! that passes keeps passing and the schedule itself is byte-identical.
+
+use crate::checker::{check, Verdict};
+use crate::history::{EventKind, HistoryRecorder, Observed};
+use crate::inject::ChaosInjector;
+use crate::plan::FaultPlan;
+use disagg::{Cluster, ClusterConfig, HealthConfig, InterconnectConfig, RetryPolicy};
+use plasma::{checksum, ObjectId, PlasmaError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Workload shape of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Operations each node's worker issues.
+    pub ops_per_client: usize,
+    /// Size of the colliding object namespace (names `0..names`).
+    pub names: u8,
+    /// Payload length of every put (at least 8, for the embedded tag).
+    pub value_len: usize,
+    /// Disaggregated memory per node.
+    pub memory_per_node: usize,
+    /// Client-side timeout for (batched) gets.
+    pub get_timeout: Duration,
+}
+
+impl SoakConfig {
+    /// A CI-sized soak: `nodes` nodes, a namespace small enough that
+    /// workers constantly collide, payloads big enough to tear.
+    pub fn quick(nodes: usize) -> SoakConfig {
+        SoakConfig {
+            nodes,
+            ops_per_client: 120,
+            names: 8,
+            value_len: 512,
+            memory_per_node: 16 << 20,
+            get_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Outcome of one soak run.
+#[derive(Debug)]
+pub struct SoakReport {
+    /// The checker's verdict, including quiesce-audit violations.
+    pub verdict: Verdict,
+    /// Number of client-visible operations recorded.
+    pub events: usize,
+    /// Frames the injector interfered with.
+    pub injected_faults: u64,
+    /// Cluster-wide evictions during the run (gates the create-uniqueness
+    /// invariant).
+    pub evictions: u64,
+    /// Owner-side pins found orphaned by dropped responses and trimmed
+    /// during settle-phase reconciliation.
+    pub reconciled: u64,
+}
+
+/// The object id of workload name `n` (shared by all workers).
+pub fn chaos_oid(n: u8) -> ObjectId {
+    ObjectId::from_name(&format!("chaos/{n}"))
+}
+
+/// Soak-friendly interconnect tuning: short deadlines so dropped frames
+/// cost tens of milliseconds instead of the production two seconds, and
+/// fast peer-health probes so a node marked `Down` under fire comes
+/// back within the settle window once the network is clean.
+fn soak_interconnect() -> InterconnectConfig {
+    InterconnectConfig {
+        call_deadline: Some(Duration::from_millis(100)),
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(20),
+            jitter: 0.25,
+        },
+        health: HealthConfig {
+            probe_backoff: Duration::from_millis(10),
+            probe_backoff_max: Duration::from_millis(100),
+            ..HealthConfig::default()
+        },
+    }
+}
+
+/// Run the full experiment described in the module docs.
+pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, PlasmaError> {
+    assert!(cfg.value_len >= checksum::MIN_FILL_LEN);
+    assert!(cfg.names > 0 && cfg.nodes > 0);
+
+    let injector = ChaosInjector::new(plan.clone());
+    let mut cluster_config = ClusterConfig::functional(cfg.nodes, cfg.memory_per_node);
+    cluster_config.seed = plan.seed;
+    cluster_config.interconnect = soak_interconnect();
+    cluster_config.fault_policy = Some(injector.clone());
+    let cluster = Cluster::launch(cluster_config)?;
+
+    let recorder = HistoryRecorder::new();
+
+    // Phase 2: the faulted workload. Workers report the releases that
+    // failed under fire so the settle phase can retry them clean.
+    let failed_releases: Vec<(usize, ObjectId)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.nodes)
+            .map(|node| {
+                let cluster = &cluster;
+                let recorder = &recorder;
+                s.spawn(move || worker(node, cluster, recorder, plan.seed, cfg))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect()
+    });
+
+    // Phase 3: clean-network settle.
+    injector.disarm();
+
+    // 3a: settle sweep. Each round probes every node with a remote
+    // `contains` on a name guaranteed absent locally — a successful
+    // round trip marks a `Down` peer alive again and flushes its parked
+    // releases — then retries the releases that failed under fire (each
+    // failure left its requester-side ledger entry in place, so a clean
+    // retry drains it). Rounds repeat until both backlogs are empty or
+    // the deadline passes (the quiesce audit below reports what's left).
+    let mut failed_releases = failed_releases;
+    let settle_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        // The functional cluster runs on a virtual clock, and `Down`
+        // peers re-arm their recovery-probe window in *modeled* time —
+        // which a sleeping settle loop never advances. Charge each
+        // round so the probes actually fire.
+        cluster.clock().charge(Duration::from_millis(25));
+        for i in 0..cfg.nodes {
+            let client = cluster.client(i)?;
+            let _ = client.contains(ObjectId::from_name("chaos/settle-probe"));
+        }
+        failed_releases.retain(|&(node, id)| {
+            let Ok(client) = cluster.client(node) else {
+                return true;
+            };
+            !matches!(
+                client.release(id),
+                Ok(()) | Err(PlasmaError::ObjectNotFound(_))
+            )
+        });
+        let parked: usize = (0..cfg.nodes)
+            .map(|i| cluster.store(i).pending_release_count())
+            .sum();
+        if (failed_releases.is_empty() && parked == 0) || Instant::now() > settle_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // 3c: pin reconciliation. A response the nemesis dropped left the
+    // owner with a pin the requester never ledgered — nothing will ever
+    // release it. With the workload drained, each node reports its exact
+    // holds so owners can trim the orphans (quiesce-only; see
+    // `DisaggStore::reconcile_pins`).
+    let mut reconciled = 0u64;
+    for i in 0..cfg.nodes {
+        reconciled += cluster.store(i).reconcile_pins().unwrap_or(0);
+    }
+
+    // Phase 4: quiesce audit — all pin ledgers must be empty.
+    let mut verdict = check_quiesce(&cluster, cfg.nodes);
+
+    // Phase 5: the history checker.
+    let evictions: u64 = (0..cfg.nodes)
+        .map(|i| cluster.store(i).core().stats().evictions)
+        .sum();
+    let history = recorder.take();
+    let events = history.len();
+    verdict
+        .violations
+        .extend(check(&history, evictions).violations);
+
+    Ok(SoakReport {
+        verdict,
+        events,
+        injected_faults: injector.injected_faults(),
+        evictions,
+        reconciled,
+    })
+}
+
+/// The pin-ledger audit of phase 4.
+fn check_quiesce(cluster: &Cluster, nodes: usize) -> Verdict {
+    let mut verdict = Verdict::default();
+    for i in 0..nodes {
+        let store = cluster.store(i);
+        let owner_pins = store.remote_pin_count();
+        if owner_pins != 0 {
+            verdict.violations.push(format!(
+                "pin leak: node {i} still holds {owner_pins} owner-side remote pins at quiesce"
+            ));
+        }
+        let held = store.held_remote_pins();
+        if held != 0 {
+            verdict.violations.push(format!(
+                "pin leak: node {i} still ledgers {held} requester-side remote pins at quiesce"
+            ));
+        }
+        let parked = store.pending_release_count();
+        if parked != 0 {
+            verdict.violations.push(format!(
+                "release leak: node {i} still has {parked} parked releases after settle"
+            ));
+        }
+    }
+    verdict
+}
+
+/// One node's workload thread. Returns the `(node, id)` pairs whose
+/// buffer release failed mid-fault (each left a ledgered pin behind);
+/// the settle phase retries them over the clean network.
+fn worker(
+    node: usize,
+    cluster: &Cluster,
+    recorder: &HistoryRecorder,
+    seed: u64,
+    cfg: &SoakConfig,
+) -> Vec<(usize, ObjectId)> {
+    let mut failed_releases = Vec::new();
+    let client = match cluster.client(node) {
+        Ok(c) => c,
+        Err(_) => return failed_releases,
+    };
+    let mut rng = SmallRng::seed_from_u64(seed ^ (node as u64 + 1).wrapping_mul(0x9E37_79B9));
+    let mut put_seq: u64 = 0;
+
+    for _ in 0..cfg.ops_per_client {
+        let name = rng.gen_range(0..cfg.names);
+        let id = chaos_oid(name);
+        match rng.gen_range(0..100u32) {
+            // 30%: put a fresh checksummed version.
+            0..=29 => {
+                put_seq += 1;
+                let tag = ((node as u64 + 1) << 48) | put_seq;
+                let data = checksum::fill(tag, cfg.value_len);
+                let invoke = recorder.now_us();
+                let ok = client.put(id, &data, &[]).is_ok();
+                recorder.record(node, invoke, EventKind::Put { name, tag, ok });
+            }
+            // 30%: single get.
+            30..=59 => {
+                let invoke = recorder.now_us();
+                let observed = match client.get(&[id], cfg.get_timeout) {
+                    Ok(slots) => observe(
+                        &client,
+                        id,
+                        slots.into_iter().next().flatten(),
+                        node,
+                        &mut failed_releases,
+                    ),
+                    Err(_) => Observed::Missing,
+                };
+                recorder.record(node, invoke, EventKind::Get { name, observed });
+            }
+            // 15%: batched multi-get, duplicates allowed.
+            60..=74 => {
+                let k = rng.gen_range(2..=4usize);
+                let names: Vec<u8> = (0..k).map(|_| rng.gen_range(0..cfg.names)).collect();
+                let ids: Vec<ObjectId> = names.iter().map(|&n| chaos_oid(n)).collect();
+                let invoke = recorder.now_us();
+                let observed = match client.get(&ids, cfg.get_timeout) {
+                    Ok(slots) => ids
+                        .iter()
+                        .zip(slots)
+                        .map(|(&slot_id, slot)| {
+                            observe(&client, slot_id, slot, node, &mut failed_releases)
+                        })
+                        .collect(),
+                    Err(_) => vec![Observed::Missing; ids.len()],
+                };
+                recorder.record(node, invoke, EventKind::BatchGet { names, observed });
+            }
+            // 15%: delete.
+            75..=89 => {
+                let invoke = recorder.now_us();
+                let ok = client.delete(id).is_ok();
+                recorder.record(node, invoke, EventKind::Delete { name, ok });
+            }
+            // 10%: contains.
+            _ => {
+                let invoke = recorder.now_us();
+                if let Ok(present) = client.contains(id) {
+                    recorder.record(node, invoke, EventKind::Contains { name, present });
+                }
+            }
+        }
+    }
+    failed_releases
+}
+
+/// Classify one returned get slot and release the buffer reference. A
+/// failed release restores the client's pin ledger entry, so it is
+/// recorded for a clean-network retry rather than dropped.
+fn observe(
+    client: &plasma::PlasmaClient,
+    id: ObjectId,
+    slot: Option<plasma::ObjectBuffer>,
+    node: usize,
+    failed_releases: &mut Vec<(usize, ObjectId)>,
+) -> Observed {
+    match slot {
+        None => Observed::Missing,
+        Some(buf) => {
+            let observed = match buf.read_all() {
+                Ok(data) => Observed::classify(&data),
+                Err(_) => Observed::Torn,
+            };
+            drop(buf);
+            if client.release(id).is_err() {
+                failed_releases.push((node, id));
+            }
+            observed
+        }
+    }
+}

@@ -10,6 +10,7 @@
 use crate::idcache::CacheMode;
 use crate::proto::method;
 use crate::store::{DisaggConfig, DisaggStore, InterconnectConfig, Peer};
+use ipc::fault::{FaultConn, FaultPolicy};
 use ipc::{Conn, InprocHub};
 use netsim::{LinkModel, SharedLink};
 use plasma::{
@@ -21,7 +22,7 @@ use std::sync::Arc;
 use tfsim::{Clock, ClockMode, CostModel, Fabric, NodeId};
 
 /// Cluster construction parameters.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ClusterConfig {
     /// Number of nodes (each runs one store).
     pub nodes: usize,
@@ -43,6 +44,33 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Interconnect fault tolerance (deadlines, retries, peer health).
     pub interconnect: InterconnectConfig,
+    /// Optional wire-level fault policy: every interconnect connection
+    /// node `i` dials to node `j` is wrapped in an [`FaultConn`] labeled
+    /// `"i->j"`, so a chaos harness can drop, delay, duplicate, corrupt
+    /// or truncate store-to-store traffic. `None` (the default) leaves
+    /// connections untouched.
+    pub fault_policy: Option<Arc<dyn FaultPolicy>>,
+}
+
+impl std::fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("nodes", &self.nodes)
+            .field("memory_per_node", &self.memory_per_node)
+            .field("allocator", &self.allocator)
+            .field("clock_mode", &self.clock_mode)
+            .field("rpc_link", &self.rpc_link)
+            .field("model_client_cost", &self.model_client_cost)
+            .field("id_cache", &self.id_cache)
+            .field("growth", &self.growth)
+            .field("seed", &self.seed)
+            .field("interconnect", &self.interconnect)
+            .field(
+                "fault_policy",
+                &self.fault_policy.as_ref().map(|_| "<policy>"),
+            )
+            .finish()
+    }
 }
 
 impl ClusterConfig {
@@ -60,6 +88,7 @@ impl ClusterConfig {
             growth: None,
             seed: 0x7F1A,
             interconnect: InterconnectConfig::default(),
+            fault_policy: None,
         }
     }
 
@@ -76,6 +105,7 @@ impl ClusterConfig {
             growth: None,
             seed: 1,
             interconnect: InterconnectConfig::default(),
+            fault_policy: None,
         }
     }
 }
@@ -163,11 +193,21 @@ impl Cluster {
                 };
                 let dial_hub = hub.clone();
                 let target = format!("rpc-{j}");
+                let fault = config.fault_policy.clone();
+                let link = format!("{i}->{j}");
                 let mut client = RpcClient::with_connector(
                     Box::new(move || {
-                        dial_hub
-                            .connect(&target)
-                            .map(|c| Box::new(c) as Box<dyn Conn>)
+                        dial_hub.connect(&target).map(|c| {
+                            let conn = Box::new(c) as Box<dyn Conn>;
+                            match &fault {
+                                Some(policy) => Box::new(FaultConn::wrap(
+                                    conn,
+                                    link.clone(),
+                                    Arc::clone(policy),
+                                )) as Box<dyn Conn>,
+                                None => conn,
+                            }
+                        })
                     }),
                     Some(net),
                 );

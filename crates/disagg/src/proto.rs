@@ -35,9 +35,16 @@ pub mod method {
     /// per-id status for partial success. The remote-get hot path — K
     /// objects on one owner cost one RPC instead of K.
     pub const GET_MANY: u32 = 9;
+    /// Pin-ledger reconciliation (`ReconcileReq` → `ReconcileResp`): the
+    /// requester reports every pin it ledgers toward the responder; the
+    /// responder trims its owner-side pins down to those counts. Heals
+    /// pins orphaned by lost responses (the owner pinned, the requester
+    /// never learned). Only sound while no get/release traffic between
+    /// the pair is in flight — e.g. at quiesce.
+    pub const RECONCILE: u32 = 10;
 
     /// Highest assigned method id (bounds exhaustiveness checks).
-    pub const MAX: u32 = GET_MANY;
+    pub const MAX: u32 = RECONCILE;
 
     /// Method-id → verb-name table (metric labels, diagnostics).
     pub const VERBS: &[(u32, &str)] = &[
@@ -50,6 +57,7 @@ pub mod method {
         (DELETE_DEFERRED, "delete_deferred"),
         (METRICS, "metrics"),
         (GET_MANY, "get_many"),
+        (RECONCILE, "reconcile"),
     ];
 }
 
@@ -284,6 +292,73 @@ impl GetManyResp {
     /// The pinned entries' fabric descriptors, in response order.
     pub fn found(&self) -> impl Iterator<Item = &ObjectLocation> {
         self.entries.iter().filter_map(|e| e.location.as_ref())
+    }
+}
+
+/// Pin-ledger reconciliation request: the complete set of pins the
+/// requester's ledger holds toward the responder. Ids absent from
+/// `holds` are implicitly held zero times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconcileReq {
+    /// Node whose pins should be reconciled.
+    pub requester: NodeId,
+    /// Every `(id, count)` the requester ledgers toward the responder.
+    pub holds: Vec<(ObjectId, u64)>,
+}
+
+impl ReconcileReq {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0));
+        for (id, count) in &self.holds {
+            let mut m = MsgEnc::new();
+            enc_id(&mut m, 1, id);
+            m.uint(2, *count);
+            e.message(2, m);
+        }
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let holds = f
+            .get_all(2)
+            .map(|v| -> Result<(ObjectId, u64), WireError> {
+                let m = MsgDec::new(v.as_bytes().cloned().ok_or(WireError::MissingField(2))?)
+                    .collect()?;
+                Ok((dec_id(&m.bytes(1)?)?, m.uint_or(2, 0)))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ReconcileReq {
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            holds,
+        })
+    }
+}
+
+/// Pin-ledger reconciliation response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconcileResp {
+    /// Orphaned pins the responder dropped (with their object refs).
+    pub trimmed: u64,
+}
+
+impl ReconcileResp {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, self.trimmed);
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(ReconcileResp {
+            trimmed: f.uint_or(1, 0),
+        })
     }
 }
 
@@ -647,6 +722,22 @@ mod tests {
         assert_eq!(back.found().count(), 1);
         let none = GetManyResp { entries: vec![] };
         assert_eq!(GetManyResp::decode(none.encode()).unwrap(), none);
+    }
+
+    #[test]
+    fn reconcile_roundtrip() {
+        let req = ReconcileReq {
+            requester: NodeId(2),
+            holds: vec![(ObjectId::from_name("a"), 3), (ObjectId::from_name("b"), 1)],
+        };
+        assert_eq!(ReconcileReq::decode(req.encode()).unwrap(), req);
+        let empty = ReconcileReq {
+            requester: NodeId(0),
+            holds: vec![],
+        };
+        assert_eq!(ReconcileReq::decode(empty.encode()).unwrap(), empty);
+        let resp = ReconcileResp { trimmed: 7 };
+        assert_eq!(ReconcileResp::decode(resp.encode()).unwrap(), resp);
     }
 
     #[test]

@@ -24,7 +24,8 @@ use crate::health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, R
 use crate::idcache::{CacheMode, CachedEntry, IdCache};
 use crate::proto::{
     method, BoolResp, GetManyEntry, GetManyReq, GetManyResp, GetManyStatus, IdReq, ListEntry,
-    ListResp, LookupReq, LookupResp, MetricsResp, ReleaseReq, ReserveReq, ReserveResp,
+    ListResp, LookupReq, LookupResp, MetricsResp, ReconcileReq, ReconcileResp, ReleaseReq,
+    ReserveReq, ReserveResp,
 };
 use crate::usage::{RemoteRefs, Reservations, ReserveOutcome};
 use bytes::Bytes;
@@ -370,6 +371,65 @@ impl DisaggStore {
     /// References this store holds on behalf of remote nodes.
     pub fn remote_pin_count(&self) -> u64 {
         self.inner.remote_refs.total()
+    }
+
+    /// Pins this node holds on *other* nodes' objects (the requester-side
+    /// ledger): every successful remote lookup slot adds one, every
+    /// release removes one. Zero at quiesce when all buffers are
+    /// released — the chaos checker asserts exactly that.
+    pub fn held_remote_pins(&self) -> u64 {
+        self.inner
+            .remote_held
+            .lock()
+            .values()
+            .flat_map(|entries| entries.iter().map(|(_, count)| *count))
+            .sum()
+    }
+
+    /// Quiesce-time pin reconciliation: tell every peer exactly which of
+    /// its objects this node still ledgers pins on, so the peer can trim
+    /// owner-side pins orphaned by lost responses (it pinned while
+    /// serving a lookup whose response never arrived, so no release will
+    /// ever come). Returns the total number of orphan pins trimmed
+    /// across all peers.
+    ///
+    /// Only sound when no lookup/release traffic from this node is in
+    /// flight — a response still on the wire carries pins not yet in the
+    /// ledger, and reconciling under load would trim them. Call it after
+    /// the workload has drained, never during one.
+    pub fn reconcile_pins(&self) -> Result<u64, PlasmaError> {
+        let peers = self.peers_snapshot();
+        let mut trimmed = 0u64;
+        for peer in &peers {
+            let holds: Vec<(ObjectId, u64)> = {
+                let held = self.inner.remote_held.lock();
+                held.iter()
+                    .filter_map(|(id, entries)| {
+                        let count: u64 = entries
+                            .iter()
+                            .filter(|(node, _)| *node == peer.node)
+                            .map(|(_, c)| *c)
+                            .sum();
+                        (count > 0).then_some((*id, count))
+                    })
+                    .collect()
+            };
+            let req = ReconcileReq {
+                requester: self.inner.node,
+                holds,
+            };
+            match self.peer_call(peer, method::RECONCILE, req.encode()) {
+                Ok(body) => {
+                    let resp = ReconcileResp::decode(body)
+                        .map_err(|e| PlasmaError::Protocol(e.to_string()))?;
+                    trimmed += resp.trimmed;
+                }
+                Err(PeerFail::Skipped) => {}
+                Err(PeerFail::Unreachable(m)) => return Err(PlasmaError::PeerUnavailable(m)),
+                Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
+            }
+        }
+        Ok(trimmed)
     }
 
     fn peers_snapshot(&self) -> Vec<Peer> {
@@ -830,7 +890,10 @@ impl DisaggStore {
     /// behalf) into `found`, ledgering each pin under that peer. If two
     /// peers answered for the same id (a migration raced the broadcast),
     /// the first absorbed pin wins and the duplicate is released back to
-    /// the losing peer.
+    /// the losing peer. The *same* peer answering an id twice is not a
+    /// race but a batch that legitimately carried the id twice (the
+    /// owner pinned once per instance, and the caller will release once
+    /// per filled slot) — those extra pins are ledgered, not released.
     fn absorb_lookup(
         &self,
         peer: &Peer,
@@ -842,7 +905,14 @@ impl DisaggStore {
             let mut held = self.inner.remote_held.lock();
             for loc in pinned {
                 if found.contains_key(&loc.id) {
-                    duplicates.push(loc.id);
+                    let same_peer = held
+                        .get_mut(&loc.id)
+                        .and_then(|entries| entries.iter_mut().find(|(node, _)| *node == peer.node))
+                        .map(|entry| entry.1 += 1)
+                        .is_some();
+                    if !same_peer {
+                        duplicates.push(loc.id);
+                    }
                     continue;
                 }
                 self.inner
@@ -1489,6 +1559,22 @@ impl Service for Interconnect {
                     })
                     .collect();
                 Ok(GetManyResp { entries }.encode())
+            }
+            method::RECONCILE => {
+                let req = ReconcileReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                let holds: HashMap<ObjectId, u64> = req.holds.into_iter().collect();
+                let excess = inner.remote_refs.reconcile(req.requester, &holds);
+                let mut trimmed = 0u64;
+                for (id, count) in excess {
+                    trimmed += count;
+                    for _ in 0..count {
+                        // The object may have been deleted or evicted since
+                        // the orphan pin was taken; nothing left to release.
+                        let _ = inner.core.release(id);
+                    }
+                }
+                Ok(ReconcileResp { trimmed }.encode())
             }
             method::METRICS => Ok(MetricsResp {
                 node: inner.node,

@@ -67,6 +67,38 @@ impl RemoteRefs {
             .map(|(_, c)| *c)
             .sum()
     }
+
+    /// Trim the pins held for `requester` down to the counts it reports
+    /// actually ledgering (ids absent from `holds` are held zero times).
+    /// Returns the `(id, excess)` pairs that were trimmed, so the caller
+    /// can drop the matching object references.
+    ///
+    /// This heals pins orphaned by lost responses: the owner pinned
+    /// while serving a lookup, but the response never reached the
+    /// requester, so nothing will ever release the pin. Only sound while
+    /// no lookup/release traffic from `requester` is in flight (a
+    /// response in flight carries pins the requester has not ledgered
+    /// yet) — reconcile at quiesce, not under load.
+    pub fn reconcile(
+        &self,
+        requester: NodeId,
+        holds: &HashMap<ObjectId, u64>,
+    ) -> Vec<(ObjectId, u64)> {
+        let mut map = self.map.lock();
+        let mut trimmed = Vec::new();
+        map.retain(|(node, id), count| {
+            if *node != requester {
+                return true;
+            }
+            let reported = holds.get(id).copied().unwrap_or(0);
+            if *count > reported {
+                trimmed.push((*id, *count - reported));
+                *count = reported;
+            }
+            *count > 0
+        });
+        trimmed
+    }
 }
 
 #[derive(Debug)]
@@ -171,6 +203,28 @@ mod tests {
         assert!(r.unpin(NodeId(1), id(1)));
         assert!(!r.unpin(NodeId(1), id(1)), "no refs left for node 1");
         assert_eq!(r.total(), 1);
+    }
+
+    #[test]
+    fn reconcile_trims_to_reported_counts() {
+        let r = RemoteRefs::new();
+        for _ in 0..3 {
+            r.pin(NodeId(1), id(1)); // requester reports 1 → trim 2
+        }
+        r.pin(NodeId(1), id(2)); // unreported → trim 1
+        r.pin(NodeId(1), id(3)); // reported exactly → untouched
+        r.pin(NodeId(2), id(1)); // other requester → untouched
+
+        let holds = HashMap::from([(id(1), 1), (id(3), 1), (id(9), 5)]);
+        let mut trimmed = r.reconcile(NodeId(1), &holds);
+        trimmed.sort();
+        assert_eq!(trimmed, vec![(id(1), 2), (id(2), 1)]);
+        assert_eq!(r.held_for(NodeId(1)), 2);
+        assert_eq!(r.held_for(NodeId(2)), 1);
+        // Reporting more than held never inflates the ledger.
+        assert!(r.reconcile(NodeId(1), &holds).is_empty());
+        // id(9) was never pinned here; the report alone creates nothing.
+        assert!(!r.unpin(NodeId(1), id(9)));
     }
 
     #[test]

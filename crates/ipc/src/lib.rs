@@ -23,6 +23,7 @@
 //! ```
 
 pub mod codec;
+pub mod fault;
 pub mod frame;
 pub mod inproc;
 pub mod tcp;
@@ -30,6 +31,7 @@ pub mod transport;
 pub mod uds;
 
 pub use codec::{CodecError, Dec, Enc};
+pub use fault::{Direction, FaultAction, FaultConn, FaultPolicy, NoFaults};
 pub use frame::{Frame, MAX_FRAME_LEN};
 pub use inproc::{InprocConn, InprocHub, InprocListener};
 pub use tcp::{TcpConn, TcpListener};

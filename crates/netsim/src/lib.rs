@@ -66,6 +66,21 @@ impl Latency {
         }
     }
 
+    /// Deterministic point sample: the delay this distribution yields for
+    /// draw number `seq` of stream `seed`.
+    ///
+    /// Unlike [`Latency::sample`], which consumes a shared RNG stream and
+    /// therefore depends on the order concurrent callers reach it, each
+    /// point sample seeds its own generator from `(seed, seq)` — so the
+    /// value is a pure function of its coordinates, independent of call
+    /// order or thread interleaving. The chaos harness uses this to give
+    /// every injected delay a reproducible duration.
+    pub fn sample_at(&self, seed: u64, seq: u64) -> Duration {
+        let mut rng =
+            SmallRng::seed_from_u64(seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17));
+        self.sample(&mut rng)
+    }
+
     /// The distribution's central value (mean for constant/uniform/normal,
     /// median for log-normal) — used by tests and calibration assertions.
     pub fn center(&self) -> Duration {
@@ -235,6 +250,24 @@ mod tests {
         assert!((2200..2800).contains(&above), "above={above}");
         let max = samples.iter().max().unwrap();
         assert!(*max > Duration::from_millis(3), "no tail: max={max:?}");
+    }
+
+    #[test]
+    fn point_samples_are_pure_functions_of_coordinates() {
+        let l = Latency::Uniform {
+            lo: Duration::from_micros(100),
+            hi: Duration::from_micros(900),
+        };
+        // Same (seed, seq) -> same value, in any evaluation order.
+        let forward: Vec<Duration> = (0..64).map(|seq| l.sample_at(7, seq)).collect();
+        let backward: Vec<Duration> = (0..64).rev().map(|seq| l.sample_at(7, seq)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        // Different seeds give different streams, values stay in range.
+        let other: Vec<Duration> = (0..64).map(|seq| l.sample_at(8, seq)).collect();
+        assert_ne!(forward, other);
+        for d in forward.iter().chain(&other) {
+            assert!(*d >= Duration::from_micros(100) && *d <= Duration::from_micros(900));
+        }
     }
 
     #[test]

@@ -103,6 +103,16 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Sum of every counter whose name starts with `prefix` — e.g. the
+    /// total number of injected faults across all `chaos.*` counters.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
     /// Merge `other` into `self` (element-wise by metric name).
     pub fn merge(&mut self, other: &MetricsSnapshot) {
         for (name, v) in &other.counters {
@@ -370,6 +380,9 @@ mod tests {
         let merged = MetricsSnapshot::merged([&a, &b]);
         assert_eq!(merged.counter("c"), 3);
         assert_eq!(merged.counter("only_b"), 5);
+        assert_eq!(merged.counter_sum(""), 8);
+        assert_eq!(merged.counter_sum("only"), 5);
+        assert_eq!(merged.counter_sum("nope"), 0);
         assert_eq!(merged.histogram("h").unwrap().count, 1);
         a.merge(&b);
         assert_eq!(a, merged);

@@ -1,0 +1,121 @@
+//! Checksummed test payloads.
+//!
+//! The chaos harness needs to prove that every byte a `get` returns is
+//! exactly some payload a `put` previously sealed — never a torn,
+//! corrupted or stale mixture. This module gives it the tools: a
+//! deterministic fill derived from a 64-bit tag, and an FNV-1a digest to
+//! recognize which sealed payload (if any) a returned buffer matches.
+//!
+//! Payloads carry their tag in the first eight bytes, so a reader can
+//! name the exact version it observed; the rest of the buffer is a
+//! tag-seeded xorshift stream, so two payloads with different tags
+//! differ in essentially every byte — a splice of two versions can
+//! match neither digest.
+
+/// Minimum length of a [`fill`] payload: the embedded 8-byte tag.
+pub const MIN_FILL_LEN: usize = 8;
+
+/// FNV-1a 64-bit digest of `data`.
+///
+/// Not error-correcting and not cryptographic — just a cheap, stable
+/// fingerprint with good avalanche behavior, used to compare observed
+/// buffers against the set of sealed payloads.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &byte in data {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Deterministic payload of `len` bytes (at least [`MIN_FILL_LEN`]) for
+/// `tag`: the tag in little-endian, then a tag-seeded xorshift byte
+/// stream. Same tag + same length ⇒ identical bytes.
+pub fn fill(tag: u64, len: usize) -> Vec<u8> {
+    let len = len.max(MIN_FILL_LEN);
+    let mut out = Vec::with_capacity(len);
+    out.extend_from_slice(&tag.to_le_bytes());
+    // Golden-ratio mix so near-equal tags (e.g. 42 vs 43) seed far-apart
+    // streams; `| 1` keeps xorshift64 away from the zero fixed point.
+    let mut state = tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    while out.len() < len {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.push((state >> 24) as u8);
+    }
+    out
+}
+
+/// The tag embedded in a [`fill`] payload, or `None` if the buffer is
+/// too short to carry one.
+pub fn embedded_tag(data: &[u8]) -> Option<u64> {
+    let head: [u8; 8] = data.get(..8)?.try_into().ok()?;
+    Some(u64::from_le_bytes(head))
+}
+
+/// Check that `data` is exactly `fill(tag, data.len())`.
+pub fn verify(tag: u64, data: &[u8]) -> bool {
+    data.len() >= MIN_FILL_LEN && fill(tag, data.len()) == data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_deterministic_and_tag_sensitive() {
+        let a = fill(42, 256);
+        assert_eq!(a, fill(42, 256));
+        let b = fill(43, 256);
+        assert_ne!(a, b);
+        // Different tags differ in many positions, not just the header.
+        let differing = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert!(differing > 200, "only {differing} bytes differ");
+    }
+
+    #[test]
+    fn tag_roundtrips_and_verifies() {
+        for tag in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            for len in [0usize, 8, 9, 1024] {
+                let payload = fill(tag, len);
+                assert!(payload.len() >= MIN_FILL_LEN);
+                assert_eq!(embedded_tag(&payload), Some(tag));
+                assert!(verify(tag, &payload));
+            }
+        }
+        assert_eq!(embedded_tag(b"short"), None);
+    }
+
+    #[test]
+    fn verify_rejects_any_corruption() {
+        let payload = fill(7, 64);
+        for i in 0..payload.len() {
+            let mut bad = payload.clone();
+            bad[i] ^= 0x01;
+            assert!(!verify(7, &bad), "flip at {i} accepted");
+        }
+        // A splice of two versions fails both.
+        let other = fill(8, 64);
+        let mut splice = payload.clone();
+        splice[32..].copy_from_slice(&other[32..]);
+        assert!(!verify(7, &splice));
+        assert!(!verify(8, &splice));
+    }
+
+    #[test]
+    fn fnv_digest_known_values() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn digests_of_distinct_fills_are_distinct() {
+        use std::collections::HashSet;
+        let digests: HashSet<u64> = (0..512).map(|tag| fnv1a64(&fill(tag, 32))).collect();
+        assert_eq!(digests.len(), 512);
+    }
+}

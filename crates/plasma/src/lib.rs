@@ -40,6 +40,7 @@
 //! ```
 
 pub mod api;
+pub mod checksum;
 pub mod client;
 pub mod error;
 pub mod id;

@@ -2,11 +2,43 @@
 //!
 //! Encoded with the protobuf-style wire format from [`crate::wire`],
 //! mirroring a gRPC unary exchange stripped to its essentials.
+//!
+//! ## Integrity
+//!
+//! The frame payload is `crc32(E)` (4 bytes, little-endian) followed by
+//! the encoded envelope `E`. The checksum is verified before decoding, so
+//! bytes corrupted in transit surface as [`WireError::Checksum`] — a
+//! protocol error that poisons the connection — rather than decoding into
+//! a plausible envelope and, worst of all, completing the wrong pending
+//! `call_id` on a pipelined client. CRC-32 detects all single- and
+//! double-bit errors at envelope sizes, which is exactly the corruption
+//! class a flaky wire (or a chaos harness) injects.
 
 use crate::service::{Status, StatusCode};
-use crate::wire::{MsgDec, MsgEnc, WireError};
-use bytes::Bytes;
+use crate::wire::{crc32, MsgDec, MsgEnc, WireError};
+use bytes::{Buf, Bytes};
 use ipc::Frame;
+
+/// Wrap an encoded envelope in a checksummed frame payload.
+fn seal_frame(msg_type: u32, envelope: Bytes) -> Frame {
+    let mut payload = Vec::with_capacity(4 + envelope.len());
+    payload.extend_from_slice(&crc32(&envelope).to_le_bytes());
+    payload.extend_from_slice(&envelope);
+    Frame::new(msg_type, payload)
+}
+
+/// Verify and strip the checksum prefix, returning the envelope bytes.
+fn open_frame(frame: &Frame) -> Result<Bytes, WireError> {
+    if frame.payload.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let mut payload = frame.payload.clone();
+    let stated = payload.get_u32_le();
+    if crc32(&payload) != stated {
+        return Err(WireError::Checksum);
+    }
+    Ok(payload)
+}
 
 /// Frame type tag marking a request envelope ("RQ").
 pub const FRAME_REQUEST: u32 = 0x5251;
@@ -32,12 +64,12 @@ impl Request {
         e.uint(1, self.call_id)
             .uint(2, u64::from(self.method))
             .bytes(3, &self.body);
-        Frame::new(FRAME_REQUEST, e.finish())
+        seal_frame(FRAME_REQUEST, e.finish())
     }
 
-    /// Decode from a frame's payload.
+    /// Decode from a frame's payload, verifying its integrity checksum.
     pub fn from_frame(frame: &Frame) -> Result<Request, WireError> {
-        let fields = MsgDec::new(frame.payload.clone()).collect()?;
+        let fields = MsgDec::new(open_frame(frame)?).collect()?;
         Ok(Request {
             call_id: fields.uint(1)?,
             method: u32::try_from(fields.uint(2)?).map_err(|_| WireError::MissingField(2))?,
@@ -70,12 +102,12 @@ impl Response {
                 e.string(3, &status.message);
             }
         }
-        Frame::new(FRAME_RESPONSE, e.finish())
+        seal_frame(FRAME_RESPONSE, e.finish())
     }
 
-    /// Decode from a frame's payload.
+    /// Decode from a frame's payload, verifying its integrity checksum.
     pub fn from_frame(frame: &Frame) -> Result<Response, WireError> {
-        let fields = MsgDec::new(frame.payload.clone()).collect()?;
+        let fields = MsgDec::new(open_frame(frame)?).collect()?;
         let call_id = fields.uint(1)?;
         let code = StatusCode::from_u32(
             u32::try_from(fields.uint(2)?).map_err(|_| WireError::MissingField(2))?,
@@ -136,5 +168,57 @@ mod tests {
     fn garbage_payload_is_rejected() {
         let f = Frame::new(FRAME_REQUEST, Bytes::from_static(&[0xFF; 3]));
         assert!(Request::from_frame(&f).is_err());
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let frame = Response {
+            call_id: 0xDEAD_BEEF,
+            result: Ok(Bytes::from_static(b"payload under test")),
+        }
+        .to_frame();
+        for byte in 0..frame.payload.len() {
+            for bit in 0..8 {
+                let mut corrupted = frame.payload.to_vec();
+                corrupted[byte] ^= 1 << bit;
+                let f = Frame::new(frame.msg_type, corrupted);
+                assert!(
+                    Response::from_frame(&f).is_err(),
+                    "flip at {byte}:{bit} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let frame = Request {
+            call_id: 42,
+            method: 9,
+            body: Bytes::from_static(b"truncate me"),
+        }
+        .to_frame();
+        for keep in 0..frame.payload.len() {
+            let f = Frame::new(
+                frame.msg_type,
+                Bytes::copy_from_slice(&frame.payload[..keep]),
+            );
+            assert!(Request::from_frame(&f).is_err(), "kept {keep} decoded");
+        }
+    }
+
+    #[test]
+    fn corruption_reports_checksum_error() {
+        let frame = Request {
+            call_id: 7,
+            method: 1,
+            body: Bytes::from_static(b"x"),
+        }
+        .to_frame();
+        let mut corrupted = frame.payload.to_vec();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0x10;
+        let f = Frame::new(frame.msg_type, corrupted);
+        assert_eq!(Request::from_frame(&f).unwrap_err(), WireError::Checksum);
     }
 }

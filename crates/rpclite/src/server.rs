@@ -28,6 +28,45 @@ use std::time::Duration;
 /// How often an idle connection thread checks the server stop flag.
 const CONN_POLL: Duration = Duration::from_millis(20);
 
+/// How many recent call ids a connection remembers for duplicate
+/// suppression. Duplicated frames arrive adjacent to their original
+/// (the network duplicates a frame, not a conversation), so a small
+/// window is plenty.
+const DEDUP_WINDOW: usize = 1024;
+
+/// Sliding window of recently seen correlation ids, used to drop
+/// duplicated request frames instead of executing a call twice. Calls
+/// are not idempotent (a duplicated RELEASE would decrement a reference
+/// count twice), so at-most-once execution per call id is part of the
+/// server's contract.
+struct SeenCalls {
+    set: std::collections::HashSet<u64>,
+    order: std::collections::VecDeque<u64>,
+}
+
+impl SeenCalls {
+    fn new() -> SeenCalls {
+        SeenCalls {
+            set: std::collections::HashSet::new(),
+            order: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Record `call_id`; returns false if it was already seen (duplicate).
+    fn first_sighting(&mut self, call_id: u64) -> bool {
+        if !self.set.insert(call_id) {
+            return false;
+        }
+        self.order.push_back(call_id);
+        if self.order.len() > DEDUP_WINDOW {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+}
+
 /// Counters exposed by a running server.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
@@ -37,6 +76,9 @@ pub struct ServerMetrics {
     pub errors: AtomicU64,
     /// Connections accepted over the server's lifetime.
     pub connections: AtomicU64,
+    /// Duplicated request frames dropped without execution (a faulty
+    /// network can replay a frame; calls are at-most-once per call id).
+    pub duplicates: AtomicU64,
 }
 
 /// Handle to a running server; stops accept and connection threads on drop.
@@ -150,6 +192,8 @@ fn serve_conn(
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    // Per-connection duplicate suppression (see `SeenCalls`).
+    let seen = Arc::new(Mutex::new(SeenCalls::new()));
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     loop {
         if stop.is_stopped() {
@@ -172,11 +216,19 @@ fn serve_conn(
         let svc = Arc::clone(&service);
         let m = Arc::clone(&metrics);
         let w = Arc::clone(&writer);
+        let dedup = Arc::clone(&seen);
         let handle = std::thread::Builder::new()
             .name("rpc-handler".to_string())
             .spawn(move || {
                 let response = match Request::from_frame(&frame) {
                     Ok(req) => {
+                        if !dedup.lock().first_sighting(req.call_id) {
+                            // Duplicated frame: the original execution's
+                            // response answers the client; executing again
+                            // would double a non-idempotent call.
+                            m.duplicates.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
                         m.calls.fetch_add(1, Ordering::Relaxed);
                         let result = svc.call(req.method, req.body);
                         if result.is_err() {

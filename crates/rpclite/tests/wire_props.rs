@@ -81,4 +81,68 @@ proptest! {
         let back = Response::from_frame(&resp.to_frame()).unwrap();
         prop_assert_eq!(back, resp);
     }
+
+    /// Wire-level corruption must surface as a protocol error: a frame
+    /// with up to two flipped bits never decodes (CRC-32 guarantees
+    /// detection at these sizes), so it can never complete a different
+    /// pending `call_id` than the one it was sent for.
+    #[test]
+    fn bit_flipped_response_frames_never_decode(
+        call_id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        flip_a in any::<usize>(),
+        flip_b in any::<usize>(),
+        double_flip in any::<bool>(),
+    ) {
+        let frame = Response { call_id, result: Ok(Bytes::from(payload)) }.to_frame();
+        let bits = frame.payload.len() * 8;
+        let mut corrupted = frame.payload.to_vec();
+        let a = flip_a % bits;
+        corrupted[a / 8] ^= 1 << (a % 8);
+        let b = flip_b % bits;
+        if double_flip && b != a {
+            corrupted[b / 8] ^= 1 << (b % 8);
+        }
+        let f = ipc::Frame::new(frame.msg_type, corrupted);
+        prop_assert!(Response::from_frame(&f).is_err());
+    }
+
+    /// Truncated frames are always a protocol error, at every cut point.
+    #[test]
+    fn truncated_request_frames_never_decode(
+        call_id in any::<u64>(),
+        method in any::<u32>(),
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+        cut in any::<usize>(),
+    ) {
+        let frame = Request { call_id, method, body: body.into() }.to_frame();
+        let keep = cut % frame.payload.len(); // strictly shorter
+        let f = ipc::Frame::new(
+            frame.msg_type,
+            Bytes::copy_from_slice(&frame.payload[..keep]),
+        );
+        prop_assert!(Request::from_frame(&f).is_err());
+    }
+
+    /// Arbitrary corruption (any byte rewritten) either errors or decodes
+    /// to exactly the original message — never panics, and never yields a
+    /// *different* envelope that could be mis-delivered.
+    #[test]
+    fn corrupted_frames_never_misdeliver(
+        call_id in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+        index in any::<usize>(),
+        value in any::<u8>(),
+    ) {
+        let original = Response { call_id, result: Ok(Bytes::from(body)) };
+        let frame = original.to_frame();
+        let mut corrupted = frame.payload.to_vec();
+        let i = index % corrupted.len();
+        corrupted[i] = value;
+        let f = ipc::Frame::new(frame.msg_type, corrupted);
+        match Response::from_frame(&f) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(decoded, original),
+        }
+    }
 }

@@ -14,6 +14,8 @@ use std::time::Duration;
 enum Op {
     Put { node: usize, name: u8, len: u16 },
     Get { node: usize, name: u8 },
+    BatchGet { node: usize, names: Vec<u8> },
+    Migrate { node: usize, name: u8 },
     Delete { node: usize, name: u8 },
     Contains { node: usize, name: u8 },
 }
@@ -26,6 +28,18 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             len
         }),
         (0..3usize, any::<u8>()).prop_map(|(node, name)| Op::Get {
+            node,
+            name: name % 16
+        }),
+        // Batches may carry the same name twice: every filled slot takes
+        // (and must release) its own reference, duplicates included.
+        (0..3usize, proptest::collection::vec(any::<u8>(), 2..5)).prop_map(|(node, names)| {
+            Op::BatchGet {
+                node,
+                names: names.into_iter().map(|n| n % 16).collect(),
+            }
+        }),
+        (0..3usize, any::<u8>()).prop_map(|(node, name)| Op::Migrate {
             node,
             name: name % 16
         }),
@@ -84,6 +98,43 @@ proptest! {
                             clients[node].release(oid(name)).unwrap();
                         }
                         None => prop_assert!(got[0].is_none(), "model says object absent"),
+                    }
+                }
+                Op::BatchGet { node, names } => {
+                    let ids: Vec<ObjectId> = names.iter().map(|&n| oid(n)).collect();
+                    let got = clients[node].get(&ids, Duration::from_millis(30)).unwrap();
+                    prop_assert_eq!(got.len(), ids.len());
+                    for (&name, slot) in names.iter().zip(got) {
+                        match model.get(&name) {
+                            Some(&len) => {
+                                let buf = slot.as_ref().expect("model says object exists");
+                                prop_assert_eq!(buf.len(), u64::from(len));
+                                prop_assert_eq!(buf.read_all().unwrap(), fill(name, len));
+                                clients[node].release(oid(name)).unwrap();
+                            }
+                            None => prop_assert!(slot.is_none(), "model says object absent"),
+                        }
+                    }
+                }
+                Op::Migrate { node, name } => {
+                    // Pure locality optimization: moves the object's bytes
+                    // to `node` without changing what any client observes.
+                    let result = cluster
+                        .store(node)
+                        .migrate_to_local(oid(name), Duration::from_millis(200));
+                    if model.contains_key(&name) {
+                        result.unwrap();
+                    } else {
+                        // Absence surfaces as NotFound when provable
+                        // immediately, or Timeout after the lookup window.
+                        let err = result.unwrap_err();
+                        prop_assert!(
+                            matches!(
+                                err,
+                                PlasmaError::ObjectNotFound(_) | PlasmaError::Timeout
+                            ),
+                            "migrating an absent object: {err}"
+                        );
                     }
                 }
                 Op::Delete { node, name } => {
