@@ -32,6 +32,10 @@ fn run_config(
     let mut cfg = ClusterConfig::paper_testbed(64 << 20);
     cfg.nodes = 4; // fan-out makes the broadcast cost visible
     cfg.id_cache = cache;
+    // Ablate the cache under the legacy epoch-0 lookup broadcast the
+    // paper describes; ring routing is a separate remedy for the same
+    // cost, measured on its own in `--bin placement` (A5).
+    cfg.ring = false;
     let cluster = Cluster::launch(cfg).expect("launch");
     let producer = cluster.client(3).expect("producer");
     let consumer = cluster.client(1).expect("consumer");

@@ -33,6 +33,11 @@ fn main() {
         let mut cfg = ClusterConfig::paper_testbed(32 << 20);
         cfg.nodes = nodes;
         cfg.id_cache = Some((CacheMode::Pinning, 4096));
+        // This harness measures the legacy epoch-0 protocol (broadcast
+        // lookups, producer-local placement) — the design the paper's
+        // future-work quote is about. The ring removes the broadcast
+        // entirely; `--bin placement` (A5) quantifies that comparison.
+        cfg.ring = false;
         let cluster = Cluster::launch(cfg).expect("launch");
 
         // Objects live on the LAST node, so a consumer on node 0 probing

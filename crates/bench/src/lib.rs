@@ -22,4 +22,4 @@ pub use cli::HarnessOpts;
 pub use measure::{gibps, percentile, render_table, Summary};
 pub use runner::{one_rep, run_benchmark, BenchResult, RepSample, READ_CHUNK};
 pub use storeside::{print_store_side, render_store_side};
-pub use workload::{commit_objects, random_data, BenchSpec, TABLE_I, TABLE_I_SMALL};
+pub use workload::{commit_ids, commit_objects, random_data, BenchSpec, TABLE_I, TABLE_I_SMALL};

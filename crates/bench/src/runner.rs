@@ -9,7 +9,7 @@
 //! sequentially — measuring throughput including access latency.
 
 use crate::measure::gibps;
-use crate::workload::{commit_objects, BenchSpec};
+use crate::workload::{commit_ids, BenchSpec};
 use disagg::Cluster;
 use plasma::{ObjectId, PlasmaClient, PlasmaError};
 use std::time::Duration;
@@ -87,10 +87,18 @@ pub fn run_benchmark(
     let remote = cluster.client(1)?;
 
     let tag = format!("run{seed}");
-    let (ids, commit) = cluster
+    // The ring would scatter plain ids across the cluster; pin every
+    // object to node 0 so "local" and "remote" keep the paper's meaning.
+    let ids: Vec<ObjectId> = (0..spec.num_objects)
+        .map(|i| {
+            let base = format!("bench{}-{}-{}", spec.index, tag, i);
+            ObjectId::from_name(&cluster.owned_id(0, &base))
+        })
+        .collect();
+    let (committed, commit) = cluster
         .clock()
-        .time(|| commit_objects(&producer, spec, &tag, seed));
-    let ids = ids?;
+        .time(|| commit_ids(&producer, &ids, spec.object_size, seed));
+    committed?;
     let total = spec.total_bytes();
 
     let mut result = BenchResult {

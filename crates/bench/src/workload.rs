@@ -123,12 +123,24 @@ pub fn commit_objects(
     tag: &str,
     seed: u64,
 ) -> Result<Vec<ObjectId>, PlasmaError> {
-    let payload = random_data(spec.object_size, seed);
     let ids = spec.ids(tag);
-    for id in &ids {
+    commit_ids(client, &ids, spec.object_size, seed)?;
+    Ok(ids)
+}
+
+/// Commit an explicit id list (create + write + seal each), for callers
+/// that pick placement-aware ids instead of the default naming scheme.
+pub fn commit_ids(
+    client: &PlasmaClient,
+    ids: &[ObjectId],
+    object_size: usize,
+    seed: u64,
+) -> Result<(), PlasmaError> {
+    let payload = random_data(object_size, seed);
+    for id in ids {
         client.put(*id, &payload, &[])?;
     }
-    Ok(ids)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -175,7 +175,19 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
         let parked: usize = (0..cfg.nodes)
             .map(|i| cluster.store(i).pending_release_count())
             .sum();
-        if (failed_releases.is_empty() && parked == 0) || Instant::now() > settle_deadline {
+        // Reconciliation silently skips peers still marked `Down` (their
+        // admission gate short-circuits the call), so the settle phase
+        // must also outlast every failure detector: keep probing until
+        // all pairs are back to `Up`, or orphans behind a skipped pair
+        // would survive the reconcile and fail the quiesce audit.
+        let all_up = (0..cfg.nodes).all(|i| {
+            let store = cluster.store(i);
+            (0..cfg.nodes)
+                .filter(|&j| j != i)
+                .all(|j| store.peer_state(cluster.node_id(j)) == disagg::PeerState::Up)
+        });
+        if (failed_releases.is_empty() && parked == 0 && all_up) || Instant::now() > settle_deadline
+        {
             break;
         }
         std::thread::sleep(Duration::from_millis(10));
@@ -191,8 +203,12 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
         reconciled += cluster.store(i).reconcile_pins().unwrap_or(0);
     }
 
-    // Phase 4: quiesce audit — all pin ledgers must be empty.
+    // Phase 4: quiesce audit — all pin ledgers must be empty, and every
+    // surviving object must sit where the rendezvous ring says it does.
     let mut verdict = check_quiesce(&cluster, cfg.nodes);
+    verdict
+        .violations
+        .extend(check_ring_placement(&cluster, cfg.nodes).violations);
 
     // Phase 5: the history checker.
     let evictions: u64 = (0..cfg.nodes)
@@ -234,6 +250,55 @@ fn check_quiesce(cluster: &Cluster, nodes: usize) -> Verdict {
         if parked != 0 {
             verdict.violations.push(format!(
                 "release leak: node {i} still has {parked} parked releases after settle"
+            ));
+        }
+    }
+    verdict
+}
+
+/// Ring-ownership audit: the soak's workload never migrates objects, so
+/// with rendezvous placement every sealed survivor must live on exactly
+/// the node the ring computes as its owner — one copy, nowhere else — and
+/// all nodes must have converged on one membership epoch. A violation
+/// here means a forwarded create landed (or left residue) off-ring under
+/// fault injection.
+fn check_ring_placement(cluster: &Cluster, nodes: usize) -> Verdict {
+    let mut verdict = Verdict::default();
+    let Some(membership) = cluster.store(0).membership() else {
+        return verdict; // legacy broadcast cluster: nothing to audit
+    };
+    let ring = disagg::Ring::new(membership);
+    for i in 0..nodes {
+        let epoch = cluster.store(i).ring_epoch();
+        if epoch != ring.epoch() {
+            verdict.violations.push(format!(
+                "epoch split: node {i} is at epoch {epoch}, node 0 at {}",
+                ring.epoch()
+            ));
+        }
+    }
+    let mut holders: std::collections::HashMap<ObjectId, Vec<usize>> =
+        std::collections::HashMap::new();
+    for i in 0..nodes {
+        let node_id = cluster.node_id(i);
+        for info in cluster.store(i).core().list() {
+            if info.state != plasma::ObjectState::Sealed {
+                continue;
+            }
+            holders.entry(info.id).or_default().push(i);
+            let owner = ring.owner_of(info.id);
+            if owner != Some(node_id) {
+                verdict.violations.push(format!(
+                    "ring violation: node {i} holds {:?} but its ring owner is {owner:?}",
+                    info.id
+                ));
+            }
+        }
+    }
+    for (id, nodes) in holders {
+        if nodes.len() > 1 {
+            verdict.violations.push(format!(
+                "ring violation: {id:?} is sealed on multiple nodes {nodes:?}"
             ));
         }
     }

@@ -9,13 +9,14 @@
 
 use crate::idcache::CacheMode;
 use crate::proto::method;
+use crate::ring::Membership;
 use crate::store::{DisaggConfig, DisaggStore, InterconnectConfig, Peer};
 use ipc::fault::{FaultConn, FaultPolicy};
 use ipc::{Conn, InprocHub};
 use netsim::{LinkModel, SharedLink};
 use plasma::{
-    AllocatorKind, ClientCost, Notifications, PlasmaClient, PlasmaError, PlasmaServer, StoreConfig,
-    StoreCore,
+    AllocatorKind, ClientCost, Notifications, ObjectId, PlasmaClient, PlasmaError, PlasmaServer,
+    StoreConfig, StoreCore,
 };
 use rpclite::{ClientMetrics, NetCost, RpcClient, ServerHandle};
 use std::sync::Arc;
@@ -50,6 +51,11 @@ pub struct ClusterConfig {
     /// or truncate store-to-store traffic. `None` (the default) leaves
     /// connections untouched.
     pub fault_policy: Option<Arc<dyn FaultPolicy>>,
+    /// Install a rendezvous-hash placement ring (epoch 1 over all nodes)
+    /// on every store at launch, so creates route point-to-point to the
+    /// id's computed owner with no reserve broadcast. `false` runs the
+    /// legacy broadcast protocols (reserve fan-out, lookup broadcast).
+    pub ring: bool,
 }
 
 impl std::fmt::Debug for ClusterConfig {
@@ -69,6 +75,7 @@ impl std::fmt::Debug for ClusterConfig {
                 "fault_policy",
                 &self.fault_policy.as_ref().map(|_| "<policy>"),
             )
+            .field("ring", &self.ring)
             .finish()
     }
 }
@@ -89,6 +96,7 @@ impl ClusterConfig {
             seed: 0x7F1A,
             interconnect: InterconnectConfig::default(),
             fault_policy: None,
+            ring: true,
         }
     }
 
@@ -106,6 +114,7 @@ impl ClusterConfig {
             seed: 1,
             interconnect: InterconnectConfig::default(),
             fault_policy: None,
+            ring: true,
         }
     }
 }
@@ -227,6 +236,18 @@ impl Cluster {
             }
         }
 
+        // Stage 3: deterministic placement. Every store gets the same
+        // epoch-1 membership table, so all rings agree from the start
+        // (the steady state the gossip protocol converges to).
+        if config.ring {
+            let members: Vec<NodeId> = nodes.iter().map(|n| n.node).collect();
+            for runtime in &nodes {
+                runtime
+                    .store
+                    .set_membership(Membership::new(1, members.clone()));
+            }
+        }
+
         Ok(Cluster {
             fabric,
             hub,
@@ -331,6 +352,37 @@ impl Cluster {
     pub fn notifications(&self, i: usize) -> Result<Notifications, PlasmaError> {
         let conn = self.hub.connect(&format!("plasma-{i}"))?;
         Notifications::subscribe(Box::new(conn))
+    }
+
+    /// An object name derived from `base` — `base` itself or `"base~k"`
+    /// — whose ring placement lands on node index `node_idx`. Placement
+    /// is hash-determined, so tests that need an id on a *specific* node
+    /// (e.g. "create locally on node 0, get remotely from node 1")
+    /// probe suffixed variants until one lands there. Panics if the
+    /// cluster has no ring or no variant lands within 10k probes
+    /// (vanishingly unlikely for any non-degenerate membership).
+    pub fn owned_id(&self, node_idx: usize, base: &str) -> String {
+        let target = self.nodes[node_idx].node;
+        let ring = self.nodes[0].store.membership().map(crate::ring::Ring::new);
+        let ring = ring.expect("owned_id requires a ring cluster");
+        if ring.owner_of(ObjectId::from_name(base)) == Some(target) {
+            return base.to_string();
+        }
+        for k in 0..10_000 {
+            let name = format!("{base}~{k}");
+            if ring.owner_of(ObjectId::from_name(&name)) == Some(target) {
+                return name;
+            }
+        }
+        panic!("no variant of {base:?} places on node index {node_idx}");
+    }
+
+    /// `count` distinct object names (`"base/i"` variants via
+    /// [`Cluster::owned_id`]) all placed on node index `node_idx`.
+    pub fn owned_ids(&self, node_idx: usize, base: &str, count: usize) -> Vec<String> {
+        (0..count)
+            .map(|i| self.owned_id(node_idx, &format!("{base}/{i}")))
+            .collect()
     }
 }
 

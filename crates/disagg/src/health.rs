@@ -193,8 +193,11 @@ impl PeerHealth {
     }
 
     /// The call failed in a way that indicts the peer (transport error,
-    /// deadline expiry, `Unavailable`).
-    pub fn record_failure(&self, peer: NodeId) {
+    /// deadline expiry, `Unavailable`). Returns the peer's state after
+    /// the failure is applied, so callers can react to the exact call
+    /// that completed an Up→Down transition (e.g. dropping cached owner
+    /// hints) without a racy follow-up `state()` read.
+    pub fn record_failure(&self, peer: NodeId) -> PeerState {
         let mut entries = self.entries.lock();
         let entry = entries.entry(peer).or_insert_with(Entry::new);
         entry.consecutive_failures += 1;
@@ -216,6 +219,7 @@ impl PeerHealth {
                 m.to_suspect.inc();
             }
         }
+        entry.state
     }
 
     /// Current state of `peer` (`Up` if never seen).
@@ -319,12 +323,14 @@ mod tests {
         let clock = Clock::virtual_time();
         let h = tracker(&clock);
         let p = NodeId(1);
-        h.record_failure(p);
+        // The return value reports the post-transition state, so the
+        // caller that *caused* a demotion can react to it directly.
+        assert_eq!(h.record_failure(p), PeerState::Suspect);
         assert_eq!(h.state(p), PeerState::Suspect);
         assert_eq!(h.admit(p), Admission::Attempt); // suspect still called
-        h.record_failure(p);
+        assert_eq!(h.record_failure(p), PeerState::Suspect);
         assert_eq!(h.state(p), PeerState::Suspect);
-        h.record_failure(p);
+        assert_eq!(h.record_failure(p), PeerState::Down);
         assert_eq!(h.state(p), PeerState::Down);
         assert_eq!(h.admit(p), Admission::Skip);
     }
@@ -457,7 +463,9 @@ mod tests {
             let h = tracker(&clock);
             for ev in events.chars() {
                 match ev {
-                    'F' => h.record_failure(p),
+                    'F' => {
+                        h.record_failure(p);
+                    }
                     'S' => h.record_success(p),
                     'W' => clock.charge(Duration::from_millis(100)),
                     'A' => {

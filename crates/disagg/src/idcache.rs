@@ -123,6 +123,57 @@ impl IdCache {
         }
     }
 
+    /// Drop every entry learned from `peer` — called when the peer
+    /// transitions to Down, so stale hints stop steering gets at a dead
+    /// node (each such hint would eat a full call deadline before the
+    /// broadcast fallback ran). Returns how many entries were dropped.
+    pub fn invalidate_peer(&self, peer: NodeId) -> usize {
+        let mut inner = self.inner.lock();
+        let victims: Vec<(ObjectId, u64)> = inner
+            .map
+            .iter()
+            .filter(|(_, (entry, _))| entry.peer == peer)
+            .map(|(&id, &(_, stamp))| (id, stamp))
+            .collect();
+        for (id, stamp) in &victims {
+            inner.map.remove(id);
+            inner.order.remove(stamp);
+        }
+        victims.len()
+    }
+
+    /// Atomically repoint `id` at `winner` unless a concurrent pass
+    /// already cached an owner other than `loser`. Used when a duplicate
+    /// lookup answer is discarded: the cache must not be left naming the
+    /// losing peer (its pin is being released), but a fresher entry from
+    /// a third party must not be clobbered either.
+    pub fn realign(&self, id: ObjectId, loser: NodeId, winner: CachedEntry) {
+        debug_assert_eq!(winner.location.id, id);
+        let mut inner = self.inner.lock();
+        match inner.map.get(&id) {
+            Some((entry, _)) if entry.peer != loser && entry.peer != winner.peer => return,
+            _ => {}
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        if let Some((_, old)) = inner.map.insert(id, (winner, stamp)) {
+            inner.order.remove(&old);
+        }
+        inner.order.insert(stamp, id);
+        while inner.map.len() > self.capacity {
+            let (&victim_stamp, &victim) = inner.order.iter().next().expect("order in sync");
+            inner.order.remove(&victim_stamp);
+            inner.map.remove(&victim);
+        }
+    }
+
+    /// Non-counting, recency-preserving read of a cached entry (test and
+    /// diagnostic introspection; `lookup` is the hot-path accessor).
+    pub fn peek(&self, id: ObjectId) -> Option<CachedEntry> {
+        let inner = self.inner.lock();
+        inner.map.get(&id).map(|(entry, _)| entry.clone())
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.inner.lock().map.len()
@@ -211,6 +262,57 @@ mod tests {
         assert!(c.lookup(entry(3).location.id).is_none()); // miss
         let ratio = c.hit_ratio();
         assert!((ratio - 1.0 / 3.0).abs() < 1e-9, "ratio={ratio}");
+    }
+
+    fn entry_at(n: u8, peer: u16) -> CachedEntry {
+        let mut e = entry(n);
+        e.peer = NodeId(peer);
+        e.location.seg.owner = NodeId(peer);
+        e
+    }
+
+    #[test]
+    fn invalidate_peer_drops_only_that_peers_hints() {
+        let c = IdCache::new(CacheMode::Pinning, 8);
+        c.insert(entry_at(1, 1));
+        c.insert(entry_at(2, 2));
+        c.insert(entry_at(3, 1));
+        assert_eq!(c.invalidate_peer(NodeId(1)), 2);
+        assert_eq!(c.len(), 1);
+        assert!(c.peek(entry(1).location.id).is_none());
+        assert!(c.peek(entry(3).location.id).is_none());
+        assert_eq!(c.peek(entry(2).location.id).unwrap().peer, NodeId(2));
+        assert_eq!(c.invalidate_peer(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn realign_replaces_loser_but_respects_third_parties() {
+        let c = IdCache::new(CacheMode::Pinning, 8);
+        let id = entry(1).location.id;
+        // Cache points at the loser → realigned to the winner.
+        c.insert(entry_at(1, 2));
+        c.realign(id, NodeId(2), entry_at(1, 1));
+        assert_eq!(c.peek(id).unwrap().peer, NodeId(1));
+        // Cache empty for the id → winner installed.
+        c.invalidate(id);
+        c.realign(id, NodeId(2), entry_at(1, 1));
+        assert_eq!(c.peek(id).unwrap().peer, NodeId(1));
+        // A third party cached a different owner meanwhile → untouched.
+        c.insert(entry_at(1, 3));
+        c.realign(id, NodeId(2), entry_at(1, 1));
+        assert_eq!(c.peek(id).unwrap().peer, NodeId(3));
+    }
+
+    #[test]
+    fn peek_does_not_count_or_touch() {
+        let c = IdCache::new(CacheMode::Pinning, 2);
+        c.insert(entry(1));
+        c.insert(entry(2));
+        assert!(c.peek(entry(1).location.id).is_some());
+        assert_eq!(c.counters(), (0, 0));
+        // Peek did not refresh recency: 1 is still the LRU victim.
+        c.insert(entry(3));
+        assert!(c.peek(entry(1).location.id).is_none());
     }
 
     #[test]

@@ -46,12 +46,14 @@ pub mod cluster;
 pub mod health;
 pub mod idcache;
 pub mod proto;
+pub mod ring;
 pub mod store;
 pub mod usage;
 
 pub use cluster::{Cluster, ClusterConfig};
 pub use health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 pub use idcache::{CacheMode, CachedEntry, IdCache};
+pub use ring::{Membership, Ring};
 pub use store::{DisaggConfig, DisaggStats, DisaggStore, InterconnectConfig, Peer};
 pub use usage::{RemoteRefs, Reservations, ReserveOutcome};
 
@@ -71,7 +73,7 @@ mod tests {
         let c = two_nodes();
         let producer = c.client(0).unwrap();
         let consumer = c.client(1).unwrap();
-        let id = ObjectId::from_name("obj");
+        let id = ObjectId::from_name(&c.owned_id(0, "obj"));
         producer.put(id, &vec![0xEE; 50_000], b"meta").unwrap();
 
         let buf = consumer.get_one(id, Duration::from_secs(1)).unwrap();
@@ -105,8 +107,10 @@ mod tests {
         a.put(id, b"first", &[]).unwrap();
         let err = b.create(id, 5, 0).unwrap_err();
         assert_eq!(err, PlasmaError::ObjectExists(id));
-        // Store 0's create reserved the id on its peer.
-        assert!(c.store(0).disagg_stats().reserve_rpcs >= 1);
+        // Ring placement makes uniqueness an owner-local check: neither
+        // create broadcast a single reserve RPC.
+        assert_eq!(c.store(0).disagg_stats().reserve_rpcs, 0);
+        assert_eq!(c.store(1).disagg_stats().reserve_rpcs, 0);
     }
 
     #[test]
@@ -116,13 +120,15 @@ mod tests {
         let c = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
         let producer = c.client(0).unwrap();
         let consumer = c.client(1).unwrap();
-        let pinned = ObjectId::from_name("pinned");
+        let pinned = ObjectId::from_name(&c.owned_id(0, "pinned"));
         producer.put(pinned, &vec![1; 600 << 10], &[]).unwrap();
         let buf = consumer.get_one(pinned, Duration::from_secs(1)).unwrap();
         assert_eq!(c.store(0).remote_pin_count(), 1);
 
-        // Pressure: this create cannot evict the pinned object.
-        let big = ObjectId::from_name("big");
+        // Pressure: this create cannot evict the pinned object. (The id
+        // must place on node 0 — the ring would otherwise route it to
+        // node 1's uncontended store.)
+        let big = ObjectId::from_name(&c.owned_id(0, "big"));
         let err = producer.create(big, 600 << 10, 0).unwrap_err();
         assert!(matches!(err, PlasmaError::OutOfMemory { .. }));
         assert!(buf.read_all().unwrap().iter().all(|&b| b == 1));
@@ -207,15 +213,16 @@ mod tests {
     fn rack_scale_all_pairs_share() {
         let c = Cluster::launch(ClusterConfig::functional(5, 4 << 20)).unwrap();
         let clients: Vec<_> = (0..5).map(|i| c.client(i).unwrap()).collect();
+        let ids: Vec<ObjectId> = (0..5)
+            .map(|i| ObjectId::from_name(&c.owned_id(i, &format!("from-{i}"))))
+            .collect();
         for (i, client) in clients.iter().enumerate() {
-            let id = ObjectId::from_name(&format!("from-{i}"));
             client
-                .put(id, format!("payload-{i}").as_bytes(), &[])
+                .put(ids[i], format!("payload-{i}").as_bytes(), &[])
                 .unwrap();
         }
         for (j, client) in clients.iter().enumerate() {
-            for i in 0..5 {
-                let id = ObjectId::from_name(&format!("from-{i}"));
+            for (i, &id) in ids.iter().enumerate() {
                 let buf = client.get_one(id, Duration::from_secs(2)).unwrap();
                 assert_eq!(buf.read_all().unwrap(), format!("payload-{i}").as_bytes());
                 let expected_path = if i == j { Path::Local } else { Path::Remote };
@@ -230,7 +237,7 @@ mod tests {
         let c = two_nodes();
         let producer = c.client(0).unwrap();
         let consumer = c.client(1).unwrap();
-        let id = ObjectId::from_name("hot-object");
+        let id = ObjectId::from_name(&c.owned_id(0, "hot-object"));
         let payload = vec![0xC3; 64 << 10];
         producer.put(id, &payload, b"hot-meta").unwrap();
 
@@ -266,7 +273,7 @@ mod tests {
     fn migration_aborts_cleanly_when_object_is_in_use() {
         let c = two_nodes();
         let producer = c.client(0).unwrap();
-        let id = ObjectId::from_name("busy-object");
+        let id = ObjectId::from_name(&c.owned_id(0, "busy-object"));
         producer.put(id, &[7; 1024], &[]).unwrap();
         // A reader on node 0 pins the owner's copy.
         let pin = producer.get_one(id, Duration::from_secs(1)).unwrap();
@@ -289,7 +296,7 @@ mod tests {
         for i in 0..3 {
             let client = c.client(i).unwrap();
             for j in 0..(i + 1) {
-                let id = ObjectId::from_name(&format!("inv/{i}/{j}"));
+                let id = ObjectId::from_name(&c.owned_id(i, &format!("inv/{i}/{j}")));
                 client.put(id, &[0; 100], &[]).unwrap();
             }
         }
@@ -316,7 +323,7 @@ mod tests {
         let producer = c.client(0).unwrap();
         let consumer = c.client(1).unwrap();
 
-        let victim = ObjectId::from_name("victim");
+        let victim = ObjectId::from_name(&c.owned_id(0, "victim"));
         producer.put(victim, &[0xAA; 1000], &[]).unwrap();
         // Warm the consumer's direct cache.
         let buf = consumer.get_one(victim, Duration::from_secs(1)).unwrap();
@@ -325,7 +332,7 @@ mod tests {
 
         // Owner deletes the object and a new object reuses the region.
         producer.delete(victim).unwrap();
-        let squatter = ObjectId::from_name("squatter");
+        let squatter = ObjectId::from_name(&c.owned_id(0, "squatter"));
         producer.put(squatter, &[0xBB; 1000], &[]).unwrap();
 
         // The consumer's cached get still "succeeds" — and reads the
@@ -353,8 +360,8 @@ mod tests {
         let c = two_nodes();
         let a = c.client(0).unwrap();
         let b = c.client(1).unwrap();
-        let local = ObjectId::from_name("on-1");
-        let remote = ObjectId::from_name("on-0");
+        let local = ObjectId::from_name(&c.owned_id(1, "on-1"));
+        let remote = ObjectId::from_name(&c.owned_id(0, "on-0"));
         b.put(local, b"local-data", &[]).unwrap();
         a.put(remote, b"remote-data", &[]).unwrap();
         let got = b.get(&[local, remote], Duration::from_secs(1)).unwrap();

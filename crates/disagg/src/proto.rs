@@ -42,9 +42,27 @@ pub mod method {
     /// never learned). Only sound while no get/release traffic between
     /// the pair is in flight — e.g. at quiesce.
     pub const RECONCILE: u32 = 10;
+    /// Forwarded create (`CreateAtReq` → `CreateAtResp`): the rendezvous
+    /// ring routed a `create` to the id's computed owner, which allocates
+    /// locally — id uniqueness is an owner-local check, no reserve
+    /// broadcast. Idempotent per requester: a retry whose first attempt
+    /// executed (response lost) returns the same staged location.
+    pub const CREATE_AT: u32 = 11;
+    /// Seal a forwarded create on its owner (`ForwardReq` →
+    /// `CreateAtResp` carrying the sealed location). Idempotent:
+    /// re-sealing an already-sealed id returns its location again.
+    pub const SEAL_AT: u32 = 12;
+    /// Abort a forwarded create on its owner (`ForwardReq` →
+    /// `BoolResp`). Idempotent: aborting an id with no staged create is
+    /// a no-op (`false`).
+    pub const ABORT_AT: u32 = 13;
+    /// Membership pull (empty → `MembershipResp`): the responder's
+    /// current membership table. Sent when a node observes a newer epoch
+    /// than its own gossiped on another call.
+    pub const MEMBERSHIP: u32 = 14;
 
     /// Highest assigned method id (bounds exhaustiveness checks).
-    pub const MAX: u32 = RECONCILE;
+    pub const MAX: u32 = MEMBERSHIP;
 
     /// Method-id → verb-name table (metric labels, diagnostics).
     pub const VERBS: &[(u32, &str)] = &[
@@ -58,6 +76,10 @@ pub mod method {
         (METRICS, "metrics"),
         (GET_MANY, "get_many"),
         (RECONCILE, "reconcile"),
+        (CREATE_AT, "create_at"),
+        (SEAL_AT, "seal_at"),
+        (ABORT_AT, "abort_at"),
+        (MEMBERSHIP, "membership"),
     ];
 }
 
@@ -178,6 +200,9 @@ pub struct GetManyReq {
     pub requester: NodeId,
     /// Object ids to fetch.
     pub ids: Vec<ObjectId>,
+    /// Requester's membership epoch (0 = none installed); piggybacked so
+    /// the responder can detect a stale table and pull the newer one.
+    pub epoch: u64,
 }
 
 impl GetManyReq {
@@ -188,6 +213,7 @@ impl GetManyReq {
         for id in &self.ids {
             enc_id(&mut e, 2, id);
         }
+        e.uint(3, self.epoch);
         e.finish()
     }
 
@@ -205,6 +231,7 @@ impl GetManyReq {
         Ok(GetManyReq {
             requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
             ids,
+            epoch: f.uint_or(3, 0),
         })
     }
 }
@@ -247,6 +274,9 @@ pub struct GetManyEntry {
 pub struct GetManyResp {
     /// Per-id outcomes.
     pub entries: Vec<GetManyEntry>,
+    /// Responder's membership epoch (0 = none installed); the requester
+    /// pulls the newer table when this exceeds its own.
+    pub epoch: u64,
 }
 
 impl GetManyResp {
@@ -262,6 +292,7 @@ impl GetManyResp {
             }
             e.message(1, m);
         }
+        e.uint(2, self.epoch);
         e.finish()
     }
 
@@ -286,7 +317,10 @@ impl GetManyResp {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(GetManyResp { entries })
+        Ok(GetManyResp {
+            entries,
+            epoch: f.uint_or(2, 0),
+        })
     }
 
     /// The pinned entries' fabric descriptors, in response order.
@@ -358,6 +392,180 @@ impl ReconcileResp {
         let f = MsgDec::new(b).collect()?;
         Ok(ReconcileResp {
             trimmed: f.uint_or(1, 0),
+        })
+    }
+}
+
+/// Forwarded create: allocate `id` on the responder (the id's rendezvous
+/// owner). Uniqueness is checked owner-locally — no reserve broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreateAtReq {
+    /// Node forwarding the create (it becomes the writer/creator).
+    pub requester: NodeId,
+    /// Requester's membership epoch when it computed the owner.
+    pub epoch: u64,
+    /// The id to create.
+    pub id: ObjectId,
+    /// Payload size in bytes.
+    pub data_size: u64,
+    /// Metadata size in bytes.
+    pub metadata_size: u64,
+}
+
+impl CreateAtReq {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0)).uint(2, self.epoch);
+        enc_id(&mut e, 3, &self.id);
+        e.uint(4, self.data_size).uint(5, self.metadata_size);
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(CreateAtReq {
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            epoch: f.uint_or(2, 0),
+            id: dec_id(&f.bytes(3)?)?,
+            data_size: f.uint_or(4, 0),
+            metadata_size: f.uint_or(5, 0),
+        })
+    }
+}
+
+/// Outcome of a forwarded create on the computed owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateAtStatus {
+    /// Created (or a staged retry of the same requester's create): the
+    /// fabric descriptor is attached and the requester may write.
+    Ok = 0,
+    /// The id already exists on the owner — cluster-wide duplicate.
+    Exists = 1,
+    /// The responder's membership table says it does not own this id;
+    /// the requester's routing epoch is stale. The response carries the
+    /// responder's epoch so the requester can pull and re-route.
+    WrongOwner = 2,
+}
+
+impl CreateAtStatus {
+    fn from_u64(v: u64) -> CreateAtStatus {
+        match v {
+            0 => CreateAtStatus::Ok,
+            1 => CreateAtStatus::Exists,
+            _ => CreateAtStatus::WrongOwner,
+        }
+    }
+}
+
+/// Response to a forwarded create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CreateAtResp {
+    /// What happened on the owner.
+    pub status: CreateAtStatus,
+    /// Fabric descriptor of the staged object; present iff `status` is
+    /// [`CreateAtStatus::Ok`].
+    pub location: Option<ObjectLocation>,
+    /// Responder's membership epoch (0 = none installed).
+    pub epoch: u64,
+}
+
+impl CreateAtResp {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, self.status as u64);
+        if let Some(loc) = &self.location {
+            e.message(2, enc_location(loc));
+        }
+        e.uint(3, self.epoch);
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let location = match f.get(2) {
+            Some(fv) => Some(dec_location(
+                fv.as_bytes().cloned().ok_or(WireError::MissingField(2))?,
+            )?),
+            None => None,
+        };
+        Ok(CreateAtResp {
+            status: CreateAtStatus::from_u64(f.uint_or(1, 2)),
+            location,
+            epoch: f.uint_or(3, 0),
+        })
+    }
+}
+
+/// Forwarded single-id operation on a staged create (SEAL_AT, ABORT_AT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForwardReq {
+    /// Node that staged the create being sealed/aborted.
+    pub requester: NodeId,
+    /// Requester's membership epoch.
+    pub epoch: u64,
+    /// The staged object.
+    pub id: ObjectId,
+}
+
+impl ForwardReq {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0)).uint(2, self.epoch);
+        enc_id(&mut e, 3, &self.id);
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(ForwardReq {
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            epoch: f.uint_or(2, 0),
+            id: dec_id(&f.bytes(3)?)?,
+        })
+    }
+}
+
+/// Response to a MEMBERSHIP pull: the responder's full membership table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipResp {
+    /// Table version (0 = no membership installed).
+    pub epoch: u64,
+    /// Member nodes.
+    pub nodes: Vec<NodeId>,
+}
+
+impl MembershipResp {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, self.epoch);
+        for node in &self.nodes {
+            e.uint(2, u64::from(node.0));
+        }
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let nodes = f
+            .get_all(2)
+            .map(|v| -> Result<NodeId, WireError> {
+                let raw = v.as_uint().ok_or(WireError::MissingField(2))?;
+                Ok(NodeId(
+                    u16::try_from(raw).map_err(|_| WireError::MissingField(2))?,
+                ))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MembershipResp {
+            epoch: f.uint_or(1, 0),
+            nodes,
         })
     }
 }
@@ -695,11 +903,13 @@ mod tests {
         let req = GetManyReq {
             requester: NodeId(1),
             ids: vec![ObjectId::from_name("a"), ObjectId::from_name("b")],
+            epoch: 3,
         };
         assert_eq!(GetManyReq::decode(req.encode()).unwrap(), req);
         let empty = GetManyReq {
             requester: NodeId(0),
             ids: vec![],
+            epoch: 0,
         };
         assert_eq!(GetManyReq::decode(empty.encode()).unwrap(), empty);
 
@@ -716,11 +926,15 @@ mod tests {
                     location: None,
                 },
             ],
+            epoch: 7,
         };
         let back = GetManyResp::decode(resp.encode()).unwrap();
         assert_eq!(back, resp);
         assert_eq!(back.found().count(), 1);
-        let none = GetManyResp { entries: vec![] };
+        let none = GetManyResp {
+            entries: vec![],
+            epoch: 0,
+        };
         assert_eq!(GetManyResp::decode(none.encode()).unwrap(), none);
     }
 
@@ -738,6 +952,69 @@ mod tests {
         assert_eq!(ReconcileReq::decode(empty.encode()).unwrap(), empty);
         let resp = ReconcileResp { trimmed: 7 };
         assert_eq!(ReconcileResp::decode(resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn create_at_roundtrip() {
+        let req = CreateAtReq {
+            requester: NodeId(2),
+            epoch: 5,
+            id: ObjectId::from_name("fwd"),
+            data_size: 4096,
+            metadata_size: 16,
+        };
+        assert_eq!(CreateAtReq::decode(req.encode()).unwrap(), req);
+
+        let ok = CreateAtResp {
+            status: CreateAtStatus::Ok,
+            location: Some(loc(9)),
+            epoch: 5,
+        };
+        assert_eq!(CreateAtResp::decode(ok.encode()).unwrap(), ok);
+        for status in [CreateAtStatus::Exists, CreateAtStatus::WrongOwner] {
+            let resp = CreateAtResp {
+                status,
+                location: None,
+                epoch: 6,
+            };
+            assert_eq!(CreateAtResp::decode(resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn forward_req_roundtrip() {
+        let r = ForwardReq {
+            requester: NodeId(3),
+            epoch: 2,
+            id: ObjectId::from_name("staged"),
+        };
+        assert_eq!(ForwardReq::decode(r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn membership_resp_roundtrip() {
+        let r = MembershipResp {
+            epoch: 4,
+            nodes: vec![NodeId(0), NodeId(1), NodeId(5)],
+        };
+        assert_eq!(MembershipResp::decode(r.encode()).unwrap(), r);
+        let empty = MembershipResp {
+            epoch: 0,
+            nodes: vec![],
+        };
+        assert_eq!(MembershipResp::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn get_many_epoch_defaults_to_zero_for_old_peers() {
+        // A pre-ring peer omits the epoch fields entirely; decode must
+        // treat that as epoch 0 (legacy broadcast mode).
+        let mut e = MsgEnc::new();
+        e.uint(1, 3);
+        let req = GetManyReq::decode(e.finish()).unwrap();
+        assert_eq!(req.epoch, 0);
+        let resp = GetManyResp::decode(MsgEnc::new().finish()).unwrap();
+        assert_eq!(resp.epoch, 0);
     }
 
     #[test]

@@ -4,29 +4,40 @@
 //! in fabric-donated memory) and interconnects it with peer stores over
 //! RPC, implementing the paper's two new constraints:
 //!
-//! * **Identifier uniqueness** — `create` reserves the id on every peer
-//!   before allocating; concurrent reservations resolve deterministically
-//!   (lowest node id wins).
+//! * **Identifier uniqueness** — with a [`Ring`] installed (the cluster
+//!   default), every id has a deterministic rendezvous owner and `create`
+//!   routes to it point-to-point (`CREATE_AT`); uniqueness is an
+//!   owner-local check and no reserve broadcast happens at all. Stores
+//!   without a membership table (epoch 0) keep the paper's original
+//!   protocol: `create` reserves the id on every peer before allocating,
+//!   and concurrent reservations resolve deterministically (lowest node
+//!   id wins).
 //! * **Distributed object-usage sharing** — a pinning remote lookup takes a
 //!   store-side reference attributed to the requesting node, and `release`
 //!   feeds back over RPC, so owners never evict objects remote clients are
 //!   reading (the future-work feature the paper defers).
 //!
-//! `get` control flow mirrors §IV-A2: look locally first; on a miss, RPC
-//! the peers to look up the identifier; the object *data* is then read by
-//! the client directly through the disaggregated fabric — never copied
-//! over the network. Remote lookups are batched: every id a single peer
-//! must answer for travels in one `GET_MANY` round trip (see
-//! [`DisaggStore::batch_get`]), and an optional [`IdCache`] accelerates
-//! repeat lookups.
+//! `get` control flow mirrors §IV-A2: look locally first; on a miss,
+//! resolve the id's ring owner locally and ask *that* peer with one
+//! point-to-point `GET_MANY`; the object *data* is then read by the
+//! client directly through the disaggregated fabric — never copied over
+//! the network. The legacy broadcast survives as an explicit fallback:
+//! when no membership is installed, when the computed owner does not
+//! hold the id (it may have been migrated off-ring), or while membership
+//! epochs disagree mid-change. Ring routing outcomes are surfaced as the
+//! `disagg.ring.hit` / `disagg.ring.fallback` counters. Remote lookups
+//! are batched: every id a single peer must answer for travels in one
+//! `GET_MANY` round trip (see [`DisaggStore::batch_get`]), and an
+//! optional [`IdCache`] accelerates repeat lookups.
 
 use crate::health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 use crate::idcache::{CacheMode, CachedEntry, IdCache};
 use crate::proto::{
-    method, BoolResp, GetManyEntry, GetManyReq, GetManyResp, GetManyStatus, IdReq, ListEntry,
-    ListResp, LookupReq, LookupResp, MetricsResp, ReconcileReq, ReconcileResp, ReleaseReq,
-    ReserveReq, ReserveResp,
+    method, BoolResp, CreateAtReq, CreateAtResp, CreateAtStatus, ForwardReq, GetManyEntry,
+    GetManyReq, GetManyResp, GetManyStatus, IdReq, ListEntry, ListResp, LookupReq, LookupResp,
+    MembershipResp, MetricsResp, ReconcileReq, ReconcileResp, ReleaseReq, ReserveReq, ReserveResp,
 };
+use crate::ring::{Membership, Ring};
 use crate::usage::{RemoteRefs, Reservations, ReserveOutcome};
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
@@ -37,7 +48,7 @@ use plasma::{
 };
 use rand::rngs::SmallRng;
 use rpclite::{RpcClient, RpcError, Service, Status, StatusCode};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -72,6 +83,11 @@ pub struct DisaggCounters {
     pub releases_forwarded: AtomicU64,
     /// Gets served from the Direct-mode id cache (no RPC, no pin).
     pub direct_cache_reads: AtomicU64,
+    /// Ids resolved point-to-point at their computed ring owner.
+    pub ring_hits: AtomicU64,
+    /// Ids the ring could not settle (owner miss, owner unreachable, or
+    /// self-owned but absent) that fell back to the lookup broadcast.
+    pub ring_fallbacks: AtomicU64,
 }
 
 /// Snapshot of [`DisaggCounters`].
@@ -87,6 +103,10 @@ pub struct DisaggStats {
     pub releases_forwarded: u64,
     /// Gets served from the Direct-mode id cache (no RPC, no pin).
     pub direct_cache_reads: u64,
+    /// Ids resolved point-to-point at their computed ring owner.
+    pub ring_hits: u64,
+    /// Ids that fell back from ring routing to the lookup broadcast.
+    pub ring_fallbacks: u64,
 }
 
 /// Fault-tolerance knobs for the store interconnect, grouped so cluster
@@ -151,6 +171,10 @@ struct DisaggMetrics {
     /// Ids carried per GET_MANY RPC issued to a peer — the batching
     /// factor of the multi-get hot path (1 = degenerated to unary).
     get_many_batch: Arc<Histogram>,
+    /// Ids resolved point-to-point at their computed ring owner.
+    ring_hit: Arc<Counter>,
+    /// Ids that fell back from ring routing to the lookup broadcast.
+    ring_fallback: Arc<Counter>,
     idcache_hits: Arc<Counter>,
     idcache_misses: Arc<Counter>,
     /// Interconnect call retries (attempts after the first).
@@ -171,6 +195,8 @@ impl DisaggMetrics {
             create: registry.histogram("disagg.create.latency_ns"),
             lookup_fanout: registry.histogram("disagg.lookup.fanout.latency_ns"),
             get_many_batch: registry.histogram("disagg.get_many.batch_size"),
+            ring_hit: registry.counter("disagg.ring.hit"),
+            ring_fallback: registry.counter("disagg.ring.fallback"),
             idcache_hits: registry.counter("disagg.idcache.hits"),
             idcache_misses: registry.counter("disagg.idcache.misses"),
             peer_retries: registry.counter("disagg.peer.retries"),
@@ -198,6 +224,24 @@ struct Inner {
     pending_releases: Mutex<Vec<(NodeId, ObjectId)>>,
     idcache: Option<IdCache>,
     lookup_remote: bool,
+    /// The rendezvous placement ring (`None` until a membership table is
+    /// installed — legacy broadcast mode).
+    ring: RwLock<Option<Ring>>,
+    /// Requester side of forwarded creates: ids this node created at a
+    /// remote ring owner and has not yet sealed/aborted, mapped to that
+    /// owner so `seal`/`abort` route point-to-point.
+    staged_out: Mutex<HashMap<ObjectId, NodeId>>,
+    /// Owner side of forwarded creates: staged (unsealed) objects a
+    /// remote requester allocated here, with the location returned. Kept
+    /// until SEAL_AT/ABORT_AT so a retried CREATE_AT (response lost) is
+    /// answered idempotently, and so RECONCILE can abort orphans.
+    staged_remote: Mutex<HashMap<ObjectId, (NodeId, ObjectLocation)>>,
+    /// Ids whose forwarded seal already consumed the creator's reference
+    /// at the remote owner. The Plasma client's put flow always follows
+    /// seal with one release; for these ids that release is satisfied
+    /// locally (a no-op) instead of crossing the interconnect — a
+    /// networked trailing release could fail mid-put and strand the pin.
+    release_waivers: Mutex<HashSet<ObjectId>>,
     reservations: Reservations,
     remote_refs: RemoteRefs,
     counters: DisaggCounters,
@@ -255,6 +299,10 @@ impl DisaggStore {
                 pending_releases: Mutex::new(Vec::new()),
                 idcache: config.id_cache.map(|(mode, cap)| IdCache::new(mode, cap)),
                 lookup_remote: config.lookup_remote,
+                ring: RwLock::new(None),
+                staged_out: Mutex::new(HashMap::new()),
+                staged_remote: Mutex::new(HashMap::new()),
+                release_waivers: Mutex::new(HashSet::new()),
                 reservations: Reservations::new(),
                 remote_refs: RemoteRefs::new(),
                 counters: DisaggCounters::default(),
@@ -298,12 +346,103 @@ impl DisaggStore {
             reserve_rpcs: c.reserve_rpcs.load(Ordering::Relaxed),
             releases_forwarded: c.releases_forwarded.load(Ordering::Relaxed),
             direct_cache_reads: c.direct_cache_reads.load(Ordering::Relaxed),
+            ring_hits: c.ring_hits.load(Ordering::Relaxed),
+            ring_fallbacks: c.ring_fallbacks.load(Ordering::Relaxed),
         }
+    }
+
+    /// Install (or supersede) the membership table the placement ring
+    /// hashes over. Tables are versioned: a table whose epoch does not
+    /// exceed the installed one is ignored, so stale gossip can never
+    /// roll membership back. Returns whether the table was adopted.
+    pub fn set_membership(&self, membership: Membership) -> bool {
+        let mut ring = self.inner.ring.write();
+        let installed = ring.as_ref().map(|r| r.epoch()).unwrap_or(0);
+        if membership.epoch <= installed {
+            return false;
+        }
+        *ring = Some(Ring::new(membership));
+        true
+    }
+
+    /// The currently installed membership table, if any.
+    pub fn membership(&self) -> Option<Membership> {
+        self.inner
+            .ring
+            .read()
+            .as_ref()
+            .map(|r| r.membership().clone())
+    }
+
+    /// The installed membership epoch (0 = none, legacy broadcast mode).
+    pub fn ring_epoch(&self) -> u64 {
+        self.inner
+            .ring
+            .read()
+            .as_ref()
+            .map(|r| r.epoch())
+            .unwrap_or(0)
+    }
+
+    /// The ring-computed owner of `id` (`None` without a membership).
+    /// A pure local computation — zero RPCs.
+    pub fn ring_owner(&self, id: ObjectId) -> Option<NodeId> {
+        self.inner.ring.read().as_ref().and_then(|r| r.owner_of(id))
+    }
+
+    /// Pull the membership table from `node` over the interconnect and
+    /// adopt it if newer. Invoked when a call to/from that node gossiped
+    /// an epoch ahead of ours.
+    fn pull_membership_from(&self, node: NodeId) {
+        let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == node) else {
+            return;
+        };
+        if let Ok(body) = self.peer_call(&peer, method::MEMBERSHIP, Bytes::new()) {
+            if let Ok(resp) = MembershipResp::decode(body) {
+                self.set_membership(Membership::new(resp.epoch, resp.nodes));
+            }
+        }
+    }
+
+    /// React to an epoch gossiped by `node`: pull its table if ahead.
+    fn maybe_adopt_epoch(&self, node: NodeId, peer_epoch: u64) {
+        if peer_epoch > self.ring_epoch() {
+            self.pull_membership_from(node);
+        }
+    }
+
+    fn note_ring_hits(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.inner
+            .counters
+            .ring_hits
+            .fetch_add(n, Ordering::Relaxed);
+        self.inner.metrics.ring_hit.add(n);
+    }
+
+    fn note_ring_fallbacks(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.inner
+            .counters
+            .ring_fallbacks
+            .fetch_add(n, Ordering::Relaxed);
+        self.inner.metrics.ring_fallback.add(n);
     }
 
     /// Remote-id-cache counters, if a cache is configured: (hits, misses).
     pub fn idcache_counters(&self) -> Option<(u64, u64)> {
         self.inner.idcache.as_ref().map(|c| c.counters())
+    }
+
+    /// Number of entries currently in the remote-id cache, if one is
+    /// configured. Tests use this to observe invalidation (e.g. the
+    /// Up→Down transition dropping every hint at a dead peer).
+    pub fn idcache_len(&self) -> Option<usize> {
+        self.inner.idcache.as_ref().map(|c| c.len())
     }
 
     /// Point-in-time snapshot of every metric this node records. The
@@ -436,6 +575,18 @@ impl DisaggStore {
         self.inner.peers.read().clone()
     }
 
+    /// Peers with the ring's computed owner of `id` moved to the front,
+    /// so serial forwarding loops probe the likeliest holder first.
+    fn peers_owner_first(&self, id: ObjectId) -> Vec<Peer> {
+        let mut peers = self.peers_snapshot();
+        if let Some(owner) = self.ring_owner(id) {
+            if let Some(i) = peers.iter().position(|p| p.node == owner) {
+                peers.swap(0, i);
+            }
+        }
+        peers
+    }
+
     fn rpc_err(e: RpcError) -> PlasmaError {
         match e {
             RpcError::Status(s) => PlasmaError::Protocol(format!("peer status: {s}")),
@@ -486,9 +637,9 @@ impl DisaggStore {
                     return Err(PeerFail::Rpc(RpcError::Status(s)));
                 }
                 Err(e) if e.is_retryable() => {
-                    inner.health.record_failure(peer.node);
+                    let state = self.note_peer_failure(peer.node);
                     attempts_left -= 1;
-                    if attempts_left == 0 || inner.health.state(peer.node) == PeerState::Down {
+                    if attempts_left == 0 || state == PeerState::Down {
                         return Err(PeerFail::Unreachable(format!(
                             "peer {} unreachable: {e}",
                             peer.name
@@ -505,11 +656,27 @@ impl DisaggStore {
                 Err(e) => {
                     // Protocol violation: a response arrived, but the
                     // connection is now suspect.
-                    inner.health.record_failure(peer.node);
+                    self.note_peer_failure(peer.node);
                     return Err(PeerFail::Rpc(e));
                 }
             }
         }
+    }
+
+    /// Record a call failure against `node`, and — on the exact failure
+    /// that completes an Up→Down transition — drop every id-cache hint
+    /// pointing at it. A cached hint for a dead peer would otherwise
+    /// steer each repeat `get` into a full call deadline before the
+    /// broadcast fallback ran.
+    fn note_peer_failure(&self, node: NodeId) -> PeerState {
+        let was_down = self.inner.health.state(node) == PeerState::Down;
+        let state = self.inner.health.record_failure(node);
+        if state == PeerState::Down && !was_down {
+            if let Some(cache) = &self.inner.idcache {
+                cache.invalidate_peer(node);
+            }
+        }
+        state
     }
 
     /// Retry parked RELEASEs against `peer` (see `Inner::pending_releases`).
@@ -829,6 +996,53 @@ impl DisaggStore {
             }
         }
 
+        // Ring-targeted phase: resolve each still-missing id's rendezvous
+        // owner locally (zero RPCs) and ask exactly that peer. Ids the
+        // owner does not hold — migrated off-ring, not yet created, or
+        // the owner is unreachable — fall through to the broadcast, as do
+        // ids this node owns itself (the local pass already missed them,
+        // so if they exist at all they live off-ring).
+        let ring = self.inner.ring.read().clone();
+        if let Some(ring) = ring {
+            let mut by_owner: HashMap<NodeId, Vec<ObjectId>> = HashMap::new();
+            let mut fallback: Vec<ObjectId> = Vec::new();
+            for id in missing.drain(..) {
+                if found.contains_key(&id) {
+                    continue;
+                }
+                match ring.owner_of(id) {
+                    Some(owner) if owner != self.inner.node => {
+                        by_owner.entry(owner).or_default().push(id);
+                    }
+                    _ => fallback.push(id),
+                }
+            }
+            let peers = self.peers_snapshot();
+            let mut hits = 0u64;
+            for (owner, group) in by_owner {
+                match peers.iter().find(|p| p.node == owner) {
+                    Some(peer) => match self.get_many_rpc(peer, &group) {
+                        Ok(resp) => {
+                            self.maybe_adopt_epoch(owner, resp.epoch);
+                            self.absorb_lookup(peer, resp.found().copied().collect(), &mut found);
+                            for id in group {
+                                if found.contains_key(&id) {
+                                    hits += 1;
+                                } else {
+                                    fallback.push(id);
+                                }
+                            }
+                        }
+                        Err(_) => fallback.extend(group),
+                    },
+                    None => fallback.extend(group),
+                }
+            }
+            self.note_ring_hits(hits);
+            self.note_ring_fallbacks(fallback.len() as u64);
+            missing = fallback;
+        }
+
         // Broadcast to every peer, in parallel, for whatever is still
         // missing; absorb responses (and their pins) sequentially.
         let remaining: Vec<ObjectId> = missing
@@ -841,6 +1055,7 @@ impl DisaggStore {
             let responses = self.fanout(&peers, |peer| self.get_many_rpc(peer, &remaining));
             for (peer, response) in peers.iter().zip(responses) {
                 if let Ok(resp) = response {
+                    self.maybe_adopt_epoch(peer.node, resp.epoch);
                     self.absorb_lookup(peer, resp.found().copied().collect(), &mut found);
                 }
             }
@@ -868,11 +1083,13 @@ impl DisaggStore {
         if ids.is_empty() {
             return Ok(GetManyResp {
                 entries: Vec::new(),
+                epoch: self.ring_epoch(),
             });
         }
         let req = GetManyReq {
             requester: self.inner.node,
             ids: ids.to_vec(),
+            epoch: self.ring_epoch(),
         };
         let result = self.peer_call(peer, method::GET_MANY, req.encode());
         if !matches!(result, Err(PeerFail::Skipped)) {
@@ -904,7 +1121,7 @@ impl DisaggStore {
         {
             let mut held = self.inner.remote_held.lock();
             for loc in pinned {
-                if found.contains_key(&loc.id) {
+                if let Some(&winner_loc) = found.get(&loc.id) {
                     let same_peer = held
                         .get_mut(&loc.id)
                         .and_then(|entries| entries.iter_mut().find(|(node, _)| *node == peer.node))
@@ -912,6 +1129,28 @@ impl DisaggStore {
                         .is_some();
                     if !same_peer {
                         duplicates.push(loc.id);
+                        // The losing answer must not survive in the id
+                        // cache: a concurrent pass may have cached this
+                        // peer between our winner's insert and now, and a
+                        // stale hint at the loser misroutes (and, in
+                        // Direct mode, corrupts) every repeat get once
+                        // its pin is released below. Repoint at the
+                        // ledgered winner atomically — `realign` leaves
+                        // any fresher third-party entry alone.
+                        if let Some(cache) = &self.inner.idcache {
+                            if let Some(&(winner, _)) =
+                                held.get(&loc.id).and_then(|entries| entries.first())
+                            {
+                                cache.realign(
+                                    loc.id,
+                                    peer.node,
+                                    CachedEntry {
+                                        location: winner_loc,
+                                        peer: winner,
+                                    },
+                                );
+                            }
+                        }
                     }
                     continue;
                 }
@@ -943,14 +1182,141 @@ impl DisaggStore {
                 id,
             };
             match self.peer_call(peer, method::RELEASE, req.encode()) {
-                Ok(_) | Err(PeerFail::Rpc(_)) => {}
-                Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) => {
-                    // The losing peer is unreachable right now: park the
-                    // release and retry after the next successful call to
-                    // it, instead of leaking its pin permanently.
+                Ok(_) => {}
+                Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) | Err(PeerFail::Rpc(_)) => {
+                    // The losing peer did not confirm the release (dead,
+                    // unreachable, or a definite error): park it and
+                    // retry after the next successful call to that peer,
+                    // instead of leaking its pin permanently.
                     self.park_release(peer.node, id);
                 }
             }
+        }
+    }
+
+    /// Ring-routed `create`: compute the id's owner locally, allocate
+    /// there. Local owner → plain core create (the core's id map is the
+    /// uniqueness arbiter). Remote owner → one point-to-point `CREATE_AT`;
+    /// the owner stages the object, pins the creator reference to this
+    /// node, and returns the fabric descriptor so the client writes the
+    /// payload straight through the fabric. A `WrongOwner` answer means
+    /// our membership epoch is stale: adopt the owner's table and re-route
+    /// once.
+    fn create_via_ring(
+        &self,
+        id: ObjectId,
+        data_size: u64,
+        metadata_size: u64,
+    ) -> Result<ObjectLocation, PlasmaError> {
+        for _ in 0..2 {
+            let owner = {
+                let ring = self.inner.ring.read();
+                let ring = ring.as_ref().expect("create_via_ring requires a ring");
+                ring.owner_of(id)
+            };
+            let Some(owner) = owner else {
+                return Err(PlasmaError::PeerUnavailable(
+                    "membership table is empty".to_string(),
+                ));
+            };
+            if owner == self.inner.node {
+                return self.inner.core.create(id, data_size, metadata_size);
+            }
+            let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == owner) else {
+                return Err(PlasmaError::PeerUnavailable(format!(
+                    "no interconnect peer for ring owner {owner}"
+                )));
+            };
+            let req = CreateAtReq {
+                requester: self.inner.node,
+                epoch: self.ring_epoch(),
+                id,
+                data_size,
+                metadata_size,
+            };
+            let body = match self.peer_call(&peer, method::CREATE_AT, req.encode()) {
+                Ok(body) => body,
+                // Uniqueness lives at the owner, so an unreachable owner
+                // fails the create outright — exactly like the reserve
+                // protocol, a create never proceeds on a guess.
+                Err(PeerFail::Skipped) => {
+                    return Err(PlasmaError::PeerUnavailable(format!(
+                        "peer {} is down",
+                        peer.name
+                    )))
+                }
+                Err(PeerFail::Unreachable(m)) => return Err(PlasmaError::PeerUnavailable(m)),
+                Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
+            };
+            let resp = CreateAtResp::decode(body)
+                .map_err(|e| PlasmaError::Protocol(format!("create_at response: {e}")))?;
+            match resp.status {
+                CreateAtStatus::Ok => {
+                    let loc = resp.location.ok_or_else(|| {
+                        PlasmaError::Protocol("create_at: Ok without location".to_string())
+                    })?;
+                    // Remember the owner so seal/abort route point-to-
+                    // point. The creator's reference lives entirely at
+                    // the owner (pinned to us) and is consumed by the
+                    // SEAL_AT / ABORT_AT that ends the staging — no
+                    // requester-side hold to ledger.
+                    self.inner.staged_out.lock().insert(id, owner);
+                    return Ok(loc);
+                }
+                CreateAtStatus::Exists => return Err(PlasmaError::ObjectExists(id)),
+                CreateAtStatus::WrongOwner => {
+                    self.maybe_adopt_epoch(owner, resp.epoch);
+                }
+            }
+        }
+        Err(PlasmaError::PeerUnavailable(format!(
+            "ring ownership of {id} unsettled (membership change in flight)"
+        )))
+    }
+
+    /// Seal a create that was forwarded to a remote ring owner. The
+    /// owner seals *and* consumes the creator's reference in one RPC, so
+    /// the client's trailing release (plasma's put is create → write →
+    /// seal → release) completes locally via a waiver instead of a
+    /// second network call that could fail mid-put and strand the pin.
+    /// `SEAL_AT` is idempotent on the owner, so a lost response is safe
+    /// to retry; an owner that became unreachable leaves its staged
+    /// orphan to quiesce-time reconciliation (which aborts it).
+    fn seal_forwarded(&self, id: ObjectId, owner: NodeId) -> Result<ObjectLocation, PlasmaError> {
+        let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == owner) else {
+            return Err(PlasmaError::PeerUnavailable(format!(
+                "no interconnect peer for owner {owner}"
+            )));
+        };
+        let req = ForwardReq {
+            requester: self.inner.node,
+            epoch: self.ring_epoch(),
+            id,
+        };
+        match self.peer_call(&peer, method::SEAL_AT, req.encode()) {
+            Ok(body) => {
+                let resp = CreateAtResp::decode(body)
+                    .map_err(|e| PlasmaError::Protocol(format!("seal_at response: {e}")))?;
+                let loc = resp.location.ok_or_else(|| {
+                    PlasmaError::Protocol("seal_at: response without location".to_string())
+                })?;
+                self.inner.staged_out.lock().remove(&id);
+                self.inner.release_waivers.lock().insert(id);
+                Ok(loc)
+            }
+            Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) => {
+                // The owner is unreachable: the object cannot be sealed
+                // now. Drop the requester-side staging entry so quiesce
+                // accounting stays clean; the owner-side staged orphan
+                // is aborted by pin reconciliation when the pair next
+                // quiesces.
+                self.inner.staged_out.lock().remove(&id);
+                Err(PlasmaError::PeerUnavailable(format!(
+                    "owner {} unreachable while sealing {id}",
+                    peer.name
+                )))
+            }
+            Err(PeerFail::Rpc(e)) => Err(Self::rpc_err(e)),
         }
     }
 
@@ -1108,6 +1474,22 @@ impl ObjectStore for DisaggStore {
         if self.inner.core.exists_any_state(id) {
             return Err(PlasmaError::ObjectExists(id));
         }
+        // Singleton cluster: no peer could hold or contest the id, so the
+        // local existence check above *is* the uniqueness check. Short-
+        // circuit before any reserve bookkeeping — the reserve counter
+        // must stay at zero when there is nobody to reserve against.
+        if self.inner.peers.read().is_empty() {
+            let loc = self.inner.core.create(id, data_size, metadata_size)?;
+            self.inner.metrics.create.record_duration(started.elapsed());
+            return Ok(loc);
+        }
+        // Ring placement: the id's owner is a local computation, and
+        // uniqueness is owner-local — no reserve broadcast at all.
+        if self.ring_epoch() > 0 {
+            let loc = self.create_via_ring(id, data_size, metadata_size)?;
+            self.inner.metrics.create.record_duration(started.elapsed());
+            return Ok(loc);
+        }
         if !self.inner.reservations.begin_local(id) {
             return Err(PlasmaError::ObjectExists(id));
         }
@@ -1196,7 +1578,12 @@ impl ObjectStore for DisaggStore {
     }
 
     fn seal(&self, id: ObjectId) -> Result<ObjectLocation, PlasmaError> {
-        self.inner.core.seal(id)
+        // A create forwarded to a remote ring owner seals there too.
+        let staged_owner = self.inner.staged_out.lock().get(&id).copied();
+        match staged_owner {
+            Some(owner) => self.seal_forwarded(id, owner),
+            None => self.inner.core.seal(id),
+        }
     }
 
     fn get(
@@ -1296,6 +1683,12 @@ impl ObjectStore for DisaggStore {
                 }
             };
         }
+        // The creator's reference of a forwarded create was consumed by
+        // SEAL_AT at the owner; the put flow's trailing release is
+        // satisfied here without touching the network.
+        if self.inner.release_waivers.lock().remove(&id) {
+            return Ok(());
+        }
         if self.inner.core.exists_any_state(id) {
             return self.inner.core.release(id);
         }
@@ -1312,10 +1705,11 @@ impl ObjectStore for DisaggStore {
         if self.inner.core.exists_any_state(id) {
             return self.inner.core.delete(id);
         }
-        // Forward to the owning peer. An unreachable peer might be the
+        // Forward to the owning peer, probing the ring's computed owner
+        // first (most likely holder). An unreachable peer might be the
         // owner, so `NotFound` is only definite once every peer answered.
         let mut unreachable: Option<String> = None;
-        for peer in self.peers_snapshot() {
+        for peer in self.peers_owner_first(id) {
             let req = IdReq { id };
             match self.peer_call(&peer, method::DELETE, req.encode()) {
                 Ok(_) => {
@@ -1352,7 +1746,7 @@ impl ObjectStore for DisaggStore {
             return self.inner.core.delete_deferred(id);
         }
         let mut unreachable: Option<String> = None;
-        for peer in self.peers_snapshot() {
+        for peer in self.peers_owner_first(id) {
             let req = IdReq { id };
             match self.peer_call(&peer, method::DELETE_DEFERRED, req.encode()) {
                 Ok(body) => {
@@ -1382,16 +1776,55 @@ impl ObjectStore for DisaggStore {
     }
 
     fn abort(&self, id: ObjectId) -> Result<(), PlasmaError> {
-        self.inner.core.abort(id)
+        let staged_owner = self.inner.staged_out.lock().remove(&id);
+        match staged_owner {
+            Some(owner) => {
+                // Best-effort: if the owner is unreachable the staged
+                // orphan is aborted by reconciliation at quiesce, so a
+                // failed ABORT_AT is not an error the caller can act on.
+                if let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == owner) {
+                    let req = ForwardReq {
+                        requester: self.inner.node,
+                        epoch: self.ring_epoch(),
+                        id,
+                    };
+                    let _ = self.peer_call(&peer, method::ABORT_AT, req.encode());
+                }
+                Ok(())
+            }
+            None => self.inner.core.abort(id),
+        }
     }
 
     fn contains(&self, id: ObjectId) -> Result<bool, PlasmaError> {
         if self.inner.core.contains(id) {
             return Ok(true);
         }
+        let peers = self.peers_snapshot();
+        // Ring phase: one point-to-point probe at the computed owner. A
+        // positive answer settles it; a negative one falls back to the
+        // broadcast below, because migration can move objects off-ring.
+        let ring_owner = self
+            .ring_owner(id)
+            .filter(|&owner| owner != self.inner.node);
+        if let Some(owner) = ring_owner {
+            if let Some(peer) = peers.iter().find(|p| p.node == owner) {
+                let req = IdReq { id }.encode();
+                if let Ok(body) = self.peer_call(peer, method::CONTAINS, req) {
+                    let resp = BoolResp::decode(body)
+                        .map_err(|e| PlasmaError::Protocol(format!("contains response: {e}")))?;
+                    if resp.value {
+                        self.note_ring_hits(1);
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        if ring_owner.is_some() {
+            self.note_ring_fallbacks(1);
+        }
         // Ask every peer in parallel; unreachable peers count as "not
         // here" (partial answer, not an error).
-        let peers = self.peers_snapshot();
         let req_body = IdReq { id }.encode();
         let answers = self.fanout(&peers, |peer| {
             self.peer_call(peer, method::CONTAINS, req_body.clone())
@@ -1535,6 +1968,7 @@ impl Service for Interconnect {
             method::GET_MANY => {
                 let req = GetManyReq::decode(request)
                     .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                self.store.maybe_adopt_epoch(req.requester, req.epoch);
                 // Partial success by design: each id answers for itself.
                 // Pins are taken (and attributed to the requester) only
                 // for ids found sealed here, so a NotFound entry can
@@ -1558,7 +1992,11 @@ impl Service for Interconnect {
                         },
                     })
                     .collect();
-                Ok(GetManyResp { entries }.encode())
+                Ok(GetManyResp {
+                    entries,
+                    epoch: self.store.ring_epoch(),
+                }
+                .encode())
             }
             method::RECONCILE => {
                 let req = ReconcileReq::decode(request)
@@ -1568,6 +2006,25 @@ impl Service for Interconnect {
                 let mut trimmed = 0u64;
                 for (id, count) in excess {
                     trimmed += count;
+                    let mut count = count;
+                    // A forwarded create the requester no longer claims is
+                    // an orphan: the requester crashed or gave up between
+                    // CREATE_AT and SEAL_AT. Abort it — the staged buffer
+                    // can never be sealed by anyone else.
+                    let staged_by_requester = {
+                        let mut staged = inner.staged_remote.lock();
+                        match staged.get(&id) {
+                            Some(&(requester, _)) if requester == req.requester => {
+                                staged.remove(&id);
+                                true
+                            }
+                            _ => false,
+                        }
+                    };
+                    if staged_by_requester {
+                        let _ = inner.core.abort(id);
+                        count -= 1;
+                    }
                     for _ in 0..count {
                         // The object may have been deleted or evicted since
                         // the orphan pin was taken; nothing left to release.
@@ -1576,6 +2033,150 @@ impl Service for Interconnect {
                 }
                 Ok(ReconcileResp { trimmed }.encode())
             }
+            method::CREATE_AT => {
+                let req = CreateAtReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                self.store.maybe_adopt_epoch(req.requester, req.epoch);
+                let epoch = self.store.ring_epoch();
+                // Dispute ownership only from an installed ring: without
+                // one this node cannot know better than the requester.
+                if epoch > 0 {
+                    match self.store.ring_owner(req.id) {
+                        Some(owner) if owner != inner.node => {
+                            return Ok(CreateAtResp {
+                                status: CreateAtStatus::WrongOwner,
+                                location: None,
+                                epoch,
+                            }
+                            .encode());
+                        }
+                        _ => {}
+                    }
+                }
+                // Idempotent retry: the same requester re-asking for its
+                // own staged create gets the same location back (its
+                // first response may have been lost in flight).
+                {
+                    let staged = inner.staged_remote.lock();
+                    if let Some(&(requester, loc)) = staged.get(&req.id) {
+                        let resp = if requester == req.requester {
+                            CreateAtResp {
+                                status: CreateAtStatus::Ok,
+                                location: Some(loc),
+                                epoch,
+                            }
+                        } else {
+                            CreateAtResp {
+                                status: CreateAtStatus::Exists,
+                                location: None,
+                                epoch,
+                            }
+                        };
+                        return Ok(resp.encode());
+                    }
+                }
+                // The core's id map is the uniqueness arbiter: no
+                // pre-check, `create` itself refuses duplicates.
+                match inner.core.create(req.id, req.data_size, req.metadata_size) {
+                    Ok(loc) => {
+                        inner.remote_refs.pin(req.requester, req.id);
+                        inner
+                            .staged_remote
+                            .lock()
+                            .insert(req.id, (req.requester, loc));
+                        Ok(CreateAtResp {
+                            status: CreateAtStatus::Ok,
+                            location: Some(loc),
+                            epoch,
+                        }
+                        .encode())
+                    }
+                    Err(PlasmaError::ObjectExists(_)) => Ok(CreateAtResp {
+                        status: CreateAtStatus::Exists,
+                        location: None,
+                        epoch,
+                    }
+                    .encode()),
+                    Err(e) => Err(Status::internal(e.to_string())),
+                }
+            }
+            method::SEAL_AT => {
+                let req = ForwardReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                self.store.maybe_adopt_epoch(req.requester, req.epoch);
+                let epoch = self.store.ring_epoch();
+                let staged = {
+                    let mut staged = inner.staged_remote.lock();
+                    match staged.get(&req.id) {
+                        Some(&(requester, _)) if requester == req.requester => {
+                            staged.remove(&req.id);
+                            true
+                        }
+                        _ => false,
+                    }
+                };
+                if staged {
+                    let loc = inner
+                        .core
+                        .seal(req.id)
+                        .map_err(|e| Status::internal(e.to_string()))?;
+                    // Consume the creator's reference here: the
+                    // requester's put finishes with a local waiver
+                    // instead of a trailing RELEASE that could be lost.
+                    if inner.remote_refs.unpin(req.requester, req.id) {
+                        let _ = inner.core.release(req.id);
+                    }
+                    return Ok(CreateAtResp {
+                        status: CreateAtStatus::Ok,
+                        location: Some(loc),
+                        epoch,
+                    }
+                    .encode());
+                }
+                // Idempotent retry: a seal whose response was lost left
+                // the object sealed with no staging entry — peek answers
+                // sealed objects only, so this cannot resurrect aborts.
+                match inner.core.peek(req.id) {
+                    Some(loc) => Ok(CreateAtResp {
+                        status: CreateAtStatus::Ok,
+                        location: Some(loc),
+                        epoch,
+                    }
+                    .encode()),
+                    None => Err(Status::not_found("no staged create for id")),
+                }
+            }
+            method::ABORT_AT => {
+                let req = ForwardReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                self.store.maybe_adopt_epoch(req.requester, req.epoch);
+                let staged = {
+                    let mut staged = inner.staged_remote.lock();
+                    match staged.get(&req.id) {
+                        Some(&(requester, _)) if requester == req.requester => {
+                            staged.remove(&req.id);
+                            true
+                        }
+                        _ => false,
+                    }
+                };
+                if staged {
+                    inner.remote_refs.unpin(req.requester, req.id);
+                    inner
+                        .core
+                        .abort(req.id)
+                        .map_err(|e| Status::internal(e.to_string()))?;
+                }
+                Ok(BoolResp { value: staged }.encode())
+            }
+            method::MEMBERSHIP => {
+                let membership = self.store.membership();
+                let (epoch, nodes) = match membership {
+                    Some(m) => (m.epoch, m.nodes),
+                    None => (0, Vec::new()),
+                };
+                Ok(MembershipResp { epoch, nodes }.encode())
+            }
             method::METRICS => Ok(MetricsResp {
                 node: inner.node,
                 snapshot: Bytes::from(self.store.metrics_snapshot().encode()),
@@ -1583,5 +2184,81 @@ impl Service for Interconnect {
             .encode()),
             other => Err(Status::unimplemented(other)),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plasma::{StoreConfig, StoreCore};
+    use rpclite::RpcClient;
+
+    /// Regression for the ambiguous-owner cache race: when two peers both
+    /// answer a lookup for the same id, the duplicate pin is released back
+    /// to the loser — and the id cache must end up pointing at the
+    /// *ledgered winner*, even if a concurrent pass cached the loser
+    /// between the winner's insert and the duplicate's absorption. Before
+    /// the realign, the released loser entry survived in the cache and
+    /// misrouted (or, in Direct mode, corrupted) every repeat get.
+    #[test]
+    fn duplicate_absorb_realigns_cache_to_ledgered_winner() {
+        let fabric = tfsim::Fabric::virtual_thymesisflow();
+        let nodes: Vec<NodeId> = (0..3).map(|_| fabric.register_node()).collect();
+        let mk_core = |node, name: &str| {
+            StoreCore::new(&fabric, node, StoreConfig::new(name, 1 << 20)).unwrap()
+        };
+        let observer = DisaggStore::new(
+            mk_core(nodes[0], "observer"),
+            DisaggConfig {
+                id_cache: Some((CacheMode::Pinning, 64)),
+                ..DisaggConfig::default()
+            },
+        );
+        let winner_core = mk_core(nodes[1], "winner");
+        let loser_core = mk_core(nodes[2], "loser");
+
+        // Dual-copy state (what a migration race leaves behind): both
+        // peers hold the id sealed, at different fabric locations.
+        let id = ObjectId::from_name("dup");
+        let mut locs = Vec::new();
+        for core in [&winner_core, &loser_core] {
+            core.create(id, 64, 0).unwrap();
+            core.seal(id).unwrap();
+            core.release(id).unwrap();
+            locs.push(core.peek(id).unwrap());
+        }
+
+        // A stub interconnect that accepts the duplicate's release.
+        let hub = ipc::InprocHub::new();
+        let svc =
+            Arc::new(|_m: u32, _b: Bytes| -> Result<Bytes, rpclite::Status> { Ok(Bytes::new()) });
+        let _srv = rpclite::serve(Box::new(hub.bind("stub").unwrap()), svc);
+        let peer = |node, name: &str| Peer {
+            node,
+            name: name.into(),
+            client: Arc::new(RpcClient::new(Box::new(hub.connect("stub").unwrap()))),
+        };
+        let winner = peer(nodes[1], "winner");
+        let loser = peer(nodes[2], "loser");
+
+        let mut found = HashMap::new();
+        observer.absorb_lookup(&winner, vec![locs[0]], &mut found);
+
+        // The interleaving under test: a concurrent targeted pass caches
+        // the loser *after* the winner's answer was absorbed...
+        let cache = observer.inner.idcache.as_ref().unwrap();
+        cache.insert(CachedEntry {
+            location: locs[1],
+            peer: nodes[2],
+        });
+        assert_eq!(cache.lookup(id).unwrap().peer, nodes[2]);
+
+        // ...then the duplicate answer arrives: its pin goes back to the
+        // loser and the stale cache entry is realigned to the winner.
+        observer.absorb_lookup(&loser, vec![locs[1]], &mut found);
+        let entry = cache.lookup(id).expect("entry must survive realign");
+        assert_eq!(entry.peer, nodes[1], "cache must point at the winner");
+        assert_eq!(entry.location.seg.owner, nodes[1]);
+        assert_eq!(found[&id].seg.owner, nodes[1], "winner's answer stands");
     }
 }

@@ -33,17 +33,21 @@ fn encode_batch(batch_idx: usize) -> Vec<u8> {
     out
 }
 
-fn batch_id(i: usize) -> ObjectId {
-    ObjectId::from_name(&format!("sam/batch-{i}"))
-}
-
 fn main() -> Result<(), PlasmaError> {
     let cluster = Cluster::launch(ClusterConfig::paper_testbed(64 << 20))?;
+
+    // The placement ring decides where each id lives; stage 2a listens to
+    // node 0's seal notifications, so pin every batch to node 0 (a batch
+    // sealed elsewhere would never reach that stream).
+    let batch_ids: Vec<ObjectId> = (0..BATCHES)
+        .map(|i| ObjectId::from_name(&cluster.owned_id(0, &format!("sam/batch-{i}"))))
+        .collect();
 
     // Stage 2a + 2b subscribe BEFORE production starts so no seal is missed.
     let coverage_handle = {
         let notifications = cluster.notifications(0)?;
         let cluster = &cluster;
+        let batch_ids = &batch_ids;
         std::thread::scope(move |s| {
             // --- Stage 2a (node 1): per-chromosome coverage counts. ---
             let coverage = s.spawn(move || -> Result<Vec<u64>, PlasmaError> {
@@ -65,12 +69,12 @@ fn main() -> Result<(), PlasmaError> {
             let histogram = s.spawn(move || -> Result<Vec<u64>, PlasmaError> {
                 let client = cluster.client(1)?;
                 let mut hist = vec![0u64; 6];
-                for i in 0..BATCHES {
-                    let buf = client.get_one(batch_id(i), Duration::from_secs(10))?;
+                for &id in batch_ids {
+                    let buf = client.get_one(id, Duration::from_secs(10))?;
                     for read in buf.read_all()?.chunks_exact(6) {
                         hist[(read[5] / 10) as usize] += 1;
                     }
-                    client.release(batch_id(i))?;
+                    client.release(id)?;
                 }
                 Ok(hist)
             });
@@ -78,8 +82,8 @@ fn main() -> Result<(), PlasmaError> {
             // --- Stage 1 (node 0): parse + commit batches. ---
             let producer = s.spawn(move || -> Result<(), PlasmaError> {
                 let client = cluster.client(0)?;
-                for i in 0..BATCHES {
-                    client.put(batch_id(i), &encode_batch(i), &[])?;
+                for (i, &id) in batch_ids.iter().enumerate() {
+                    client.put(id, &encode_batch(i), &[])?;
                 }
                 Ok(())
             });

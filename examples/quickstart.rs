@@ -14,9 +14,12 @@ fn main() {
     // are interconnected with RPC (the paper's gRPC role).
     let cluster = Cluster::launch(ClusterConfig::paper_testbed(64 << 20)).expect("launch");
 
-    // A producer on node 0 commits an object to its local store.
+    // A producer on node 0 commits an object to its local store. The
+    // placement ring decides which node an id lives on, so pick a name
+    // the ring assigns to node 0 — keeping the local-write/remote-read
+    // story below deterministic.
     let producer = cluster.client(0).expect("producer client");
-    let id = ObjectId::from_name("quickstart/greeting");
+    let id = ObjectId::from_name(&cluster.owned_id(0, "quickstart/greeting"));
     producer
         .put(id, b"hello, disaggregated world", b"v1")
         .expect("put");

@@ -12,8 +12,19 @@ use chaos::{
 use ipc::fault::Direction;
 
 /// Fixed seed matrix for the CI soak. Each seed fully determines its
-/// fault schedule; a new seed here is a new adversary forever.
-const SEED_MATRIX: &[u64] = &[0xC0FFEE, 42, 7_577_577, 0xDEAD_2026];
+/// fault schedule; a new seed here is a new adversary forever. The last
+/// two were added with the rendezvous ring: every soak now also audits
+/// ring placement at quiesce (one copy, on the computed owner, epochs
+/// agreed), so these seeds pin adversaries against the forwarded-create
+/// protocol specifically.
+const SEED_MATRIX: &[u64] = &[
+    0xC0FFEE,
+    42,
+    7_577_577,
+    0xDEAD_2026,
+    0x11A5_41F0,
+    0xB1D5_0FF5,
+];
 
 fn soak_one(seed: u64) {
     let nodes = 3;

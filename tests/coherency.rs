@@ -67,7 +67,8 @@ fn seal_discipline_makes_remote_objects_read_safe() {
     let consumer = cluster.client(1).unwrap();
 
     for i in 0..20 {
-        let id = ObjectId::from_name(&format!("sealed/{i}"));
+        // Pin placement to node 0: the consumer's read must be remote.
+        let id = ObjectId::from_name(&cluster.owned_id(0, &format!("sealed/{i}")));
         let pattern = vec![i as u8 ^ 0x5A; 32 << 10];
         producer.put(id, &pattern, &[]).unwrap();
         let buf = consumer.get_one(id, Duration::from_secs(5)).unwrap();
@@ -85,7 +86,7 @@ fn unsealed_objects_never_visible_remotely() {
     let producer = cluster.client(0).unwrap();
     let consumer = cluster.client(1).unwrap();
 
-    let id = ObjectId::from_name("half-written");
+    let id = ObjectId::from_name(&cluster.owned_id(0, "half-written"));
     let builder = producer.create(id, 1024, 0).unwrap();
     builder.write(0, &[1; 512]).unwrap(); // half the payload
 

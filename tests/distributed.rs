@@ -43,11 +43,13 @@ fn producer_consumer_pipeline_across_nodes() {
 
     std::thread::scope(|s| {
         let c = &cluster;
+        // Stage handoffs must cross nodes for the fabric-traffic assert
+        // below: pin raw objects to node 0 and cooked ones to node 1.
         // Stage 1: producer.
         s.spawn(move || {
             let client = c.client(0).unwrap();
             for i in 0..stages {
-                let id = ObjectId::from_name(&format!("pipe/raw-{i}"));
+                let id = ObjectId::from_name(&c.owned_id(0, &format!("pipe/raw-{i}")));
                 client.put(id, &vec![i as u8; 4096], &[]).unwrap();
             }
         });
@@ -55,11 +57,11 @@ fn producer_consumer_pipeline_across_nodes() {
         s.spawn(move || {
             let client = c.client(1).unwrap();
             for i in 0..stages {
-                let raw = ObjectId::from_name(&format!("pipe/raw-{i}"));
+                let raw = ObjectId::from_name(&c.owned_id(0, &format!("pipe/raw-{i}")));
                 let buf = client.get_one(raw, Duration::from_secs(30)).unwrap();
                 let data: Vec<u8> = buf.read_all().unwrap().iter().map(|b| b * 2).collect();
                 client.release(raw).unwrap();
-                let cooked = ObjectId::from_name(&format!("pipe/cooked-{i}"));
+                let cooked = ObjectId::from_name(&c.owned_id(1, &format!("pipe/cooked-{i}")));
                 client.put(cooked, &data, &[]).unwrap();
             }
         });
@@ -67,7 +69,7 @@ fn producer_consumer_pipeline_across_nodes() {
         s.spawn(move || {
             let client = c.client(2).unwrap();
             for i in 0..stages {
-                let cooked = ObjectId::from_name(&format!("pipe/cooked-{i}"));
+                let cooked = ObjectId::from_name(&c.owned_id(1, &format!("pipe/cooked-{i}")));
                 let buf = client.get_one(cooked, Duration::from_secs(30)).unwrap();
                 let data = buf.read_all().unwrap();
                 assert!(data.iter().all(|&b| b == (i as u8) * 2), "stage {i}");
@@ -172,8 +174,9 @@ fn store_growth_spans_segments_transparently_for_remote_readers() {
     let producer = cluster.client(0).unwrap();
     let consumer = cluster.client(1).unwrap();
 
+    // All four land on node 0, forcing *that* store to grow.
     let ids: Vec<ObjectId> = (0..4)
-        .map(|i| ObjectId::from_name(&format!("grown/{i}")))
+        .map(|i| ObjectId::from_name(&cluster.owned_id(0, &format!("grown/{i}"))))
         .collect();
     for (i, id) in ids.iter().enumerate() {
         producer

@@ -38,7 +38,8 @@ fn degraded_link_slows_but_preserves_data() {
     let cluster = Cluster::launch(ClusterConfig::functional(2, 4 << 20)).unwrap();
     let producer = cluster.client(0).unwrap();
     let consumer = cluster.client(1).unwrap();
-    let id = ObjectId::from_name("slow-link");
+    // Pin placement to node 0 so the consumer's read crosses the link.
+    let id = ObjectId::from_name(&cluster.owned_id(0, "slow-link"));
     producer.put(id, &[3; 1 << 20], &[]).unwrap();
     let buf = consumer.get_one(id, Duration::from_secs(5)).unwrap();
 
@@ -95,7 +96,8 @@ fn object_too_large_for_store_is_oom() {
 fn misuse_errors_are_precise() {
     let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
     let client = cluster.client(0).unwrap();
-    let id = ObjectId::from_name("misuse");
+    // Local placement: misuse errors come from the client's own store.
+    let id = ObjectId::from_name(&cluster.owned_id(0, "misuse"));
     client.put(id, b"x", &[]).unwrap();
 
     // Release without holding a reference.
@@ -146,19 +148,26 @@ fn dead_peer_degrades_reads_and_queries_but_fails_create() {
     let c0 = cluster.client(0).unwrap();
     let c1 = cluster.client(1).unwrap();
     let c2 = cluster.client(2).unwrap();
-    let live = ObjectId::from_name("on-live-peer");
-    let dead = ObjectId::from_name("on-dead-peer");
+    let live = ObjectId::from_name(&cluster.owned_id(1, "on-live-peer"));
+    let dead = ObjectId::from_name(&cluster.owned_id(2, "on-dead-peer"));
     c1.put(live, b"still here", &[]).unwrap();
     c2.put(dead, b"unreachable", &[]).unwrap();
 
     cluster.stop_rpc(2);
 
-    // Objects on live peers resolve: the broadcast runs per-peer, so one
-    // dead peer cannot veto an answer another peer has.
+    // Objects on live peers resolve: the ring routes the lookup straight
+    // to the live owner, so the dead peer is never even consulted.
     let buf = c0.get_one(live, Duration::from_secs(5)).unwrap();
     assert_eq!(buf.read_all().unwrap(), b"still here");
     c0.release(live).unwrap();
-    // Three straight transport failures marked the peer Down.
+
+    // Objects on the dead peer miss rather than error: the ring-targeted
+    // probe fails, the broadcast fallback finds no other copy.
+    let out = c0.get(&[dead], Duration::ZERO).unwrap();
+    assert!(out[0].is_none());
+
+    // Three straight transport failures marked the peer Down — and only
+    // the peer that was actually dialed.
     assert_eq!(
         cluster.store(0).peer_state(cluster.node_id(2)),
         PeerState::Down
@@ -168,19 +177,15 @@ fn dead_peer_degrades_reads_and_queries_but_fails_create() {
         PeerState::Up
     );
 
-    // Objects on the dead peer miss rather than error.
-    let out = c0.get(&[dead], Duration::ZERO).unwrap();
-    assert!(out[0].is_none());
-
     // contains / global_list return partial answers, not errors.
     assert!(c0.contains(live).unwrap());
     assert!(!c0.contains(dead).unwrap());
     let inventory = cluster.store(0).global_list().unwrap();
     assert_eq!(inventory.len(), 2, "dead peer omitted from the inventory");
 
-    // create is the one op that cannot degrade (identifier uniqueness
-    // needs every peer's confirmation): typed failure, no residue.
-    let fresh = ObjectId::from_name("fresh");
+    // create is the one op that cannot degrade (the ring owner is the
+    // uniqueness arbiter): typed failure, no residue.
+    let fresh = ObjectId::from_name(&cluster.owned_id(2, "fresh"));
     let err = c0.put(fresh, b"x", &[]).unwrap_err();
     match &err {
         // The detail must survive the client wire protocol and name the
@@ -352,7 +357,7 @@ fn deadline_bounds_calls_to_a_hung_peer() {
 fn failed_migration_releases_its_pin() {
     let cluster = Cluster::launch(ClusterConfig::functional(2, 1 << 20)).unwrap();
     let producer = cluster.client(0).unwrap();
-    let id = ObjectId::from_name("stranded");
+    let id = ObjectId::from_name(&cluster.owned_id(0, "stranded"));
     producer.put(id, &[0xAB; 32 << 10], &[]).unwrap();
 
     // Data plane down, control plane up: migration pins the owner's copy
@@ -508,7 +513,9 @@ fn migration_survives_ambiguous_owner_delete() {
 #[test]
 fn pin_ledger_tracks_owners_separately_across_migration_races() {
     let mut cluster = Cluster::launch(ClusterConfig::functional(3, 1 << 20)).unwrap();
-    let id = ObjectId::from_name("dual-copy");
+    // Owned by the observer: neither copy matches ring placement, so the
+    // lookups below exercise the broadcast-fallback path deterministically.
+    let id = ObjectId::from_name(&cluster.owned_id(0, "dual-copy"));
     // Force the dual-copy state a migration race can leave behind: two
     // peers each hold a sealed copy of the same id (created through the
     // core, bypassing the reserve handshake exactly as migration staging

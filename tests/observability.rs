@@ -15,6 +15,16 @@ fn ids(prefix: &str) -> Vec<ObjectId> {
         .collect()
 }
 
+/// `N` ids that the rendezvous ring places on `node` — for tests whose
+/// counter arithmetic needs every object on one known store.
+fn owned_ids(cluster: &Cluster, node: usize, prefix: &str) -> Vec<ObjectId> {
+    cluster
+        .owned_ids(node, prefix, N)
+        .iter()
+        .map(|name| ObjectId::from_name(name))
+        .collect()
+}
+
 /// The headline acceptance path: after `N` remote gets by node B, node
 /// A's snapshot *of node B* (fetched over the Metrics RPC) shows exactly
 /// `N` remote-hit lookups with a non-zero p50.
@@ -22,7 +32,8 @@ fn ids(prefix: &str) -> Vec<ObjectId> {
 fn remote_gets_show_in_peer_snapshot_with_nonzero_latency() {
     let cluster = Cluster::launch(ClusterConfig::functional(2, 4 << 20)).unwrap();
     let producer = cluster.client(0).unwrap();
-    let ids = ids("obs");
+    // Pin placement to node 0 so every one of node B's gets is remote.
+    let ids = owned_ids(&cluster, 0, "obs");
     for id in &ids {
         producer.put(*id, &[0xA5; 1024], &[]).unwrap();
     }
@@ -76,7 +87,8 @@ fn remote_gets_show_in_peer_snapshot_with_nonzero_latency() {
 fn one_snapshot_covers_plasma_disagg_and_rpc_layers() {
     let cluster = Cluster::launch(ClusterConfig::functional(2, 4 << 20)).unwrap();
     let producer = cluster.client(0).unwrap();
-    let ids = ids("layers");
+    // Node-0-owned ids: creates and gets stay entirely on the local store.
+    let ids = owned_ids(&cluster, 0, "layers");
     for id in &ids {
         producer.put(*id, &[1; 512], &[]).unwrap();
     }
@@ -86,6 +98,10 @@ fn one_snapshot_covers_plasma_disagg_and_rpc_layers() {
         drop(buf);
         producer.release(*id).unwrap();
     }
+    // One peer-owned id exercises the interconnect layer: its create is
+    // forwarded to the ring owner over CREATE_AT (and sealed via SEAL_AT).
+    let forwarded = ObjectId::from_name(&cluster.owned_id(1, "layers/remote"));
+    producer.put(forwarded, &[1; 512], &[]).unwrap();
 
     let snap = cluster.store(0).metrics_snapshot();
     // plasma core: N creates and seals.
@@ -105,16 +121,24 @@ fn one_snapshot_covers_plasma_disagg_and_rpc_layers() {
             .map_or(0, |h| h.count),
         N as u64
     );
+    // N local creates plus the one forwarded create.
     assert_eq!(
         snap.histogram("disagg.create.latency_ns")
             .map_or(0, |h| h.count),
-        N as u64
+        N as u64 + 1
     );
-    // interconnect client: one RESERVE per create, to the one peer.
+    // interconnect client: ring placement makes a locally-owned create an
+    // owner-local check — no reserve broadcast ever; the one peer-owned
+    // create shows up as a single CREATE_AT to the owner.
     assert_eq!(
         snap.histogram("rpc.client.store-1.reserve.latency_ns")
             .map_or(0, |h| h.count),
-        N as u64
+        0
+    );
+    assert_eq!(
+        snap.histogram("rpc.client.store-1.create_at.latency_ns")
+            .map_or(0, |h| h.count),
+        1
     );
 }
 

@@ -14,6 +14,16 @@ fn ids(prefix: &str, n: usize) -> Vec<ObjectId> {
         .collect()
 }
 
+/// `n` ids the rendezvous ring places on `node`, so the one-RPC-per-owner
+/// arithmetic below is deterministic.
+fn owned_ids(cluster: &Cluster, node: usize, prefix: &str, n: usize) -> Vec<ObjectId> {
+    cluster
+        .owned_ids(node, prefix, n)
+        .iter()
+        .map(|name| ObjectId::from_name(name))
+        .collect()
+}
+
 /// The headline batching guarantee: a `batch_get` of 100 small objects
 /// all held by one owner costs exactly **one** `GET_MANY` RPC, visible
 /// both in the interconnect counters and the per-verb client histogram.
@@ -21,7 +31,8 @@ fn ids(prefix: &str, n: usize) -> Vec<ObjectId> {
 fn batched_get_of_100_objects_is_one_rpc() {
     let cluster = Cluster::launch(ClusterConfig::functional(2, 16 << 20)).unwrap();
     let producer = cluster.client(0).unwrap();
-    let ids = ids("batch", 100);
+    // All 100 on node 0: one owner, hence exactly one batched RPC.
+    let ids = owned_ids(&cluster, 0, "batch", 100);
     for (i, id) in ids.iter().enumerate() {
         producer.put(*id, &[i as u8; 64], &[]).unwrap();
     }
@@ -61,7 +72,8 @@ fn batched_get_of_100_objects_is_one_rpc() {
 fn get_many_partial_success_pins_only_found_ids() {
     let cluster = Cluster::launch(ClusterConfig::functional(2, 4 << 20)).unwrap();
     let producer = cluster.client(0).unwrap();
-    let present = ids("part/yes", 3);
+    // Present ids pinned to node 0 so every pin lands in *its* ledger.
+    let present = owned_ids(&cluster, 0, "part/yes", 3);
     let absent = ids("part/no", 2);
     for id in &present {
         producer.put(*id, &[9; 128], &[]).unwrap();

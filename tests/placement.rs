@@ -1,0 +1,158 @@
+//! Rendezvous-placement acceptance: creates issue **zero** reserve RPCs
+//! and land on their computed owner, a stable remote get is exactly
+//! **one** point-to-point RPC, membership epochs gossip on interconnect
+//! traffic, and off-ring objects stay reachable through the broadcast
+//! fallback.
+
+use disagg::{CacheMode, Cluster, ClusterConfig, Membership, PeerState};
+use plasma::{ObjectId, ObjectStore};
+use std::time::Duration;
+
+/// The tentpole claim: creates route deterministically to the rendezvous
+/// owner — no reserve broadcast, no reserve RPCs, anywhere, ever.
+#[test]
+fn creates_issue_zero_reserve_rpcs_and_land_on_their_owner() {
+    let cluster = Cluster::launch(ClusterConfig::functional(3, 4 << 20)).unwrap();
+    for node in 0..3 {
+        let client = cluster.client(node).unwrap();
+        for i in 0..8 {
+            let id = ObjectId::from_name(&format!("spread/{node}/{i}"));
+            client.put(id, &[node as u8 + 1; 256], &[]).unwrap();
+        }
+    }
+    for node in 0..3 {
+        let store = cluster.store(node);
+        assert_eq!(
+            store.disagg_stats().reserve_rpcs,
+            0,
+            "node {node} issued reserve RPCs"
+        );
+        let snap = store.metrics_snapshot();
+        for peer in 0..3 {
+            if peer == node {
+                continue;
+            }
+            let name = format!("rpc.client.store-{peer}.reserve.latency_ns");
+            assert_eq!(
+                snap.histogram(&name).map_or(0, |h| h.count),
+                0,
+                "node {node} has reserve samples against store-{peer}"
+            );
+        }
+        // Every object this store holds is one the ring assigns to it.
+        let node_id = cluster.node_id(node);
+        for info in store.core().list() {
+            assert_eq!(
+                store.ring_owner(info.id),
+                Some(node_id),
+                "node {node} holds {:?} off-ring",
+                info.id
+            );
+        }
+    }
+}
+
+/// Under stable membership, a remote get is one targeted `GET_MANY` to
+/// the computed owner — a ring hit, never a broadcast.
+#[test]
+fn stable_remote_get_is_exactly_one_point_to_point_rpc() {
+    let cluster = Cluster::launch(ClusterConfig::functional(2, 4 << 20)).unwrap();
+    let producer = cluster.client(0).unwrap();
+    let id = ObjectId::from_name(&cluster.owned_id(0, "one-rpc"));
+    producer.put(id, &[7; 2048], &[]).unwrap();
+
+    let s1 = cluster.store(1).clone();
+    let got = s1.get(&[id], Duration::from_secs(1)).unwrap();
+    assert!(got[0].is_some());
+    let stats = s1.disagg_stats();
+    assert_eq!(stats.lookup_rpcs, 1, "one targeted GET_MANY, no broadcast");
+    assert_eq!(stats.ring_hits, 1);
+    assert_eq!(stats.ring_fallbacks, 0);
+    let snap = s1.metrics_snapshot();
+    assert_eq!(
+        snap.histogram("rpc.client.store-0.get_many.latency_ns")
+            .map_or(0, |h| h.count),
+        1
+    );
+    s1.release(id).unwrap();
+}
+
+/// A singleton cluster short-circuits create entirely: the local
+/// existence check *is* the uniqueness check, and no RPC of any kind is
+/// issued.
+#[test]
+fn singleton_cluster_creates_without_any_rpc() {
+    let cluster = Cluster::launch(ClusterConfig::functional(1, 1 << 20)).unwrap();
+    let client = cluster.client(0).unwrap();
+    for i in 0..5 {
+        let id = ObjectId::from_name(&format!("solo/{i}"));
+        client.put(id, b"alone", &[]).unwrap();
+    }
+    let stats = cluster.store(0).disagg_stats();
+    assert_eq!(stats.reserve_rpcs, 0);
+    assert_eq!(stats.lookup_rpcs, 0);
+}
+
+/// The Up→Down transition drops every cached hint pointing at the dead
+/// peer, so repeat gets fall back to the broadcast immediately instead
+/// of eating a call deadline per cached id.
+#[test]
+fn down_transition_drops_cached_hints_at_the_dead_peer() {
+    let mut config = ClusterConfig::functional(2, 4 << 20);
+    config.id_cache = Some((CacheMode::Pinning, 64));
+    let mut cluster = Cluster::launch(config).unwrap();
+    let producer = cluster.client(0).unwrap();
+    let id = ObjectId::from_name(&cluster.owned_id(0, "hinted"));
+    producer.put(id, &[1; 512], &[]).unwrap();
+
+    let s1 = cluster.store(1).clone();
+    let got = s1.get(&[id], Duration::from_secs(1)).unwrap();
+    assert!(got[0].is_some());
+    s1.release(id).unwrap();
+    assert_eq!(s1.idcache_len(), Some(1), "lookup cached a hint");
+
+    // The owner dies; the next get's transport failures complete the
+    // Up→Down transition — which must sweep the hint with it.
+    cluster.stop_rpc(0);
+    let out = s1.get(&[id], Duration::ZERO).unwrap();
+    assert!(out[0].is_none());
+    assert_eq!(s1.peer_state(cluster.node_id(0)), PeerState::Down);
+    assert_eq!(
+        s1.idcache_len(),
+        Some(0),
+        "Down transition must invalidate the dead peer's hints"
+    );
+}
+
+/// A membership bump gossips epoch-first: peers that see a newer epoch on
+/// any interconnect call pull the full table. Objects stranded off-ring
+/// by the change stay reachable via the broadcast fallback.
+#[test]
+fn epoch_bump_gossips_and_off_ring_objects_stay_reachable() {
+    let cluster = Cluster::launch(ClusterConfig::functional(3, 4 << 20)).unwrap();
+    let producer = cluster.client(2).unwrap();
+    let id = ObjectId::from_name(&cluster.owned_id(2, "survivor"));
+    producer.put(id, &[9; 1024], &[]).unwrap();
+
+    // Drain node 2 from the ring (epoch 2), installed on node 0 only:
+    // the other nodes must learn it through gossip, not configuration.
+    let shrunk = Membership::new(2, vec![cluster.node_id(0), cluster.node_id(1)]);
+    assert!(cluster.store(0).set_membership(shrunk.clone()));
+    assert_eq!(cluster.store(0).ring_epoch(), 2);
+
+    // Node 0's get routes by the new ring, misses (the copy is off-ring
+    // on node 2), and the fallback broadcast finds it anyway.
+    let s0 = cluster.store(0).clone();
+    let got = s0.get(&[id], Duration::from_secs(1)).unwrap();
+    assert!(got[0].is_some(), "off-ring object must stay reachable");
+    assert!(s0.disagg_stats().ring_fallbacks >= 1);
+    s0.release(id).unwrap();
+
+    // The broadcast carried epoch 2 to both peers; each pulled the table.
+    assert_eq!(cluster.store(1).ring_epoch(), 2, "node 1 adopted the epoch");
+    assert_eq!(cluster.store(2).ring_epoch(), 2, "node 2 adopted the epoch");
+    assert_eq!(cluster.store(1).membership(), Some(shrunk));
+
+    // And the object is still visible cluster-wide after convergence.
+    assert!(cluster.client(1).unwrap().contains(id).unwrap());
+}
