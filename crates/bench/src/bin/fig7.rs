@@ -12,13 +12,19 @@
 //!
 //! Usage: `cargo run -p bench --bin fig7 --release [-- --small --reps N]`
 
-use bench::{print_store_side, render_table, run_benchmark, HarnessOpts, Summary};
-use disagg::{Cluster, ClusterConfig};
+use bench::{
+    cluster_config, print_store_side, render_table, run_benchmark_between, HarnessOpts, Summary,
+};
+use disagg::Cluster;
+use topo::ClusterSpec;
 
 fn main() {
     let opts = HarnessOpts::parse();
+    // Degenerate 1-rack topology = the paper's testbed (see fig6).
+    let spec = ClusterSpec::paper_testbed();
     let cluster =
-        Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory())).expect("launch cluster");
+        Cluster::launch(cluster_config(&spec, opts.store_memory())).expect("launch cluster");
+    let remote_node = spec.farthest_from(0);
 
     println!(
         "Figure 7: sequential buffer read throughput (GiB/s), {} reps{}",
@@ -28,7 +34,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut plateau = (0.0f64, 0.0f64, 0usize); // (local, remote, count) for benches 4-6
     for spec in opts.specs() {
-        let r = run_benchmark(&cluster, spec, opts.reps, opts.seed).expect("benchmark");
+        let r = run_benchmark_between(&cluster, spec, opts.reps, opts.seed, 0, remote_node)
+            .expect("benchmark");
         let local: Vec<f64> = r.local.iter().map(|s| s.read_gibps).collect();
         let remote: Vec<f64> = r.remote.iter().map(|s| s.read_gibps).collect();
         let l = Summary::of(&local);

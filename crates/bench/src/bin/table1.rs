@@ -8,8 +8,9 @@
 //!
 //! Usage: `cargo run -p bench --bin table1 --release [-- --small --reps N]`
 
-use bench::{commit_objects, print_store_side, render_table, HarnessOpts};
-use disagg::{Cluster, ClusterConfig};
+use bench::{cluster_config, commit_objects, print_store_side, render_table, HarnessOpts};
+use disagg::Cluster;
+use topo::ClusterSpec;
 
 fn main() {
     let opts = HarnessOpts::parse();
@@ -39,8 +40,12 @@ fn main() {
     );
 
     println!("Commit phase (create + write + seal), measured on the simulated testbed:");
-    let cluster =
-        Cluster::launch(ClusterConfig::paper_testbed(opts.store_memory())).expect("launch cluster");
+    // Degenerate 1-rack topology = the paper's testbed (see fig6).
+    let cluster = Cluster::launch(cluster_config(
+        &ClusterSpec::paper_testbed(),
+        opts.store_memory(),
+    ))
+    .expect("launch cluster");
     let producer = cluster.client(0).expect("client");
     let mut rows = Vec::new();
     for spec in specs {

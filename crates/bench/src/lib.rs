@@ -4,6 +4,8 @@
 //! Criterion benches (`benches/*.rs`):
 //!
 //! * [`workload`] — Table I benchmark specs and object commit routines;
+//! * [`fabric`] — topology-driven cluster construction and the A6
+//!   multi-node workload replay with per-tier latency histograms;
 //! * [`measure`] — summary statistics and text-table rendering;
 //! * [`runner`] — the paper's retrieval/read measurement procedure;
 //! * [`storeside`] — store-side latency report from the obs registries,
@@ -13,13 +15,19 @@
 //! which table/figure) and EXPERIMENTS.md for paper-vs-measured results.
 
 pub mod cli;
+pub mod fabric;
 pub mod measure;
 pub mod runner;
 pub mod storeside;
 pub mod workload;
 
 pub use cli::HarnessOpts;
+pub use fabric::{
+    cluster_config, run_cluster_schedule, run_cluster_workload, ClusterRunReport, TierStat,
+};
 pub use measure::{gibps, percentile, render_table, Summary};
-pub use runner::{one_rep, run_benchmark, BenchResult, RepSample, READ_CHUNK};
+pub use runner::{
+    one_rep, run_benchmark, run_benchmark_between, BenchResult, RepSample, READ_CHUNK,
+};
 pub use storeside::{print_store_side, render_store_side};
 pub use workload::{commit_ids, commit_objects, random_data, BenchSpec, TABLE_I, TABLE_I_SMALL};

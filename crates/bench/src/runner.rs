@@ -73,26 +73,35 @@ pub fn one_rep(
     })
 }
 
-/// Run one Table I benchmark on a 2-node cluster (objects live on store 0;
-/// the remote client runs on node 1 against store 1).
-pub fn run_benchmark(
+/// Run one Table I benchmark between a chosen pair of nodes: objects are
+/// pinned to `local_node`'s store; the "local" client runs there and the
+/// "remote" client on `remote_node`. On a topology-built cluster the
+/// pair selects the tier under test (e.g. `spec.farthest_from(0)` for
+/// the worst link); on the paper testbed, `(0, 1)` reproduces §IV-B.
+pub fn run_benchmark_between(
     cluster: &Cluster,
     spec: &BenchSpec,
     reps: usize,
     seed: u64,
+    local_node: usize,
+    remote_node: usize,
 ) -> Result<BenchResult, PlasmaError> {
-    assert!(cluster.len() >= 2, "benchmark needs two nodes");
-    let producer = cluster.client(0)?;
-    let local = cluster.client(0)?;
-    let remote = cluster.client(1)?;
+    assert!(
+        local_node != remote_node && local_node < cluster.len() && remote_node < cluster.len(),
+        "benchmark needs two distinct nodes"
+    );
+    let producer = cluster.client(local_node)?;
+    let local = cluster.client(local_node)?;
+    let remote = cluster.client(remote_node)?;
 
     let tag = format!("run{seed}");
     // The ring would scatter plain ids across the cluster; pin every
-    // object to node 0 so "local" and "remote" keep the paper's meaning.
+    // object to the local node so "local" and "remote" keep the paper's
+    // meaning.
     let ids: Vec<ObjectId> = (0..spec.num_objects)
         .map(|i| {
             let base = format!("bench{}-{}-{}", spec.index, tag, i);
-            ObjectId::from_name(&cluster.owned_id(0, &base))
+            ObjectId::from_name(&cluster.owned_id(local_node, &base))
         })
         .collect();
     let (committed, commit) = cluster
@@ -117,6 +126,17 @@ pub fn run_benchmark(
         producer.delete(*id)?;
     }
     Ok(result)
+}
+
+/// Run one Table I benchmark with the paper's placement: objects on
+/// store 0, remote client on node 1 (see [`run_benchmark_between`]).
+pub fn run_benchmark(
+    cluster: &Cluster,
+    spec: &BenchSpec,
+    reps: usize,
+    seed: u64,
+) -> Result<BenchResult, PlasmaError> {
+    run_benchmark_between(cluster, spec, reps, seed, 0, 1)
 }
 
 #[cfg(test)]

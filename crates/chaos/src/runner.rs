@@ -37,7 +37,7 @@ use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// Workload shape of one soak run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SoakConfig {
     /// Cluster size.
     pub nodes: usize,
@@ -51,6 +51,24 @@ pub struct SoakConfig {
     pub memory_per_node: usize,
     /// Client-side timeout for (batched) gets.
     pub get_timeout: Duration,
+    /// Optional per-pair interconnect link selection (a topology
+    /// expansion such as `topo::ClusterSpec::link_map`), so the soak's
+    /// fault injection rides a tiered fabric instead of instant links.
+    pub links: Option<disagg::LinkMap>,
+}
+
+impl std::fmt::Debug for SoakConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SoakConfig")
+            .field("nodes", &self.nodes)
+            .field("ops_per_client", &self.ops_per_client)
+            .field("names", &self.names)
+            .field("value_len", &self.value_len)
+            .field("memory_per_node", &self.memory_per_node)
+            .field("get_timeout", &self.get_timeout)
+            .field("links", &self.links.as_ref().map(|_| "<map>"))
+            .finish()
+    }
 }
 
 impl SoakConfig {
@@ -64,6 +82,7 @@ impl SoakConfig {
             value_len: 512,
             memory_per_node: 16 << 20,
             get_timeout: Duration::from_millis(50),
+            links: None,
         }
     }
 }
@@ -121,6 +140,7 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
     cluster_config.seed = plan.seed;
     cluster_config.interconnect = soak_interconnect();
     cluster_config.fault_policy = Some(injector.clone());
+    cluster_config.link_map = cfg.links.clone();
     let cluster = Cluster::launch(cluster_config)?;
 
     let recorder = HistoryRecorder::new();

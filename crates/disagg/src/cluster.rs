@@ -22,6 +22,13 @@ use rpclite::{ClientMetrics, NetCost, RpcClient, ServerHandle};
 use std::sync::Arc;
 use tfsim::{Clock, ClockMode, CostModel, Fabric, NodeId};
 
+/// Per-node-pair link selection: given directed pair `(i, j)`, the delay
+/// model of the interconnect channel node `i` dials to node `j`. Produced
+/// by topology expansions (e.g. `topo::ClusterSpec::link_map`) so a
+/// cluster's mesh can have tiered intra-rack / cross-rack / cross-pod
+/// links instead of one uniform `rpc_link`.
+pub type LinkMap = Arc<dyn Fn(usize, usize) -> LinkModel + Send + Sync>;
+
 /// Cluster construction parameters.
 #[derive(Clone)]
 pub struct ClusterConfig {
@@ -33,8 +40,14 @@ pub struct ClusterConfig {
     pub allocator: AllocatorKind,
     /// Virtual (deterministic accounting) or Throttle (wall-clock) time.
     pub clock_mode: ClockMode,
-    /// Delay model of the store-to-store RPC channel.
+    /// Delay model of the store-to-store RPC channel (every pair, unless
+    /// overridden per pair by `link_map`).
     pub rpc_link: LinkModel,
+    /// Optional per-pair override of `rpc_link`: when set, the channel
+    /// from node `i` to node `j` uses `link_map(i, j)` instead. Delay
+    /// seeding per pair is unchanged, so a map returning `rpc_link`
+    /// everywhere reproduces the uniform mesh byte-for-byte.
+    pub link_map: Option<LinkMap>,
     /// Whether Plasma clients charge modeled IPC costs to the clock.
     pub model_client_cost: bool,
     /// Optional remote-id cache on every store.
@@ -66,6 +79,7 @@ impl std::fmt::Debug for ClusterConfig {
             .field("allocator", &self.allocator)
             .field("clock_mode", &self.clock_mode)
             .field("rpc_link", &self.rpc_link)
+            .field("link_map", &self.link_map.as_ref().map(|_| "<map>"))
             .field("model_client_cost", &self.model_client_cost)
             .field("id_cache", &self.id_cache)
             .field("growth", &self.growth)
@@ -90,6 +104,7 @@ impl ClusterConfig {
             allocator: AllocatorKind::SizeMap,
             clock_mode: ClockMode::Virtual,
             rpc_link: LinkModel::grpc_lan(),
+            link_map: None,
             model_client_cost: true,
             id_cache: None,
             growth: None,
@@ -108,6 +123,7 @@ impl ClusterConfig {
             allocator: AllocatorKind::SizeMap,
             clock_mode: ClockMode::Virtual,
             rpc_link: LinkModel::instant(),
+            link_map: None,
             model_client_cost: false,
             id_cache: None,
             growth: None,
@@ -193,11 +209,12 @@ impl Cluster {
                 if i == j {
                     continue;
                 }
+                let model = match &config.link_map {
+                    Some(map) => map(i, j),
+                    None => config.rpc_link,
+                };
                 let net = NetCost {
-                    link: SharedLink::new(
-                        config.rpc_link,
-                        config.seed ^ ((i as u64) << 32) ^ j as u64,
-                    ),
+                    link: SharedLink::new(model, config.seed ^ ((i as u64) << 32) ^ j as u64),
                     clock: fabric.clock().clone(),
                 };
                 let dial_hub = hub.clone();

@@ -50,7 +50,7 @@ pub mod ring;
 pub mod store;
 pub mod usage;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, LinkMap};
 pub use health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 pub use idcache::{CacheMode, CachedEntry, IdCache};
 pub use ring::{Membership, Ring};

@@ -14,8 +14,11 @@ use std::io;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// How often a blocked accept/recv checks its stop flag.
-const POLL: Duration = Duration::from_millis(10);
+/// How often a blocked accept checks its stop flag. An incoming
+/// connection wakes the parked `recv_timeout` immediately, so this only
+/// bounds listener-stop latency — it can be generous, which matters when
+/// one process hosts a whole simulated fabric of listeners.
+const POLL: Duration = Duration::from_millis(250);
 
 /// One half of an in-process connection.
 #[derive(Debug)]

@@ -150,6 +150,19 @@ impl MetricsSnapshot {
         self.histograms.get(name)
     }
 
+    /// All histograms whose name starts with `prefix`, in name order —
+    /// e.g. the per-tier `cluster.get.<tier>.latency_ns` family emitted
+    /// by the topology bench.
+    pub fn histograms_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a HistogramSnapshot)> + 'a {
+        self.histograms
+            .iter()
+            .filter(move |(name, _)| name.starts_with(prefix))
+            .map(|(name, h)| (name.as_str(), h))
+    }
+
     /// Compact binary encoding (histogram buckets stored sparsely).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(256);

@@ -52,6 +52,10 @@ use tfsim::Clock;
 /// so poisoned/replaced connections release their thread promptly.
 const READER_POLL: Duration = Duration::from_millis(25);
 
+/// Ceiling for the idle-poll backoff in `reader_loop`: the longest an
+/// idle reader thread sleeps between stop-flag checks.
+const IDLE_POLL_CAP: Duration = Duration::from_millis(500);
+
 /// Default cap on requests in flight per connection (gRPC's HTTP/2
 /// default stream window is 100; we default slightly under).
 const DEFAULT_WINDOW: usize = 64;
@@ -264,18 +268,34 @@ fn reader_loop(
         );
         return;
     }
+    // The recv timeout only bounds how fast an *idle* reader notices its
+    // stop flag — traffic wakes a parked recv immediately. Back the poll
+    // off exponentially while idle so a large simulated fabric (64 nodes
+    // ≈ 4k channels) doesn't burn the host CPU on idle wakeups, and snap
+    // back to the floor whenever a frame actually arrives.
+    let mut poll = READER_POLL;
     loop {
         if stop.load(Ordering::Acquire) {
             return;
         }
         let frame = match conn.recv() {
             Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::TimedOut => continue, // idle; re-check stop
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                // Idle: re-check stop, then wait longer next round.
+                let next = (poll * 2).min(IDLE_POLL_CAP);
+                if next != poll && conn.set_recv_timeout(Some(next)).is_ok() {
+                    poll = next;
+                }
+                continue;
+            }
             Err(e) => {
                 shared.poison(generation, PoisonCause::Transport(e.kind(), e.to_string()));
                 return;
             }
         };
+        if poll != READER_POLL && conn.set_recv_timeout(Some(READER_POLL)).is_ok() {
+            poll = READER_POLL;
+        }
         if frame.msg_type != FRAME_RESPONSE {
             shared.poison(
                 generation,

@@ -28,6 +28,10 @@ use std::time::Duration;
 /// How often an idle connection thread checks the server stop flag.
 const CONN_POLL: Duration = Duration::from_millis(20);
 
+/// Ceiling for the idle-poll backoff in `serve_conn`: the longest an
+/// idle connection thread sleeps between stop-flag checks.
+const IDLE_POLL_CAP: Duration = Duration::from_millis(500);
+
 /// How many recent call ids a connection remembers for duplicate
 /// suppression. Duplicated frames arrive adjacent to their original
 /// (the network duplicates a frame, not a conversation), so a small
@@ -181,10 +185,15 @@ fn serve_conn(
     stop: StopHandle,
 ) {
     // Poll the stop flag between requests so shutdown can join this
-    // thread even while the client connection stays open.
+    // thread even while the client connection stays open. The timeout
+    // only bounds stop-flag latency — an arriving frame wakes the parked
+    // recv immediately — so idle connections back off exponentially to
+    // keep a large simulated fabric from burning the host CPU on idle
+    // wakeups, snapping back to the floor when traffic resumes.
     if conn.set_recv_timeout(Some(CONN_POLL)).is_err() {
         return;
     }
+    let mut poll = CONN_POLL;
     // Handlers run concurrently and share the write half of the
     // connection behind a mutex; frames are written atomically, so
     // responses interleave cleanly in completion order.
@@ -205,10 +214,17 @@ fn serve_conn(
                 // Idle: re-check stop and reap finished handlers so a
                 // long-lived connection doesn't accumulate handles.
                 handlers.retain(|h| !h.is_finished());
+                let next = (poll * 2).min(IDLE_POLL_CAP);
+                if next != poll && conn.set_recv_timeout(Some(next)).is_ok() {
+                    poll = next;
+                }
                 continue;
             }
             Err(_) => break, // peer gone
         };
+        if poll != CONN_POLL && conn.set_recv_timeout(Some(CONN_POLL)).is_ok() {
+            poll = CONN_POLL;
+        }
         if frame.msg_type != FRAME_REQUEST {
             // Protocol violation: drop the connection.
             break;

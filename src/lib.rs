@@ -11,6 +11,7 @@
 //! * [`rpclite`] — synchronous unary RPC
 //! * [`plasma`] — single-node Plasma object store
 //! * [`disagg`] — the distributed, memory-disaggregated store
+//! * [`topo`] — cluster topology as data + seeded workload generator
 
 pub use disagg;
 pub use ipc;
@@ -20,3 +21,4 @@ pub use obs;
 pub use plasma;
 pub use rpclite;
 pub use tfsim;
+pub use topo;

@@ -61,6 +61,32 @@ fn soak_random_seed() {
     soak_one(seed);
 }
 
+/// Topology-aware soak: the same fault-injection harness, but over an
+/// 8-node 2 × 2 × 2 tiered fabric (intra-rack / cross-rack / cross-pod
+/// links from `topo::ClusterSpec`) instead of instant uniform links —
+/// so consistency holds when faults land on channels with real,
+/// tier-dependent delay distributions.
+#[test]
+fn soak_holds_on_a_tiered_fabric() {
+    let seed = 0x70_0F_AB;
+    let spec = topo::ClusterSpec::small_fabric(seed);
+    let nodes = spec.nodes();
+    let plan = FaultPlan::generate(seed, nodes, 3, 120);
+    let cfg = SoakConfig {
+        ops_per_client: 40,
+        links: Some(spec.link_map()),
+        ..SoakConfig::quick(nodes)
+    };
+    let report = run_plan(&plan, &cfg).expect("soak must launch");
+    assert!(report.events > 0, "soak recorded no operations");
+    assert!(
+        report.verdict.ok(),
+        "tiered-fabric seed {seed:#x} violated consistency:\n{}\nreplay plan:\n{}",
+        report.verdict,
+        plan.serialize()
+    );
+}
+
 /// The determinism contract: two injectors built from equal plans
 /// produce byte-identical fault schedules — tabulated over every link,
 /// both directions, thousands of sequence numbers — and the plan

@@ -77,6 +77,78 @@ fn stable_remote_get_is_exactly_one_point_to_point_rpc() {
     s1.release(id).unwrap();
 }
 
+/// Cluster-scale regression: on a 16-node tiered fabric under stable
+/// membership, every remote get is exactly one targeted RPC — ring
+/// fallbacks stay at zero and the lookup bill equals the get count, no
+/// matter which tier the client/owner pair spans.
+#[test]
+fn sixteen_node_fabric_resolves_every_get_in_one_rpc() {
+    let spec = topo::ClusterSpec {
+        pods: 2,
+        racks_per_pod: 2,
+        hosts_per_rack: 4,
+        ..topo::ClusterSpec::small_fabric(0x16A)
+    };
+    let mut config = ClusterConfig::functional(spec.nodes(), 4 << 20);
+    config.seed = spec.seed;
+    config.link_map = Some(spec.link_map());
+    let cluster = Cluster::launch(config).unwrap();
+    assert_eq!(cluster.len(), 16);
+
+    // One object pinned to every node, via the same owned_id probing the
+    // 2-node tests use.
+    let ids: Vec<_> = (0..16)
+        .map(|home| {
+            let id = ObjectId::from_name(&cluster.owned_id(home, &format!("fab/{home}")));
+            cluster
+                .client(home)
+                .unwrap()
+                .put(id, &[home as u8; 128], &[])
+                .unwrap();
+            id
+        })
+        .collect();
+
+    // Every node gets one object from every tier: its rack-mate, a
+    // cross-rack node, and a cross-pod node (and itself, locally).
+    let mut remote_gets_by_node = [0u64; 16];
+    for (client, remote_gets) in remote_gets_by_node.iter_mut().enumerate() {
+        for home in [
+            client,
+            spec.rack_members(client).find(|&j| j != client).unwrap(),
+            spec.pod_members(spec.coord(client).pod)
+                .find(|&j| spec.tier(client, j) == topo::Tier::CrossRack)
+                .unwrap(),
+            spec.farthest_from(client),
+        ] {
+            let store = cluster.store(client);
+            let got = store.get(&[ids[home]], Duration::from_secs(5)).unwrap();
+            assert!(
+                got[0].is_some(),
+                "client {client} missed node {home}'s object"
+            );
+            store.release(ids[home]).unwrap();
+            if home != client {
+                *remote_gets += 1;
+            }
+        }
+    }
+
+    for (node, remote_gets) in remote_gets_by_node.iter().enumerate() {
+        let stats = cluster.store(node).disagg_stats();
+        assert_eq!(
+            stats.ring_fallbacks, 0,
+            "node {node} fell back to broadcast"
+        );
+        assert_eq!(
+            stats.lookup_rpcs, *remote_gets,
+            "node {node}: each remote get must cost exactly one RPC"
+        );
+        assert_eq!(stats.ring_hits, *remote_gets);
+        assert_eq!(stats.reserve_rpcs, 0, "node {node} issued reserve RPCs");
+    }
+}
+
 /// A singleton cluster short-circuits create entirely: the local
 /// existence check *is* the uniqueness check, and no RPC of any kind is
 /// issued.
