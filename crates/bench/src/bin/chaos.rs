@@ -89,6 +89,26 @@ fn main() {
         report.events, report.injected_faults, report.evictions, report.reconciled
     );
 
+    // Counters only: a fault-injected soak has no meaningful latency or
+    // throughput figure, so the ratchet treats this file as informational.
+    let json = format!(
+        "{{\n  \"bench\": \"chaos\",\n  \"seed\": {},\n  \"nodes\": {},\n  \
+         \"events\": {},\n  \"injected_faults\": {},\n  \"evictions\": {},\n  \
+         \"reconciled\": {},\n  \"borrow_drops\": {},\n  \"borrow_trims\": {},\n  \
+         \"consistent\": {}\n}}\n",
+        plan.seed,
+        opts.nodes,
+        report.events,
+        report.injected_faults,
+        report.evictions,
+        report.reconciled,
+        report.borrow_drops,
+        report.borrow_trims,
+        report.verdict.ok(),
+    );
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+
     if report.verdict.ok() {
         println!("verdict: CONSISTENT");
         return;

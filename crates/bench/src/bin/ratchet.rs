@@ -1,0 +1,155 @@
+//! Perf ratchet: compare freshly generated `BENCH_*.json` files against
+//! committed baselines and fail on a >10% regression.
+//!
+//! ```text
+//! cargo run -p bench --bin ratchet -- BENCH_placement.json fresh/BENCH_placement.json \
+//!                                     BENCH_elastic.json   fresh/BENCH_elastic.json
+//! ```
+//!
+//! Arguments are `baseline fresh` pairs. Each file is scanned for
+//! `"key": number` entries in document order; the two files must expose
+//! the same key sequence (a shape change means the bench itself changed,
+//! which requires a deliberate baseline refresh). Only two key families
+//! are ratcheted:
+//!
+//! * keys containing `p99` — latency, higher is worse: fail when
+//!   `fresh > baseline * 1.10`;
+//! * keys containing `throughput`, `ops_per_sec`, or `gets_per_sec` —
+//!   rate, lower is worse: fail when `fresh < baseline * 0.90`.
+//!
+//! Everything else (medians, counters, configuration echoes) is
+//! informational and never fails the build. Exits non-zero listing every
+//! regression found.
+
+const TOLERANCE: f64 = 0.10;
+
+/// Extract every `"key": number` pair from a JSON document, in order.
+///
+/// This is deliberately not a JSON parser: the bench files are flat or
+/// one-level-nested objects our own bins emit, and a scanner keeps the
+/// ratchet free of any parsing dependency. String values and non-numeric
+/// fields are skipped.
+fn scan(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'"' {
+            i += 1;
+            continue;
+        }
+        let start = i + 1;
+        let Some(len) = text[start..].find('"') else {
+            break;
+        };
+        let key = &text[start..start + len];
+        i = start + len + 1;
+        // Only a key position is followed by a colon.
+        let rest = text[i..].trim_start();
+        let Some(after_colon) = rest.strip_prefix(':') else {
+            continue;
+        };
+        let value = after_colon.trim_start();
+        let num_len = value
+            .find(|c: char| !c.is_ascii_digit() && c != '-' && c != '+' && c != '.' && c != 'e')
+            .unwrap_or(value.len());
+        if let Ok(v) = value[..num_len].parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Direction a ratcheted key regresses in, if it is ratcheted at all.
+enum Rule {
+    HigherIsWorse,
+    LowerIsWorse,
+    Ignore,
+}
+
+fn rule_for(key: &str) -> Rule {
+    if key.contains("p99") {
+        Rule::HigherIsWorse
+    } else if key.contains("throughput") || key.contains("ops_per_sec") || key.contains("per_sec") {
+        Rule::LowerIsWorse
+    } else {
+        Rule::Ignore
+    }
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("ratchet: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || !args.len().is_multiple_of(2) {
+        eprintln!("usage: ratchet <baseline.json> <fresh.json> [<baseline.json> <fresh.json> ...]");
+        std::process::exit(2);
+    }
+
+    let mut regressions = Vec::new();
+    let mut checked = 0usize;
+    for pair in args.chunks(2) {
+        let (base_path, fresh_path) = (&pair[0], &pair[1]);
+        let base = scan(&read(base_path));
+        let fresh = scan(&read(fresh_path));
+
+        let base_keys: Vec<&str> = base.iter().map(|(k, _)| k.as_str()).collect();
+        let fresh_keys: Vec<&str> = fresh.iter().map(|(k, _)| k.as_str()).collect();
+        if base_keys != fresh_keys {
+            regressions.push(format!(
+                "{fresh_path}: key shape differs from baseline {base_path} \
+                 (bench changed? refresh the committed baseline)"
+            ));
+            continue;
+        }
+
+        let before = regressions.len();
+        for (n, ((key, was), (_, now))) in base.iter().zip(&fresh).enumerate() {
+            let verdict = match rule_for(key) {
+                Rule::HigherIsWorse if *was > 0.0 => {
+                    checked += 1;
+                    (*now > was * (1.0 + TOLERANCE)).then_some("rose")
+                }
+                Rule::LowerIsWorse if *was > 0.0 => {
+                    checked += 1;
+                    (*now < was * (1.0 - TOLERANCE)).then_some("fell")
+                }
+                _ => None,
+            };
+            if let Some(direction) = verdict {
+                regressions.push(format!(
+                    "{fresh_path}: {key}[#{n}] {direction} {was:.1} -> {now:.1} \
+                     ({:+.1}% vs {:.0}% tolerance)",
+                    (now / was - 1.0) * 100.0,
+                    TOLERANCE * 100.0,
+                ));
+            }
+        }
+        if regressions.len() == before {
+            println!("ratchet: {fresh_path} vs {base_path}: ok");
+        } else {
+            println!("ratchet: {fresh_path} vs {base_path}: REGRESSED");
+        }
+    }
+
+    println!(
+        "ratchet: {checked} metrics checked across {} file pair(s)",
+        args.len() / 2
+    );
+    if !regressions.is_empty() {
+        eprintln!("ratchet: {} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "ratchet: no regressions beyond {:.0}% tolerance",
+        TOLERANCE * 100.0
+    );
+}

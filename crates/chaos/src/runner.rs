@@ -7,7 +7,9 @@
 //!    [`ChaosInjector`] executing the given [`FaultPlan`].
 //! 2. One worker thread per node drives that node's Plasma client with a
 //!    seeded random mix of put / get / batched get / delete / contains
-//!    over a small colliding namespace, recording every operation (with
+//!    over a small colliding namespace — plus, with
+//!    [`SoakConfig::elastic`], spill-to-peer and heat-driven rebalance
+//!    store operations — recording every client-visible operation (with
 //!    real-time intervals and checksummed payload verdicts) into a
 //!    [`HistoryRecorder`].
 //! 3. Disarm the injector and run a settle phase over the now-clean
@@ -15,9 +17,14 @@
 //!    left its requester-side ledger entry in place), sweep `contains`
 //!    probes until parked remote releases have flushed (any successful
 //!    interconnect call flushes them), then reconcile pins so owners
-//!    can trim pins orphaned by responses the nemesis dropped.
-//! 4. Quiesce audit: every ledger must be empty — owner-side remote
-//!    pins, requester-side held pins, parked releases.
+//!    can trim pins orphaned by responses the nemesis dropped, and
+//!    reconcile borrow ledgers so ambiguous spills converge back to a
+//!    single accounted replica.
+//! 4. Quiesce audit: every pin ledger must be empty — owner-side remote
+//!    pins, requester-side held pins, parked releases — and the borrow
+//!    ledgers must be mutually consistent: every off-ring sealed object
+//!    accounted for by exactly one owner-side lent entry, no orphans on
+//!    either side.
 //! 5. Run the [`crate::checker`] over the recorded history.
 //!
 //! Fault decisions are deterministic per (link, direction, seq) — see
@@ -55,6 +62,10 @@ pub struct SoakConfig {
     /// expansion such as `topo::ClusterSpec::link_map`), so the soak's
     /// fault injection rides a tiered fabric instead of instant links.
     pub links: Option<disagg::LinkMap>,
+    /// Mix elastic-tier store operations (spill-to-peer, heat-driven
+    /// rebalance) into the workload, and reconcile + audit the borrow
+    /// ledgers at quiesce. Exercises delegation under fault injection.
+    pub elastic: bool,
 }
 
 impl std::fmt::Debug for SoakConfig {
@@ -67,6 +78,7 @@ impl std::fmt::Debug for SoakConfig {
             .field("memory_per_node", &self.memory_per_node)
             .field("get_timeout", &self.get_timeout)
             .field("links", &self.links.as_ref().map(|_| "<map>"))
+            .field("elastic", &self.elastic)
             .finish()
     }
 }
@@ -83,6 +95,7 @@ impl SoakConfig {
             memory_per_node: 16 << 20,
             get_timeout: Duration::from_millis(50),
             links: None,
+            elastic: true,
         }
     }
 }
@@ -102,6 +115,12 @@ pub struct SoakReport {
     /// Owner-side pins found orphaned by dropped responses and trimmed
     /// during settle-phase reconciliation.
     pub reconciled: u64,
+    /// Redundant borrowed replicas dropped by settle-phase borrow
+    /// reconciliation (an owner kept its copy after an ambiguous spill).
+    pub borrow_drops: u64,
+    /// Owner-side lent entries trimmed because the holder no longer
+    /// honors them (the replica was deleted behind the owner's back).
+    pub borrow_trims: u64,
 }
 
 /// The object id of workload name `n` (shared by all workers).
@@ -223,8 +242,24 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
         reconciled += cluster.store(i).reconcile_pins().unwrap_or(0);
     }
 
+    // 3d: borrow-ledger reconciliation. A SPILL_AT response the nemesis
+    // dropped left the holder with a sealed replica the owner never
+    // ledgered (duplication, never loss — seal-before-delete). Each
+    // holder reports exactly what it borrowed; owners re-install missing
+    // lent entries, declare redundant replicas droppable, and trim
+    // entries no holder honors.
+    let mut borrow_drops = 0u64;
+    let mut borrow_trims = 0u64;
+    for i in 0..cfg.nodes {
+        if let Ok((drops, trims)) = cluster.store(i).reconcile_borrows() {
+            borrow_drops += drops;
+            borrow_trims += trims;
+        }
+    }
+
     // Phase 4: quiesce audit — all pin ledgers must be empty, and every
-    // surviving object must sit where the rendezvous ring says it does.
+    // surviving object must sit where the rendezvous ring says it does
+    // (or where the owner's borrow ledger says it was delegated).
     let mut verdict = check_quiesce(&cluster, cfg.nodes);
     verdict
         .violations
@@ -246,6 +281,8 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
         injected_faults: injector.injected_faults(),
         evictions,
         reconciled,
+        borrow_drops,
+        borrow_trims,
     })
 }
 
@@ -276,13 +313,17 @@ fn check_quiesce(cluster: &Cluster, nodes: usize) -> Verdict {
     verdict
 }
 
-/// Ring-ownership audit: the soak's workload never migrates objects, so
-/// with rendezvous placement every sealed survivor must live on exactly
-/// the node the ring computes as its owner — one copy, nowhere else — and
-/// all nodes must have converged on one membership epoch. A violation
-/// here means a forwarded create landed (or left residue) off-ring under
-/// fault injection.
+/// Ring-ownership and borrow-ledger audit: with rendezvous placement
+/// every sealed survivor must live on exactly one node — either the node
+/// the ring computes as its owner, or a holder the owner's borrow ledger
+/// records for exactly that delegation — and all nodes must have
+/// converged on one membership epoch. Both sides of every delegation
+/// must agree: an owner-side `lent` entry whose holder has no sealed
+/// replica (or no matching `borrowed` entry) is an orphan, and so is the
+/// reverse. A violation here means a forwarded create or a spill landed
+/// (or left residue) somewhere the ledgers cannot account for.
 fn check_ring_placement(cluster: &Cluster, nodes: usize) -> Verdict {
+    use std::collections::{HashMap, HashSet};
     let mut verdict = Verdict::default();
     let Some(membership) = cluster.store(0).membership() else {
         return verdict; // legacy broadcast cluster: nothing to audit
@@ -297,29 +338,103 @@ fn check_ring_placement(cluster: &Cluster, nodes: usize) -> Verdict {
             ));
         }
     }
-    let mut holders: std::collections::HashMap<ObjectId, Vec<usize>> =
-        std::collections::HashMap::new();
-    for i in 0..nodes {
-        let node_id = cluster.node_id(i);
+
+    // Gather both sides of every ledger and each node's sealed set.
+    let index_of: HashMap<disagg::NodeId, usize> =
+        (0..nodes).map(|i| (cluster.node_id(i), i)).collect();
+    let mut sealed_at: Vec<HashSet<ObjectId>> = vec![HashSet::new(); nodes];
+    let mut holders: HashMap<ObjectId, Vec<usize>> = HashMap::new();
+    for (i, sealed) in sealed_at.iter_mut().enumerate() {
         for info in cluster.store(i).core().list() {
-            if info.state != plasma::ObjectState::Sealed {
-                continue;
+            if info.state == plasma::ObjectState::Sealed {
+                sealed.insert(info.id);
+                holders.entry(info.id).or_default().push(i);
             }
-            holders.entry(info.id).or_default().push(i);
-            let owner = ring.owner_of(info.id);
-            if owner != Some(node_id) {
+        }
+    }
+    // lent[(owner idx, id)] = holder idx, from the owners' ledgers.
+    let mut lent: HashMap<(usize, ObjectId), usize> = HashMap::new();
+    for i in 0..nodes {
+        for (id, holder) in cluster.store(i).lent_snapshot() {
+            match index_of.get(&holder) {
+                Some(&h) => {
+                    lent.insert((i, id), h);
+                }
+                None => verdict.violations.push(format!(
+                    "borrow violation: node {i} lends {id:?} to unknown node {holder:?}"
+                )),
+            }
+        }
+    }
+
+    for (i, sealed) in sealed_at.iter().enumerate() {
+        let node_id = cluster.node_id(i);
+        for &id in sealed {
+            let owner = ring.owner_of(id);
+            if owner == Some(node_id) {
+                continue; // on-ring: the normal case
+            }
+            // Off-ring: legitimate only as the recorded holder of the
+            // ring owner's delegation.
+            let accounted = owner
+                .and_then(|o| index_of.get(&o))
+                .is_some_and(|&o| lent.get(&(o, id)) == Some(&i));
+            if !accounted {
                 verdict.violations.push(format!(
-                    "ring violation: node {i} holds {:?} but its ring owner is {owner:?}",
-                    info.id
+                    "ring violation: node {i} holds {id:?} off-ring with no matching \
+                     lent entry at its ring owner {owner:?}"
                 ));
             }
         }
     }
-    for (id, nodes) in holders {
+    for (id, nodes) in &holders {
         if nodes.len() > 1 {
             verdict.violations.push(format!(
                 "ring violation: {id:?} is sealed on multiple nodes {nodes:?}"
             ));
+        }
+    }
+
+    // Owner-side entries must be honored by their holder.
+    for (&(owner, id), &holder) in &lent {
+        if sealed_at[owner].contains(&id) {
+            verdict.violations.push(format!(
+                "borrow violation: node {owner} both seals {id:?} and lends it to node {holder}"
+            ));
+        }
+        if !sealed_at[holder].contains(&id) {
+            verdict.violations.push(format!(
+                "borrow violation: node {owner} lends {id:?} to node {holder}, \
+                 which holds no sealed replica (orphaned lent entry)"
+            ));
+        }
+        let backref = cluster
+            .store(holder)
+            .borrowed_snapshot()
+            .into_iter()
+            .any(|(bid, from)| bid == id && index_of.get(&from) == Some(&owner));
+        if !backref {
+            verdict.violations.push(format!(
+                "borrow violation: node {owner} lends {id:?} to node {holder}, \
+                 but the holder has no matching borrowed entry"
+            ));
+        }
+    }
+    // Holder-side entries must be backed by the owner's ledger.
+    for i in 0..nodes {
+        for (id, from) in cluster.store(i).borrowed_snapshot() {
+            let Some(&owner) = index_of.get(&from) else {
+                verdict.violations.push(format!(
+                    "borrow violation: node {i} borrows {id:?} from unknown node {from:?}"
+                ));
+                continue;
+            };
+            if lent.get(&(owner, id)) != Some(&i) {
+                verdict.violations.push(format!(
+                    "borrow violation: node {i} borrows {id:?} from node {owner}, \
+                     which has no matching lent entry (orphaned borrowed entry)"
+                ));
+            }
         }
     }
     verdict
@@ -395,7 +510,43 @@ fn worker(
                 let ok = client.delete(id).is_ok();
                 recorder.record(node, invoke, EventKind::Delete { name, ok });
             }
-            // 10%: contains.
+            // 5%: contains (10% with the elastic mix off).
+            90..=94 => {
+                let invoke = recorder.now_us();
+                if let Ok(present) = client.contains(id) {
+                    recorder.record(node, invoke, EventKind::Contains { name, present });
+                }
+            }
+            // 5%: elastic-tier store ops — spill a ring-owned sealed
+            // object to a random peer, or run a heat-driven rebalance
+            // pass. Not client-visible, so nothing is recorded; the
+            // borrow-ledger quiesce audit and the redirect-following
+            // gets above are what hold them to account.
+            _ if cfg.elastic && cfg.nodes > 1 => {
+                let store = cluster.store(node);
+                if rng.gen_bool(0.3) {
+                    let _ = store.rebalance_once();
+                } else {
+                    let self_id = cluster.node_id(node);
+                    let target = {
+                        let mut t = rng.gen_range(0..cfg.nodes - 1);
+                        if t >= node {
+                            t += 1;
+                        }
+                        cluster.node_id(t)
+                    };
+                    let start = rng.gen_range(0..cfg.names);
+                    let candidate = (0..cfg.names)
+                        .map(|off| chaos_oid((start + off) % cfg.names))
+                        .find(|&id| {
+                            store.ring_owner(id) == Some(self_id) && store.core().peek(id).is_some()
+                        });
+                    if let Some(id) = candidate {
+                        let _ = store.spill_to(id, target);
+                    }
+                }
+            }
+            // Elastic mix off: the remaining 5% are contains too.
             _ => {
                 let invoke = recorder.now_us();
                 if let Ok(present) = client.contains(id) {

@@ -7,6 +7,7 @@
 //! the 2-node instance of this; the design — and this harness — support
 //! "rack-scale solutions \[with\] multiple nodes" (paper §V-B).
 
+use crate::elastic::ElasticConfig;
 use crate::idcache::CacheMode;
 use crate::proto::method;
 use crate::ring::Membership;
@@ -58,6 +59,9 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Interconnect fault tolerance (deadlines, retries, peer health).
     pub interconnect: InterconnectConfig,
+    /// Elastic capacity tier: spill/lend watermarks, admission control,
+    /// rebalance heat threshold. Applied to every store.
+    pub elastic: ElasticConfig,
     /// Optional wire-level fault policy: every interconnect connection
     /// node `i` dials to node `j` is wrapped in an [`FaultConn`] labeled
     /// `"i->j"`, so a chaos harness can drop, delay, duplicate, corrupt
@@ -85,6 +89,7 @@ impl std::fmt::Debug for ClusterConfig {
             .field("growth", &self.growth)
             .field("seed", &self.seed)
             .field("interconnect", &self.interconnect)
+            .field("elastic", &self.elastic)
             .field(
                 "fault_policy",
                 &self.fault_policy.as_ref().map(|_| "<policy>"),
@@ -110,6 +115,7 @@ impl ClusterConfig {
             growth: None,
             seed: 0x7F1A,
             interconnect: InterconnectConfig::default(),
+            elastic: ElasticConfig::default(),
             fault_policy: None,
             ring: true,
         }
@@ -129,6 +135,7 @@ impl ClusterConfig {
             growth: None,
             seed: 1,
             interconnect: InterconnectConfig::default(),
+            elastic: ElasticConfig::default(),
             fault_policy: None,
             ring: true,
         }
@@ -185,6 +192,7 @@ impl Cluster {
                     lookup_remote: true,
                     id_cache: config.id_cache,
                     interconnect: config.interconnect.clone(),
+                    elastic: config.elastic,
                 },
             );
             let rpc_listener = hub.bind(&format!("rpc-{i}"))?;

@@ -1,0 +1,382 @@
+//! Elastic capacity tier: pressure model, borrow ledger, heat tracking.
+//!
+//! Three small mechanisms that together let a node's effective capacity
+//! stretch across the cluster:
+//!
+//! * **Pressure-driven spill** — a node above its high watermark pushes
+//!   cold sealed objects (the LRU tail) to the peer advertising the most
+//!   free bytes, running the migration machinery *in reverse*: the lender
+//!   seals a replica before the owner deletes, so a lost response can
+//!   duplicate an immutable object but never lose it.
+//! * **Borrow ledger** — both ends record the delegation. The ring owner
+//!   keeps a `lent` entry so `get`s routed to it answer with a one-hop
+//!   `Moved` redirect; the holder keeps a `borrowed` entry so quiesce
+//!   reconciliation can prove no delegation is orphaned.
+//! * **Heat tracking** — owners count remote hits per (object, reader)
+//!   and push sufficiently hot objects *toward* their dominant reader
+//!   (rebalance), turning remote reads into local ones.
+//!
+//! Admission control rides the same config: a bounded number of in-flight
+//! (created-but-unsealed) objects per node, beyond which `create` sheds
+//! load with [`plasma::PlasmaError::Overloaded`] instead of collapsing.
+
+use parking_lot::Mutex;
+use plasma::ObjectId;
+use std::collections::{HashMap, HashSet};
+use tfsim::NodeId;
+
+/// Tuning knobs for the elastic capacity tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticConfig {
+    /// Local occupancy (parts-per-million of capacity) above which
+    /// [`maybe_spill`](crate::DisaggStore::maybe_spill) starts pushing
+    /// cold objects to lenders.
+    pub high_watermark_ppm: u64,
+    /// Spilling stops once occupancy drops to this level.
+    pub low_watermark_ppm: u64,
+    /// A lender refuses to adopt an object that would push its own
+    /// occupancy above this level — pressure must never cascade.
+    pub lend_headroom_ppm: u64,
+    /// Most objects examined per spill pass (bounds pass latency).
+    pub max_spill_batch: usize,
+    /// Most in-flight (created, not yet sealed) objects admitted before
+    /// `create` sheds load with `Overloaded`. `0` disables admission
+    /// control.
+    pub max_inflight_creates: u64,
+    /// Backoff hint carried by `Overloaded` rejections, milliseconds.
+    pub retry_after_ms: u64,
+    /// Remote hits from one reader before a rebalance pass considers the
+    /// object hot enough to move toward that reader.
+    pub heat_min_hits: u32,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            high_watermark_ppm: 850_000,
+            low_watermark_ppm: 700_000,
+            lend_headroom_ppm: 600_000,
+            max_spill_batch: 32,
+            max_inflight_creates: 0,
+            retry_after_ms: 25,
+            heat_min_hits: 8,
+        }
+    }
+}
+
+/// One recorded delegation: the remote end of a spilled object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Delegation {
+    /// The other node: the holder for a `lent` entry, the owner for a
+    /// `borrowed` entry.
+    peer: NodeId,
+    /// Object size (data + metadata), for spilled-bytes accounting.
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct LedgerState {
+    /// Owner side: objects this node delegated away, by holder.
+    lent: HashMap<ObjectId, Delegation>,
+    /// Holder side: objects this node adopted, by owner.
+    borrowed: HashMap<ObjectId, Delegation>,
+}
+
+/// Aggregate ledger occupancy, for gauges and quiesce audits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LedgerCounts {
+    /// Number of objects this node has lent out.
+    pub lent: u64,
+    /// Total bytes this node has lent out (its "spilled" footprint).
+    pub lent_bytes: u64,
+    /// Number of objects this node holds on behalf of owners.
+    pub borrowed: u64,
+    /// Total bytes held on behalf of owners.
+    pub borrowed_bytes: u64,
+}
+
+/// Both ends of every delegation this node participates in.
+///
+/// The owner records `lent` entries when a spill is acknowledged; the
+/// holder records `borrowed` entries when it seals the replica. The two
+/// maps are disjoint in steady state (a node never borrows its own
+/// objects), and quiesce reconciliation proves every entry has its
+/// matching counterpart on the other node.
+#[derive(Debug, Default)]
+pub struct BorrowLedger {
+    state: Mutex<LedgerState>,
+}
+
+impl BorrowLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record (owner side) that `id` is now held by `holder`.
+    pub fn record_lent(&self, id: ObjectId, holder: NodeId, bytes: u64) {
+        self.state.lock().lent.insert(
+            id,
+            Delegation {
+                peer: holder,
+                bytes,
+            },
+        );
+    }
+
+    /// The holder of `id`, if this node lent it out.
+    pub fn lent_holder(&self, id: ObjectId) -> Option<NodeId> {
+        self.state.lock().lent.get(&id).map(|d| d.peer)
+    }
+
+    /// The recorded size of a lent entry, if any — used to preserve byte
+    /// accounting when reconciliation re-installs a delegation.
+    pub fn lent_bytes(&self, id: ObjectId) -> Option<u64> {
+        self.state.lock().lent.get(&id).map(|d| d.bytes)
+    }
+
+    /// Erase the owner-side entry for `id` (delegation ended).
+    pub fn remove_lent(&self, id: ObjectId) -> bool {
+        self.state.lock().lent.remove(&id).is_some()
+    }
+
+    /// Record (holder side) that `id` is held here for `owner`.
+    pub fn record_borrowed(&self, id: ObjectId, owner: NodeId, bytes: u64) {
+        self.state
+            .lock()
+            .borrowed
+            .insert(id, Delegation { peer: owner, bytes });
+    }
+
+    /// The owner of `id`, if this node borrowed it.
+    pub fn borrowed_owner(&self, id: ObjectId) -> Option<NodeId> {
+        self.state.lock().borrowed.get(&id).map(|d| d.peer)
+    }
+
+    /// Erase the holder-side entry for `id` (replica dropped or deleted).
+    pub fn remove_borrowed(&self, id: ObjectId) -> bool {
+        self.state.lock().borrowed.remove(&id).is_some()
+    }
+
+    /// Every id this node borrows from `owner` (one reconcile report).
+    pub fn borrowed_from(&self, owner: NodeId) -> Vec<ObjectId> {
+        self.state
+            .lock()
+            .borrowed
+            .iter()
+            .filter(|(_, d)| d.peer == owner)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Owner-side trim: drop every lent entry toward `holder` whose id is
+    /// not in `reported` (the holder no longer honors it). Returns how
+    /// many entries were dropped.
+    pub fn trim_lent(&self, holder: NodeId, reported: &HashSet<ObjectId>) -> u64 {
+        let mut st = self.state.lock();
+        let before = st.lent.len();
+        st.lent
+            .retain(|id, d| d.peer != holder || reported.contains(id));
+        (before - st.lent.len()) as u64
+    }
+
+    /// Owner-side view: every `(id, holder)` pair currently lent.
+    pub fn lent_snapshot(&self) -> Vec<(ObjectId, NodeId)> {
+        self.state
+            .lock()
+            .lent
+            .iter()
+            .map(|(id, d)| (*id, d.peer))
+            .collect()
+    }
+
+    /// Holder-side view: every `(id, owner)` pair currently borrowed.
+    pub fn borrowed_snapshot(&self) -> Vec<(ObjectId, NodeId)> {
+        self.state
+            .lock()
+            .borrowed
+            .iter()
+            .map(|(id, d)| (*id, d.peer))
+            .collect()
+    }
+
+    /// Aggregate counts and byte totals (gauge sync, audits).
+    pub fn counts(&self) -> LedgerCounts {
+        let st = self.state.lock();
+        LedgerCounts {
+            lent: st.lent.len() as u64,
+            lent_bytes: st.lent.values().map(|d| d.bytes).sum(),
+            borrowed: st.borrowed.len() as u64,
+            borrowed_bytes: st.borrowed.values().map(|d| d.bytes).sum(),
+        }
+    }
+}
+
+/// Owner-side remote-hit accounting: how many times each remote reader
+/// fetched each object, so rebalancing can move hot objects toward their
+/// dominant consumer. Complements the aggregate
+/// `disagg.get.remote_hit.latency_ns` histogram with the per-object
+/// attribution that histogram cannot carry.
+#[derive(Debug, Default)]
+pub struct HeatMap {
+    state: Mutex<HashMap<ObjectId, HashMap<NodeId, u32>>>,
+}
+
+impl HeatMap {
+    /// An empty heat map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one remote hit on `id` by `reader`.
+    pub fn record(&self, id: ObjectId, reader: NodeId) {
+        *self
+            .state
+            .lock()
+            .entry(id)
+            .or_default()
+            .entry(reader)
+            .or_insert(0) += 1;
+    }
+
+    /// The hottest reader of `id` and its hit count, if any.
+    pub fn hottest(&self, id: ObjectId) -> Option<(NodeId, u32)> {
+        self.state.lock().get(&id).and_then(|readers| {
+            // Deterministic tie-break: lowest node id wins.
+            readers
+                .iter()
+                .max_by_key(|(node, hits)| (**hits, std::cmp::Reverse(node.0)))
+                .map(|(node, hits)| (*node, *hits))
+        })
+    }
+
+    /// Drain every object whose hottest reader reached `min_hits`,
+    /// returning `(id, reader, hits)` triples. Drained objects restart
+    /// cold; objects below the threshold keep accumulating.
+    pub fn drain_hot(&self, min_hits: u32) -> Vec<(ObjectId, NodeId, u32)> {
+        let mut st = self.state.lock();
+        let hot: Vec<(ObjectId, NodeId, u32)> = st
+            .iter()
+            .filter_map(|(id, readers)| {
+                readers
+                    .iter()
+                    .max_by_key(|(node, hits)| (**hits, std::cmp::Reverse(node.0)))
+                    .filter(|(_, hits)| **hits >= min_hits)
+                    .map(|(node, hits)| (*id, *node, *hits))
+            })
+            .collect();
+        let mut out = hot;
+        out.sort_by_key(|(id, _, _)| *id);
+        for (id, _, _) in &out {
+            st.remove(id);
+        }
+        out
+    }
+
+    /// Forget everything recorded about `id` (deleted or already moved).
+    pub fn clear(&self, id: ObjectId) {
+        self.state.lock().remove(&id);
+    }
+
+    /// Number of objects currently tracked.
+    pub fn len(&self) -> usize {
+        self.state.lock().len()
+    }
+
+    /// True when no object has recorded heat.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u8) -> ObjectId {
+        ObjectId::from_bytes([n; 20])
+    }
+
+    #[test]
+    fn ledger_tracks_both_sides() {
+        let ledger = BorrowLedger::new();
+        ledger.record_lent(id(1), NodeId(2), 100);
+        ledger.record_borrowed(id(9), NodeId(7), 40);
+
+        assert_eq!(ledger.lent_holder(id(1)), Some(NodeId(2)));
+        assert_eq!(ledger.lent_holder(id(9)), None);
+        assert_eq!(ledger.borrowed_owner(id(9)), Some(NodeId(7)));
+        assert_eq!(ledger.borrowed_from(NodeId(7)), vec![id(9)]);
+        assert!(ledger.borrowed_from(NodeId(2)).is_empty());
+
+        let counts = ledger.counts();
+        assert_eq!(counts.lent, 1);
+        assert_eq!(counts.lent_bytes, 100);
+        assert_eq!(counts.borrowed, 1);
+        assert_eq!(counts.borrowed_bytes, 40);
+
+        assert!(ledger.remove_lent(id(1)));
+        assert!(!ledger.remove_lent(id(1)));
+        assert!(ledger.remove_borrowed(id(9)));
+        assert_eq!(ledger.counts(), LedgerCounts::default());
+    }
+
+    #[test]
+    fn trim_lent_drops_only_unreported_entries_of_that_holder() {
+        let ledger = BorrowLedger::new();
+        ledger.record_lent(id(1), NodeId(2), 10);
+        ledger.record_lent(id(2), NodeId(2), 10);
+        ledger.record_lent(id(3), NodeId(5), 10);
+
+        let reported: HashSet<ObjectId> = [id(1)].into_iter().collect();
+        assert_eq!(ledger.trim_lent(NodeId(2), &reported), 1);
+        assert_eq!(ledger.lent_holder(id(1)), Some(NodeId(2)));
+        assert_eq!(ledger.lent_holder(id(2)), None, "unreported: trimmed");
+        assert_eq!(
+            ledger.lent_holder(id(3)),
+            Some(NodeId(5)),
+            "other holder untouched"
+        );
+    }
+
+    #[test]
+    fn heat_map_finds_dominant_reader() {
+        let heat = HeatMap::new();
+        for _ in 0..3 {
+            heat.record(id(1), NodeId(4));
+        }
+        heat.record(id(1), NodeId(9));
+        assert_eq!(heat.hottest(id(1)), Some((NodeId(4), 3)));
+        assert_eq!(heat.hottest(id(2)), None);
+    }
+
+    #[test]
+    fn heat_ties_break_to_lowest_node() {
+        let heat = HeatMap::new();
+        heat.record(id(1), NodeId(9));
+        heat.record(id(1), NodeId(3));
+        assert_eq!(heat.hottest(id(1)), Some((NodeId(3), 1)));
+    }
+
+    #[test]
+    fn drain_hot_removes_only_objects_over_threshold() {
+        let heat = HeatMap::new();
+        for _ in 0..5 {
+            heat.record(id(1), NodeId(2));
+        }
+        heat.record(id(2), NodeId(3));
+        let hot = heat.drain_hot(4);
+        assert_eq!(hot, vec![(id(1), NodeId(2), 5)]);
+        assert_eq!(heat.len(), 1, "cold object keeps accumulating");
+        assert_eq!(heat.hottest(id(2)), Some((NodeId(3), 1)));
+        assert!(heat.drain_hot(4).is_empty(), "drained objects restart cold");
+    }
+
+    #[test]
+    fn config_default_disables_admission_only() {
+        let cfg = ElasticConfig::default();
+        assert_eq!(cfg.max_inflight_creates, 0, "admission off by default");
+        assert!(cfg.low_watermark_ppm < cfg.high_watermark_ppm);
+        assert!(cfg.lend_headroom_ppm < cfg.low_watermark_ppm);
+    }
+}

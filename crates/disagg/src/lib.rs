@@ -43,6 +43,7 @@
 #![deny(missing_docs)]
 
 pub mod cluster;
+pub mod elastic;
 pub mod health;
 pub mod idcache;
 pub mod proto;
@@ -51,10 +52,12 @@ pub mod store;
 pub mod usage;
 
 pub use cluster::{Cluster, ClusterConfig, LinkMap};
+pub use elastic::{BorrowLedger, ElasticConfig, HeatMap, LedgerCounts};
 pub use health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 pub use idcache::{CacheMode, CachedEntry, IdCache};
 pub use ring::{Membership, Ring};
 pub use store::{DisaggConfig, DisaggStats, DisaggStore, InterconnectConfig, Peer};
+pub use tfsim::NodeId;
 pub use usage::{RemoteRefs, Reservations, ReserveOutcome};
 
 #[cfg(test)]

@@ -60,9 +60,23 @@ pub mod method {
     /// current membership table. Sent when a node observes a newer epoch
     /// than its own gossiped on another call.
     pub const MEMBERSHIP: u32 = 14;
+    /// Elastic spill (`SpillAtReq` → `SpillAtResp`): the id's ring owner
+    /// asks a lender peer to adopt a sealed object. The lender copies the
+    /// bytes over the fabric from the owner's (pinned) segment, seals a
+    /// local replica, and records a borrow-ledger entry — only then does
+    /// the owner delete its copy, so duplication (never loss) is the sole
+    /// failure mode of a lost response.
+    pub const SPILL_AT: u32 = 15;
+    /// Borrow-ledger reconciliation (`BorrowReconcileReq` →
+    /// `BorrowReconcileResp`): a holder reports every object it borrows
+    /// from the responder; the responder answers which of those the
+    /// holder must drop (the owner re-acquired a local copy) and trims
+    /// its own lent entries down to the reported set. Like RECONCILE,
+    /// only sound at quiesce.
+    pub const BORROW_RECONCILE: u32 = 16;
 
     /// Highest assigned method id (bounds exhaustiveness checks).
-    pub const MAX: u32 = MEMBERSHIP;
+    pub const MAX: u32 = BORROW_RECONCILE;
 
     /// Method-id → verb-name table (metric labels, diagnostics).
     pub const VERBS: &[(u32, &str)] = &[
@@ -80,6 +94,8 @@ pub mod method {
         (SEAL_AT, "seal_at"),
         (ABORT_AT, "abort_at"),
         (MEMBERSHIP, "membership"),
+        (SPILL_AT, "spill_at"),
+        (BORROW_RECONCILE, "borrow_reconcile"),
     ];
 }
 
@@ -203,6 +219,13 @@ pub struct GetManyReq {
     /// Requester's membership epoch (0 = none installed); piggybacked so
     /// the responder can detect a stale table and pull the newer one.
     pub epoch: u64,
+    /// The requester is following a location it was handed — a `Moved`
+    /// redirect or an id-cache hit. Borrowed replicas (bytes held for
+    /// another node's ledger) answer only these requests: an ordinary
+    /// broadcast must not observe them, or a replica duplicated by an
+    /// ambiguous spill could serve reads its owner's delete never
+    /// reaches.
+    pub redirected: bool,
 }
 
 impl GetManyReq {
@@ -214,6 +237,7 @@ impl GetManyReq {
             enc_id(&mut e, 2, id);
         }
         e.uint(3, self.epoch);
+        e.uint(4, u64::from(self.redirected));
         e.finish()
     }
 
@@ -232,6 +256,7 @@ impl GetManyReq {
             requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
             ids,
             epoch: f.uint_or(3, 0),
+            redirected: f.uint_or(4, 0) != 0,
         })
     }
 }
@@ -246,12 +271,18 @@ pub enum GetManyStatus {
     Pinned = 0,
     /// The object is not sealed on the responder.
     NotFound = 1,
+    /// The responder is the id's ring owner but lent the object to a
+    /// peer (elastic spill); `moved_to` names the holder. The requester
+    /// should re-issue the get there (one-hop redirect) and cache the
+    /// holder in its id cache on hit.
+    Moved = 2,
 }
 
 impl GetManyStatus {
     fn from_u64(v: u64) -> GetManyStatus {
         match v {
             0 => GetManyStatus::Pinned,
+            2 => GetManyStatus::Moved,
             _ => GetManyStatus::NotFound,
         }
     }
@@ -267,6 +298,9 @@ pub struct GetManyEntry {
     /// Fabric descriptor; present iff `status` is
     /// [`GetManyStatus::Pinned`].
     pub location: Option<ObjectLocation>,
+    /// Holder to redirect to; present iff `status` is
+    /// [`GetManyStatus::Moved`].
+    pub moved_to: Option<NodeId>,
 }
 
 /// Multi-get response: one entry per requested id, in request order.
@@ -290,6 +324,9 @@ impl GetManyResp {
             if let Some(loc) = &entry.location {
                 m.message(3, enc_location(loc));
             }
+            if let Some(holder) = entry.moved_to {
+                m.uint(4, u64::from(holder.0));
+            }
             e.message(1, m);
         }
         e.uint(2, self.epoch);
@@ -310,10 +347,20 @@ impl GetManyResp {
                     )?),
                     None => None,
                 };
+                let moved_to = match m.get(4) {
+                    Some(fv) => {
+                        let raw = fv.as_uint().ok_or(WireError::MissingField(4))?;
+                        Some(NodeId(
+                            u16::try_from(raw).map_err(|_| WireError::MissingField(4))?,
+                        ))
+                    }
+                    None => None,
+                };
                 Ok(GetManyEntry {
                     id: dec_id(&m.bytes(1)?)?,
                     status: GetManyStatus::from_u64(m.uint_or(2, 1)),
                     location,
+                    moved_to,
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -326,6 +373,15 @@ impl GetManyResp {
     /// The pinned entries' fabric descriptors, in response order.
     pub fn found(&self) -> impl Iterator<Item = &ObjectLocation> {
         self.entries.iter().filter_map(|e| e.location.as_ref())
+    }
+
+    /// The redirected entries as `(id, holder)` pairs, in response
+    /// order — ids the responder lent out, answerable at `holder`.
+    pub fn moved(&self) -> impl Iterator<Item = (ObjectId, NodeId)> + '_ {
+        self.entries.iter().filter_map(|e| match e.status {
+            GetManyStatus::Moved => e.moved_to.map(|holder| (e.id, holder)),
+            _ => None,
+        })
     }
 }
 
@@ -566,6 +622,170 @@ impl MembershipResp {
         Ok(MembershipResp {
             epoch: f.uint_or(1, 0),
             nodes,
+        })
+    }
+}
+
+/// Elastic spill request: the id's ring owner (`requester`) asks the
+/// responder (the lender) to adopt the sealed object described by
+/// `location`. The owner guarantees the source copy stays pinned until
+/// the response arrives, so the lender can read the bytes over the
+/// fabric at any point during the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillAtReq {
+    /// The id's ring owner initiating the spill.
+    pub requester: NodeId,
+    /// Requester's membership epoch.
+    pub epoch: u64,
+    /// Fabric descriptor of the (pinned) source copy on the owner.
+    pub location: ObjectLocation,
+}
+
+impl SpillAtReq {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0)).uint(2, self.epoch);
+        e.message(3, enc_location(&self.location));
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(SpillAtReq {
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            epoch: f.uint_or(2, 0),
+            location: dec_location(f.bytes(3)?)?,
+        })
+    }
+}
+
+/// Outcome of a spill on the lender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillAtStatus {
+    /// The lender adopted the object: a sealed local replica exists and
+    /// a borrow-ledger entry toward the requester is recorded. The owner
+    /// may now delete its copy.
+    Adopted = 0,
+    /// The lender declined (it is itself under memory pressure, or the
+    /// copy failed). The owner must keep its copy; nothing was recorded.
+    Refused = 1,
+}
+
+impl SpillAtStatus {
+    fn from_u64(v: u64) -> SpillAtStatus {
+        match v {
+            0 => SpillAtStatus::Adopted,
+            _ => SpillAtStatus::Refused,
+        }
+    }
+}
+
+/// Response to a spill request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillAtResp {
+    /// What happened on the lender.
+    pub status: SpillAtStatus,
+    /// Responder's membership epoch (0 = none installed).
+    pub epoch: u64,
+}
+
+impl SpillAtResp {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, self.status as u64).uint(2, self.epoch);
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(SpillAtResp {
+            status: SpillAtStatus::from_u64(f.uint_or(1, 1)),
+            epoch: f.uint_or(2, 0),
+        })
+    }
+}
+
+/// Borrow-ledger reconciliation request: every object id the requester
+/// (a holder) currently borrows from the responder (the owner). Ids
+/// absent from `borrowed` are implicitly not borrowed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorrowReconcileReq {
+    /// The holder reporting its borrowed set.
+    pub requester: NodeId,
+    /// Every id the holder's ledger records as borrowed from the owner.
+    pub borrowed: Vec<ObjectId>,
+}
+
+impl BorrowReconcileReq {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0));
+        for id in &self.borrowed {
+            enc_id(&mut e, 2, id);
+        }
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let borrowed = f
+            .get_all(2)
+            .map(|v| {
+                v.as_bytes()
+                    .ok_or(WireError::MissingField(2))
+                    .and_then(dec_id)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BorrowReconcileReq {
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            borrowed,
+        })
+    }
+}
+
+/// Borrow-ledger reconciliation response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorrowReconcileResp {
+    /// Borrowed ids the holder must drop (delete its replica and erase
+    /// the ledger entry): the owner holds a local sealed copy again, so
+    /// the delegation is redundant.
+    pub drop: Vec<ObjectId>,
+    /// Owner-side lent entries trimmed because the holder did not report
+    /// them (delegation lost before the replica materialized).
+    pub trimmed: u64,
+}
+
+impl BorrowReconcileResp {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        for id in &self.drop {
+            enc_id(&mut e, 1, id);
+        }
+        e.uint(2, self.trimmed);
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        let drop = f
+            .get_all(1)
+            .map(|v| {
+                v.as_bytes()
+                    .ok_or(WireError::MissingField(1))
+                    .and_then(dec_id)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BorrowReconcileResp {
+            drop,
+            trimmed: f.uint_or(2, 0),
         })
     }
 }
@@ -904,12 +1124,14 @@ mod tests {
             requester: NodeId(1),
             ids: vec![ObjectId::from_name("a"), ObjectId::from_name("b")],
             epoch: 3,
+            redirected: true,
         };
         assert_eq!(GetManyReq::decode(req.encode()).unwrap(), req);
         let empty = GetManyReq {
             requester: NodeId(0),
             ids: vec![],
             epoch: 0,
+            redirected: false,
         };
         assert_eq!(GetManyReq::decode(empty.encode()).unwrap(), empty);
 
@@ -919,11 +1141,19 @@ mod tests {
                     id: loc(1).id,
                     status: GetManyStatus::Pinned,
                     location: Some(loc(1)),
+                    moved_to: None,
                 },
                 GetManyEntry {
                     id: ObjectId::from_name("missing"),
                     status: GetManyStatus::NotFound,
                     location: None,
+                    moved_to: None,
+                },
+                GetManyEntry {
+                    id: ObjectId::from_name("lent"),
+                    status: GetManyStatus::Moved,
+                    location: None,
+                    moved_to: Some(NodeId(5)),
                 },
             ],
             epoch: 7,
@@ -1015,6 +1245,48 @@ mod tests {
         assert_eq!(req.epoch, 0);
         let resp = GetManyResp::decode(MsgEnc::new().finish()).unwrap();
         assert_eq!(resp.epoch, 0);
+    }
+
+    #[test]
+    fn spill_at_roundtrip() {
+        let req = SpillAtReq {
+            requester: NodeId(2),
+            epoch: 9,
+            location: loc(4),
+        };
+        assert_eq!(SpillAtReq::decode(req.encode()).unwrap(), req);
+        for status in [SpillAtStatus::Adopted, SpillAtStatus::Refused] {
+            let resp = SpillAtResp { status, epoch: 3 };
+            assert_eq!(SpillAtResp::decode(resp.encode()).unwrap(), resp);
+        }
+        // Missing status defaults to the safe Refused (owner keeps copy).
+        let bare = SpillAtResp::decode(MsgEnc::new().finish()).unwrap();
+        assert_eq!(bare.status, SpillAtStatus::Refused);
+    }
+
+    #[test]
+    fn borrow_reconcile_roundtrip() {
+        let req = BorrowReconcileReq {
+            requester: NodeId(6),
+            borrowed: vec![ObjectId::from_name("b1"), ObjectId::from_name("b2")],
+        };
+        assert_eq!(BorrowReconcileReq::decode(req.encode()).unwrap(), req);
+        let empty = BorrowReconcileReq {
+            requester: NodeId(0),
+            borrowed: vec![],
+        };
+        assert_eq!(BorrowReconcileReq::decode(empty.encode()).unwrap(), empty);
+
+        let resp = BorrowReconcileResp {
+            drop: vec![ObjectId::from_name("b2")],
+            trimmed: 1,
+        };
+        assert_eq!(BorrowReconcileResp::decode(resp.encode()).unwrap(), resp);
+        let none = BorrowReconcileResp {
+            drop: vec![],
+            trimmed: 0,
+        };
+        assert_eq!(BorrowReconcileResp::decode(none.encode()).unwrap(), none);
     }
 
     #[test]

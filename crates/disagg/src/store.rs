@@ -30,12 +30,14 @@
 //! `GET_MANY` round trip (see [`DisaggStore::batch_get`]), and an
 //! optional [`IdCache`] accelerates repeat lookups.
 
+use crate::elastic::{BorrowLedger, ElasticConfig, HeatMap, LedgerCounts};
 use crate::health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 use crate::idcache::{CacheMode, CachedEntry, IdCache};
 use crate::proto::{
-    method, BoolResp, CreateAtReq, CreateAtResp, CreateAtStatus, ForwardReq, GetManyEntry,
-    GetManyReq, GetManyResp, GetManyStatus, IdReq, ListEntry, ListResp, LookupReq, LookupResp,
-    MembershipResp, MetricsResp, ReconcileReq, ReconcileResp, ReleaseReq, ReserveReq, ReserveResp,
+    method, BoolResp, BorrowReconcileReq, BorrowReconcileResp, CreateAtReq, CreateAtResp,
+    CreateAtStatus, ForwardReq, GetManyEntry, GetManyReq, GetManyResp, GetManyStatus, IdReq,
+    ListEntry, ListResp, LookupReq, LookupResp, MembershipResp, MetricsResp, ReconcileReq,
+    ReconcileResp, ReleaseReq, ReserveReq, ReserveResp, SpillAtReq, SpillAtResp, SpillAtStatus,
 };
 use crate::ring::{Membership, Ring};
 use crate::usage::{RemoteRefs, Reservations, ReserveOutcome};
@@ -141,6 +143,9 @@ pub struct DisaggConfig {
     pub id_cache: Option<(CacheMode, usize)>,
     /// Interconnect fault tolerance (deadlines, retries, peer health).
     pub interconnect: InterconnectConfig,
+    /// Elastic capacity tier: spill watermarks, lender headroom,
+    /// admission control, heat threshold.
+    pub elastic: ElasticConfig,
 }
 
 impl Default for DisaggConfig {
@@ -149,6 +154,7 @@ impl Default for DisaggConfig {
             lookup_remote: true,
             id_cache: None,
             interconnect: InterconnectConfig::default(),
+            elastic: ElasticConfig::default(),
         }
     }
 }
@@ -184,6 +190,25 @@ struct DisaggMetrics {
     migrations_completed: Arc<Counter>,
     migrations_aborted_in_use: Arc<Counter>,
     migrations_failed: Arc<Counter>,
+    /// Spills acknowledged by a lender (delegations created).
+    spills_completed: Arc<Counter>,
+    /// Spill attempts a lender refused (its own pressure) or that failed.
+    spills_refused: Arc<Counter>,
+    /// Heat-driven delegations toward an object's dominant reader.
+    rebalances: Arc<Counter>,
+    /// `Moved` redirects served from the owner-side lent ledger.
+    redirects_served: Arc<Counter>,
+    /// Redirects this node followed to a holder (requester side).
+    redirects_followed: Arc<Counter>,
+    /// Creates shed with `Overloaded` by admission control.
+    overload_rejected: Arc<Counter>,
+    /// Bytes currently delegated to lender peers (the node's spilled
+    /// footprint; complements `plasma.used_bytes`/`plasma.free_bytes`).
+    spilled_bytes: Arc<Gauge>,
+    /// Objects currently lent out (owner-side ledger size).
+    lent_objects: Arc<Gauge>,
+    /// Objects currently held for other owners (holder-side ledger size).
+    borrowed_objects: Arc<Gauge>,
 }
 
 impl DisaggMetrics {
@@ -204,6 +229,15 @@ impl DisaggMetrics {
             migrations_completed: registry.counter("disagg.migrations.completed"),
             migrations_aborted_in_use: registry.counter("disagg.migrations.aborted_in_use"),
             migrations_failed: registry.counter("disagg.migrations.failed"),
+            spills_completed: registry.counter("disagg.elastic.spills"),
+            spills_refused: registry.counter("disagg.elastic.spills_refused"),
+            rebalances: registry.counter("disagg.elastic.rebalances"),
+            redirects_served: registry.counter("disagg.elastic.redirects_served"),
+            redirects_followed: registry.counter("disagg.elastic.redirects_followed"),
+            overload_rejected: registry.counter("disagg.elastic.overload_rejected"),
+            spilled_bytes: registry.gauge("plasma.spilled_bytes"),
+            lent_objects: registry.gauge("disagg.elastic.lent_objects"),
+            borrowed_objects: registry.gauge("disagg.elastic.borrowed_objects"),
         }
     }
 }
@@ -244,6 +278,11 @@ struct Inner {
     release_waivers: Mutex<HashSet<ObjectId>>,
     reservations: Reservations,
     remote_refs: RemoteRefs,
+    /// Both ends of every elastic delegation this node participates in.
+    ledger: BorrowLedger,
+    /// Owner-side remote-hit attribution driving rebalancing.
+    heat: HeatMap,
+    elastic: ElasticConfig,
     counters: DisaggCounters,
     metrics: DisaggMetrics,
     health: PeerHealth,
@@ -305,6 +344,9 @@ impl DisaggStore {
                 release_waivers: Mutex::new(HashSet::new()),
                 reservations: Reservations::new(),
                 remote_refs: RemoteRefs::new(),
+                ledger: BorrowLedger::new(),
+                heat: HeatMap::new(),
+                elastic: config.elastic,
                 counters: DisaggCounters::default(),
             }),
         }
@@ -569,6 +611,304 @@ impl DisaggStore {
             }
         }
         Ok(trimmed)
+    }
+
+    /// Admission control: refuse a new create when the node already has
+    /// `max_inflight_creates` objects created but not yet sealed. The
+    /// operation is not started, so the typed rejection is always safe to
+    /// retry after the suggested backoff.
+    fn check_admission(&self) -> Result<(), PlasmaError> {
+        let max = self.inner.elastic.max_inflight_creates;
+        if max == 0 {
+            return Ok(());
+        }
+        let st = self.inner.core.stats();
+        if st.objects.saturating_sub(st.sealed_objects) >= max {
+            self.inner.metrics.overload_rejected.inc();
+            return Err(PlasmaError::Overloaded {
+                retry_after_ms: self.inner.elastic.retry_after_ms,
+            });
+        }
+        Ok(())
+    }
+
+    /// Local memory occupancy in parts-per-million of capacity — the
+    /// pressure signal driving [`DisaggStore::maybe_spill`].
+    pub fn memory_pressure_ppm(&self) -> u64 {
+        let st = self.inner.core.stats();
+        if st.capacity == 0 {
+            return 0;
+        }
+        (u128::from(st.allocated_bytes) * 1_000_000 / u128::from(st.capacity)) as u64
+    }
+
+    /// Aggregate borrow-ledger occupancy (both directions).
+    pub fn ledger_counts(&self) -> LedgerCounts {
+        self.inner.ledger.counts()
+    }
+
+    /// Owner-side ledger: every `(id, holder)` this node has lent out.
+    /// The chaos quiesce audit cross-checks these against each holder's
+    /// [`DisaggStore::borrowed_snapshot`].
+    pub fn lent_snapshot(&self) -> Vec<(ObjectId, NodeId)> {
+        self.inner.ledger.lent_snapshot()
+    }
+
+    /// Holder-side ledger: every `(id, owner)` this node holds on behalf
+    /// of another node.
+    pub fn borrowed_snapshot(&self) -> Vec<(ObjectId, NodeId)> {
+        self.inner.ledger.borrowed_snapshot()
+    }
+
+    fn sync_ledger_gauges(&self) {
+        let counts = self.inner.ledger.counts();
+        let m = &self.inner.metrics;
+        m.spilled_bytes.set(counts.lent_bytes as i64);
+        m.lent_objects.set(counts.lent as i64);
+        m.borrowed_objects.set(counts.borrowed as i64);
+    }
+
+    /// Each reachable peer's advertised free bytes, read from the
+    /// `plasma.free_bytes` gauge of its METRICS snapshot — the capacity
+    /// gossip lender selection ranks on. Unreachable peers are omitted.
+    fn peer_free_bytes(&self) -> Vec<(NodeId, i64)> {
+        let peers = self.peers_snapshot();
+        let responses = self.fanout(&peers, |peer| {
+            self.peer_call(peer, method::METRICS, Bytes::new())
+        });
+        peers
+            .iter()
+            .zip(responses)
+            .filter_map(|(peer, response)| {
+                let (_, snap) = Self::decode_metrics(response.ok()?).ok()?;
+                Some((peer.node, snap.gauge("plasma.free_bytes")))
+            })
+            .collect()
+    }
+
+    /// Spill cold objects if local occupancy exceeds the configured high
+    /// watermark; otherwise a no-op. Returns bytes delegated away.
+    pub fn maybe_spill(&self) -> Result<u64, PlasmaError> {
+        if self.memory_pressure_ppm() < self.inner.elastic.high_watermark_ppm {
+            return Ok(0);
+        }
+        self.spill_cold(self.inner.elastic.max_spill_batch)
+    }
+
+    /// One spill pass: walk up to `max_objects` of the LRU tail
+    /// (coldest first) and delegate each to the peer currently
+    /// advertising the most free bytes, until occupancy drops below the
+    /// low watermark or candidates run out. Only ring-owned objects are
+    /// delegated — redirects are served from the owner's ledger, so an
+    /// off-ring copy spilled elsewhere would be unfindable. Returns
+    /// bytes delegated; refusals and unreachable lenders skip the
+    /// candidate rather than failing the pass.
+    pub fn spill_cold(&self, max_objects: usize) -> Result<u64, PlasmaError> {
+        let mut lenders = self.peer_free_bytes();
+        if lenders.is_empty() {
+            return Ok(0);
+        }
+        let low = self.inner.elastic.low_watermark_ppm;
+        let mut spilled = 0u64;
+        for (id, bytes) in self.inner.core.cold_candidates(max_objects) {
+            if self.memory_pressure_ppm() <= low {
+                break;
+            }
+            if self.ring_owner(id) != Some(self.inner.node) {
+                continue;
+            }
+            // Freest lender first; debit our own view as we go so one
+            // pass cannot dogpile a single peer past its headroom.
+            lenders.sort_by_key(|&(node, free)| (std::cmp::Reverse(free), node.0));
+            let Some(&(target, free)) = lenders.first() else {
+                break;
+            };
+            if free < bytes as i64 {
+                continue;
+            }
+            match self.spill_to(id, target) {
+                Ok(true) => {
+                    spilled += bytes;
+                    lenders[0].1 -= bytes as i64;
+                }
+                Ok(false) | Err(_) => {
+                    // Refused or unreachable: stop ranking this lender
+                    // first for the rest of the pass.
+                    lenders[0].1 = i64::MIN;
+                }
+            }
+        }
+        Ok(spilled)
+    }
+
+    /// Delegate one sealed, locally-held object to `holder` — the spill
+    /// primitive (capacity-driven via [`DisaggStore::spill_cold`],
+    /// heat-driven via [`DisaggStore::rebalance_once`]). The local copy
+    /// is pinned while the lender copies and seals its replica over the
+    /// fabric (`SPILL_AT`); only after the lender acknowledges adoption
+    /// is the local copy deleted (deferred, so in-flight local readers
+    /// finish first) and the `lent` ledger entry recorded. Returns
+    /// whether the lender adopted; `Ok(false)` means it refused and
+    /// nothing changed.
+    pub fn spill_to(&self, id: ObjectId, holder: NodeId) -> Result<bool, PlasmaError> {
+        if holder == self.inner.node {
+            return Ok(false);
+        }
+        let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == holder) else {
+            return Err(PlasmaError::Transport(format!("no peer for {holder}")));
+        };
+        // Pin the source copy so eviction cannot race the lender's copy.
+        let Some(loc) = self.inner.core.get_local(id) else {
+            return Err(PlasmaError::ObjectNotFound(id));
+        };
+        let req = SpillAtReq {
+            requester: self.inner.node,
+            epoch: self.ring_epoch(),
+            location: loc,
+        };
+        let adopted = match self.peer_call(&peer, method::SPILL_AT, req.encode()) {
+            Ok(body) => {
+                let resp = SpillAtResp::decode(body)
+                    .map_err(|e| PlasmaError::Protocol(format!("spill_at response: {e}")))?;
+                self.maybe_adopt_epoch(holder, resp.epoch);
+                resp.status == SpillAtStatus::Adopted
+            }
+            // Ambiguous outcome (request may have executed, response
+            // lost): keep the local copy. If the lender did adopt, both
+            // immutable copies coexist harmlessly until borrow
+            // reconciliation drops the redundant replica.
+            Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) => false,
+            Err(PeerFail::Rpc(e)) => {
+                let _ = self.inner.core.release(id);
+                return Err(Self::rpc_err(e));
+            }
+        };
+        if !adopted {
+            self.inner.metrics.spills_refused.inc();
+            self.inner.core.release(id)?;
+            return Ok(false);
+        }
+        // The lender sealed its replica *before* we get here, so from
+        // this point the delegation is the truth: record it, then drop
+        // the local copy. Deletion is deferred — concurrent local
+        // readers (and remote pins) drain first.
+        self.inner.ledger.record_lent(id, holder, loc.total_size());
+        self.sync_ledger_gauges();
+        self.inner.core.release(id)?;
+        let _ = self.inner.core.delete_deferred(id);
+        if let Some(cache) = &self.inner.idcache {
+            cache.invalidate(id);
+        }
+        self.inner.heat.clear(id);
+        self.inner.metrics.spills_completed.inc();
+        Ok(true)
+    }
+
+    /// One heat-driven rebalance pass: every object whose dominant
+    /// remote reader accumulated at least `heat_min_hits` remote hits is
+    /// delegated *to that reader*, converting its future remote reads
+    /// into local ones. Returns the number of objects moved.
+    pub fn rebalance_once(&self) -> Result<u64, PlasmaError> {
+        let min_hits = self.inner.elastic.heat_min_hits;
+        let mut moved = 0u64;
+        for (id, reader, _) in self.inner.heat.drain_hot(min_hits) {
+            if reader == self.inner.node
+                || self.ring_owner(id) != Some(self.inner.node)
+                || self.inner.ledger.lent_holder(id).is_some()
+                || self.inner.core.peek(id).is_none()
+            {
+                continue;
+            }
+            if matches!(self.spill_to(id, reader), Ok(true)) {
+                self.inner.metrics.rebalances.inc();
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Quiesce-time borrow-ledger reconciliation: report to every peer
+    /// exactly which of its objects this node still holds borrowed, and
+    /// act on the answer — replicas the owner declared redundant are
+    /// dropped here, and the owner trims lent entries this node no
+    /// longer honors. Heals every partial-spill outcome: a lost
+    /// `SPILL_AT` response (holder sealed, owner never recorded the
+    /// lease) re-installs the owner's lent entry; an owner that
+    /// re-acquired a local copy retires the delegation.
+    ///
+    /// Like [`DisaggStore::reconcile_pins`], only sound while no spill
+    /// or get traffic involving this node is in flight. Returns
+    /// `(replicas dropped here, owner-side entries trimmed)`.
+    pub fn reconcile_borrows(&self) -> Result<(u64, u64), PlasmaError> {
+        let peers = self.peers_snapshot();
+        let mut dropped = 0u64;
+        let mut trimmed = 0u64;
+        for peer in &peers {
+            let req = BorrowReconcileReq {
+                requester: self.inner.node,
+                borrowed: self.inner.ledger.borrowed_from(peer.node),
+            };
+            match self.peer_call(peer, method::BORROW_RECONCILE, req.encode()) {
+                Ok(body) => {
+                    let resp = BorrowReconcileResp::decode(body)
+                        .map_err(|e| PlasmaError::Protocol(e.to_string()))?;
+                    trimmed += resp.trimmed;
+                    for id in resp.drop {
+                        let _ = self.inner.core.delete_deferred(id);
+                        self.inner.ledger.remove_borrowed(id);
+                        dropped += 1;
+                    }
+                }
+                Err(PeerFail::Skipped) => {}
+                Err(PeerFail::Unreachable(m)) => return Err(PlasmaError::PeerUnavailable(m)),
+                Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
+            }
+        }
+        self.sync_ledger_gauges();
+        Ok((dropped, trimmed))
+    }
+
+    /// Forward a delete for a lent object to its holder, retiring the
+    /// ledger entry once the holder confirms (or reports the replica
+    /// already gone).
+    fn delete_at_holder(&self, id: ObjectId, holder: NodeId) -> Result<(), PlasmaError> {
+        let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == holder) else {
+            return Err(PlasmaError::Transport(format!("no peer for {holder}")));
+        };
+        match self.peer_call(&peer, method::DELETE, IdReq { id }.encode()) {
+            Ok(_) => {}
+            Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::NotFound => {}
+            Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::FailedPrecondition => {
+                return Err(PlasmaError::ObjectInUse(id));
+            }
+            Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
+            Err(PeerFail::Skipped) => {
+                return Err(PlasmaError::PeerUnavailable(format!(
+                    "holder {} is down",
+                    peer.name
+                )));
+            }
+            Err(PeerFail::Unreachable(m)) => return Err(PlasmaError::PeerUnavailable(m)),
+        }
+        self.inner.ledger.remove_lent(id);
+        self.sync_ledger_gauges();
+        if let Some(cache) = &self.inner.idcache {
+            cache.invalidate(id);
+        }
+        Ok(())
+    }
+
+    /// Parse the `retry_after_ms=N` hint an overloaded owner embeds in
+    /// its `ResourceExhausted` status message.
+    fn retry_after_from(message: &str, default_ms: u64) -> u64 {
+        message
+            .rsplit("retry_after_ms=")
+            .next()
+            .and_then(|tail| {
+                let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+                digits.parse().ok()
+            })
+            .unwrap_or(default_ms)
     }
 
     fn peers_snapshot(&self) -> Vec<Peer> {
@@ -972,9 +1312,10 @@ impl DisaggStore {
             let peers = self.peers_snapshot();
             for (peer_node, ids) in targeted {
                 match peers.iter().find(|p| p.node.0 == peer_node) {
-                    Some(peer) => match self.get_many_rpc(peer, &ids) {
+                    Some(peer) => match self.get_many_rpc(peer, &ids, true) {
                         Ok(resp) => {
                             self.absorb_lookup(peer, resp.found().copied().collect(), &mut found);
+                            self.follow_redirects(&resp, &mut found);
                             // Cache pointed at a peer that no longer has
                             // some ids: invalidate and re-broadcast those.
                             for id in ids {
@@ -1006,6 +1347,7 @@ impl DisaggStore {
         if let Some(ring) = ring {
             let mut by_owner: HashMap<NodeId, Vec<ObjectId>> = HashMap::new();
             let mut fallback: Vec<ObjectId> = Vec::new();
+            let mut lent: Vec<(ObjectId, NodeId)> = Vec::new();
             for id in missing.drain(..) {
                 if found.contains_key(&id) {
                     continue;
@@ -1014,17 +1356,49 @@ impl DisaggStore {
                     Some(owner) if owner != self.inner.node => {
                         by_owner.entry(owner).or_default().push(id);
                     }
-                    _ => fallback.push(id),
+                    // Self-owned miss: if this node lent the id away, its
+                    // own ledger is the redirect — chase the holder like
+                    // a `Moved` answer instead of broadcasting (the
+                    // holder hides borrowed replicas from broadcasts).
+                    _ => match self.inner.ledger.lent_holder(id) {
+                        Some(holder) => lent.push((id, holder)),
+                        None => fallback.push(id),
+                    },
                 }
             }
             let peers = self.peers_snapshot();
             let mut hits = 0u64;
+            if !lent.is_empty() {
+                let own_ledger = GetManyResp {
+                    entries: lent
+                        .iter()
+                        .map(|&(id, holder)| GetManyEntry {
+                            id,
+                            status: GetManyStatus::Moved,
+                            location: None,
+                            moved_to: Some(holder),
+                        })
+                        .collect(),
+                    epoch: self.ring_epoch(),
+                };
+                self.follow_redirects(&own_ledger, &mut found);
+                for (id, _) in lent {
+                    if found.contains_key(&id) {
+                        hits += 1;
+                    } else {
+                        fallback.push(id);
+                    }
+                }
+            }
             for (owner, group) in by_owner {
                 match peers.iter().find(|p| p.node == owner) {
-                    Some(peer) => match self.get_many_rpc(peer, &group) {
+                    Some(peer) => match self.get_many_rpc(peer, &group, false) {
                         Ok(resp) => {
                             self.maybe_adopt_epoch(owner, resp.epoch);
                             self.absorb_lookup(peer, resp.found().copied().collect(), &mut found);
+                            // Redirect-resolved ids count as ring hits:
+                            // the owner *did* answer for them, one hop on.
+                            self.follow_redirects(&resp, &mut found);
                             for id in group {
                                 if found.contains_key(&id) {
                                     hits += 1;
@@ -1052,12 +1426,22 @@ impl DisaggStore {
             .collect();
         if !remaining.is_empty() {
             let peers = self.peers_snapshot();
-            let responses = self.fanout(&peers, |peer| self.get_many_rpc(peer, &remaining));
-            for (peer, response) in peers.iter().zip(responses) {
-                if let Ok(resp) = response {
-                    self.maybe_adopt_epoch(peer.node, resp.epoch);
-                    self.absorb_lookup(peer, resp.found().copied().collect(), &mut found);
-                }
+            let responses = self.fanout(&peers, |peer| self.get_many_rpc(peer, &remaining, false));
+            // Absorb every direct answer before chasing any redirect: the
+            // holder of a spilled object answers this same broadcast with
+            // `Pinned`, so chasing the owner's `Moved` first would pin the
+            // object at the holder twice while the caller releases once.
+            let answered: Vec<(&Peer, GetManyResp)> = peers
+                .iter()
+                .zip(responses)
+                .filter_map(|(peer, response)| response.ok().map(|resp| (peer, resp)))
+                .collect();
+            for (peer, resp) in &answered {
+                self.maybe_adopt_epoch(peer.node, resp.epoch);
+                self.absorb_lookup(peer, resp.found().copied().collect(), &mut found);
+            }
+            for (_, resp) in &answered {
+                self.follow_redirects(resp, &mut found);
             }
         }
 
@@ -1074,12 +1458,57 @@ impl DisaggStore {
         }
     }
 
+    /// Chase the `Moved` entries of one GET_MANY response: a ring owner
+    /// that spilled an id answers with the holder's address, and this
+    /// follow-up asks the holder directly — one extra hop, batched per
+    /// holder. Absorbing the holder's answer also inserts it into the id
+    /// cache, so the redirect is paid once; repeat gets go straight to
+    /// the holder.
+    fn follow_redirects(&self, resp: &GetManyResp, found: &mut HashMap<ObjectId, ObjectLocation>) {
+        let mut by_holder: HashMap<NodeId, Vec<ObjectId>> = HashMap::new();
+        for (id, holder) in resp.moved() {
+            if found.contains_key(&id) {
+                continue;
+            }
+            if holder == self.inner.node {
+                // The redirect points home: this node holds the replica
+                // borrowed. The local fast path hides borrowed objects,
+                // but an owner-sanctioned redirect may serve them.
+                if let Some(loc) = self.inner.core.get_local(id) {
+                    self.inner.metrics.redirects_followed.inc();
+                    found.insert(id, loc);
+                }
+                continue;
+            }
+            by_holder.entry(holder).or_default().push(id);
+        }
+        if by_holder.is_empty() {
+            return;
+        }
+        let peers = self.peers_snapshot();
+        for (holder, ids) in by_holder {
+            let Some(peer) = peers.iter().find(|p| p.node == holder) else {
+                continue;
+            };
+            if let Ok(resp) = self.get_many_rpc(peer, &ids, true) {
+                self.maybe_adopt_epoch(holder, resp.epoch);
+                self.inner.metrics.redirects_followed.add(ids.len() as u64);
+                self.absorb_lookup(peer, resp.found().copied().collect(), found);
+            }
+        }
+    }
+
     /// Issue one pinning GET_MANY RPC for `ids` to one peer: every id the
     /// peer holds sealed comes back pinned (attributed to this node) with
     /// its fabric descriptor attached — one round trip regardless of how
     /// many ids the batch carries. Counted under `lookup_rpcs`, and the
     /// batch size is recorded in `disagg.get_many.batch_size`.
-    fn get_many_rpc(&self, peer: &Peer, ids: &[ObjectId]) -> Result<GetManyResp, PeerFail> {
+    fn get_many_rpc(
+        &self,
+        peer: &Peer,
+        ids: &[ObjectId],
+        redirected: bool,
+    ) -> Result<GetManyResp, PeerFail> {
         if ids.is_empty() {
             return Ok(GetManyResp {
                 entries: Vec::new(),
@@ -1090,6 +1519,7 @@ impl DisaggStore {
             requester: self.inner.node,
             ids: ids.to_vec(),
             epoch: self.ring_epoch(),
+            redirected,
         };
         let result = self.peer_call(peer, method::GET_MANY, req.encode());
         if !matches!(result, Err(PeerFail::Skipped)) {
@@ -1220,6 +1650,7 @@ impl DisaggStore {
                 ));
             };
             if owner == self.inner.node {
+                self.check_admission()?;
                 return self.inner.core.create(id, data_size, metadata_size);
             }
             let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == owner) else {
@@ -1246,6 +1677,19 @@ impl DisaggStore {
                     )))
                 }
                 Err(PeerFail::Unreachable(m)) => return Err(PlasmaError::PeerUnavailable(m)),
+                // Typed overload rejection from the owner's admission
+                // gate: surface it as `Overloaded` with the owner's
+                // backoff hint so callers can retry instead of failing.
+                Err(PeerFail::Rpc(RpcError::Status(s)))
+                    if s.code == StatusCode::ResourceExhausted =>
+                {
+                    return Err(PlasmaError::Overloaded {
+                        retry_after_ms: Self::retry_after_from(
+                            &s.message,
+                            self.inner.elastic.retry_after_ms,
+                        ),
+                    })
+                }
                 Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
             };
             let resp = CreateAtResp::decode(body)
@@ -1332,9 +1776,11 @@ impl DisaggStore {
         let deadline = Instant::now() + timeout;
         let mut out: Vec<Option<ObjectLocation>> = vec![None; ids.len()];
         loop {
-            // Pass 1: local, non-blocking (pins found objects).
+            // Pass 1: local, non-blocking (pins found objects). Borrowed
+            // replicas are excluded — they serve only owner-sanctioned
+            // redirects, which the remote pass below obtains.
             for (slot, id) in out.iter_mut().zip(ids) {
-                if slot.is_none() {
+                if slot.is_none() && self.inner.ledger.borrowed_owner(*id).is_none() {
                     *slot = self.inner.core.get_local(*id);
                 }
             }
@@ -1380,9 +1826,17 @@ impl DisaggStore {
             };
             let waited = self.inner.core.get_wait(&remaining, wait);
             let mut it = waited.into_iter();
-            for slot in out.iter_mut() {
+            for (slot, id) in out.iter_mut().zip(ids) {
                 if slot.is_none() {
-                    *slot = it.next().flatten();
+                    let got = it.next().flatten();
+                    if self.inner.ledger.borrowed_owner(*id).is_none() {
+                        *slot = got;
+                    } else if got.is_some() {
+                        // The wait pinned a hidden borrowed replica —
+                        // release it and leave the slot for the remote
+                        // pass (the owner decides whether it's served).
+                        let _ = self.inner.core.release(*id);
+                    }
                 }
             }
             if out.iter().all(Option::is_some) || Instant::now() >= deadline {
@@ -1474,11 +1928,17 @@ impl ObjectStore for DisaggStore {
         if self.inner.core.exists_any_state(id) {
             return Err(PlasmaError::ObjectExists(id));
         }
+        // An object this node lent out still exists — the bytes just
+        // live at the holder. Re-creating it here would fork the id.
+        if self.inner.ledger.lent_holder(id).is_some() {
+            return Err(PlasmaError::ObjectExists(id));
+        }
         // Singleton cluster: no peer could hold or contest the id, so the
         // local existence check above *is* the uniqueness check. Short-
         // circuit before any reserve bookkeeping — the reserve counter
         // must stay at zero when there is nobody to reserve against.
         if self.inner.peers.read().is_empty() {
+            self.check_admission()?;
             let loc = self.inner.core.create(id, data_size, metadata_size)?;
             self.inner.metrics.create.record_duration(started.elapsed());
             return Ok(loc);
@@ -1490,6 +1950,7 @@ impl ObjectStore for DisaggStore {
             self.inner.metrics.create.record_duration(started.elapsed());
             return Ok(loc);
         }
+        self.check_admission()?;
         if !self.inner.reservations.begin_local(id) {
             return Err(PlasmaError::ObjectExists(id));
         }
@@ -1702,8 +2163,18 @@ impl ObjectStore for DisaggStore {
     }
 
     fn delete(&self, id: ObjectId) -> Result<(), PlasmaError> {
-        if self.inner.core.exists_any_state(id) {
+        // A borrowed replica is not deleted locally: the owner's copy (or
+        // ledger entry) is the authoritative one, so the delete routes
+        // through the owner like any remote delete — which forwards back
+        // here only if the delegation is real.
+        let borrowed = self.inner.ledger.borrowed_owner(id).is_some();
+        if !borrowed && self.inner.core.exists_any_state(id) {
             return self.inner.core.delete(id);
+        }
+        // An object this node lent out is still this node's to delete:
+        // chase it to the holder and retire the delegation.
+        if let Some(holder) = self.inner.ledger.lent_holder(id) {
+            return self.delete_at_holder(id, holder);
         }
         // Forward to the owning peer, probing the ring's computed owner
         // first (most likely holder). An unreachable peer might be the
@@ -1742,8 +2213,12 @@ impl ObjectStore for DisaggStore {
     }
 
     fn delete_deferred(&self, id: ObjectId) -> Result<bool, PlasmaError> {
-        if self.inner.core.exists_any_state(id) {
+        let borrowed = self.inner.ledger.borrowed_owner(id).is_some();
+        if !borrowed && self.inner.core.exists_any_state(id) {
             return self.inner.core.delete_deferred(id);
+        }
+        if let Some(holder) = self.inner.ledger.lent_holder(id) {
+            return self.delete_at_holder(id, holder).map(|()| true);
         }
         let mut unreachable: Option<String> = None;
         for peer in self.peers_owner_first(id) {
@@ -1797,7 +2272,11 @@ impl ObjectStore for DisaggStore {
     }
 
     fn contains(&self, id: ObjectId) -> Result<bool, PlasmaError> {
-        if self.inner.core.contains(id) {
+        // A borrowed replica doesn't answer locally — the owner's ledger
+        // is the authority on whether the object still exists (and the
+        // remote probe below asks it).
+        let local = self.inner.core.contains(id) && self.inner.ledger.borrowed_owner(id).is_none();
+        if local || self.inner.ledger.lent_holder(id).is_some() {
             return Ok(true);
         }
         let peers = self.peers_snapshot();
@@ -1893,7 +2372,9 @@ impl Service for Interconnect {
                     inner.node,
                     req.requester,
                     req.id,
-                    inner.core.exists_any_state(req.id),
+                    // A lent object exists even without local bytes.
+                    inner.core.exists_any_state(req.id)
+                        || inner.ledger.lent_holder(req.id).is_some(),
                 );
                 Ok(ReserveResp {
                     granted: outcome == ReserveOutcome::Granted,
@@ -1916,17 +2397,42 @@ impl Service for Interconnect {
             method::CONTAINS => {
                 let req =
                     IdReq::decode(request).map_err(|e| Status::invalid_argument(e.to_string()))?;
-                Ok(BoolResp {
-                    value: inner.core.contains(req.id),
-                }
-                .encode())
+                // A lent object still *exists* from the cluster's point of
+                // view — the ring owner answers for it even while a holder
+                // keeps the bytes. Conversely, a *borrowed* replica is the
+                // owner's to account for, not this node's: hiding it keeps
+                // an ambiguous-spill duplicate from contradicting the
+                // owner after a delete.
+                let present = (inner.core.contains(req.id)
+                    && inner.ledger.borrowed_owner(req.id).is_none())
+                    || inner.ledger.lent_holder(req.id).is_some();
+                Ok(BoolResp { value: present }.encode())
             }
             method::DELETE => {
                 let req =
                     IdReq::decode(request).map_err(|e| Status::invalid_argument(e.to_string()))?;
                 match inner.core.delete(req.id) {
-                    Ok(()) => Ok(Bytes::new()),
+                    Ok(()) => {
+                        // If this node held the object on another's behalf,
+                        // the delegation died with the replica.
+                        if inner.ledger.remove_borrowed(req.id) {
+                            self.store.sync_ledger_gauges();
+                        }
+                        Ok(Bytes::new())
+                    }
                     Err(PlasmaError::ObjectNotFound(_)) => {
+                        // No local copy — but if this node lent the object
+                        // out, the delete must chase it to the holder.
+                        if let Some(holder) = inner.ledger.lent_holder(req.id) {
+                            return match self.store.delete_at_holder(req.id, holder) {
+                                Ok(()) => Ok(Bytes::new()),
+                                Err(PlasmaError::ObjectInUse(_)) => Err(Status::new(
+                                    StatusCode::FailedPrecondition,
+                                    "object in use",
+                                )),
+                                Err(e) => Err(Status::internal(e.to_string())),
+                            };
+                        }
                         Err(Status::not_found("object not found"))
                     }
                     Err(PlasmaError::ObjectInUse(_)) => {
@@ -1939,8 +2445,21 @@ impl Service for Interconnect {
                 let req =
                     IdReq::decode(request).map_err(|e| Status::invalid_argument(e.to_string()))?;
                 match inner.core.delete_deferred(req.id) {
-                    Ok(now) => Ok(BoolResp { value: now }.encode()),
+                    Ok(now) => {
+                        // Even a deferred delete hides the object at once,
+                        // so the delegation is over either way.
+                        if inner.ledger.remove_borrowed(req.id) {
+                            self.store.sync_ledger_gauges();
+                        }
+                        Ok(BoolResp { value: now }.encode())
+                    }
                     Err(PlasmaError::ObjectNotFound(_)) => {
+                        if let Some(holder) = inner.ledger.lent_holder(req.id) {
+                            return match self.store.delete_at_holder(req.id, holder) {
+                                Ok(()) => Ok(BoolResp { value: true }.encode()),
+                                Err(e) => Err(Status::internal(e.to_string())),
+                            };
+                        }
                         Err(Status::not_found("object not found"))
                     }
                     Err(e) => Err(Status::internal(e.to_string())),
@@ -1976,20 +2495,48 @@ impl Service for Interconnect {
                 let entries = req
                     .ids
                     .into_iter()
-                    .map(|id| match inner.core.get_local(id) {
-                        Some(loc) => {
-                            inner.remote_refs.pin(req.requester, loc.id);
-                            GetManyEntry {
-                                id,
-                                status: GetManyStatus::Pinned,
-                                location: Some(loc),
+                    .map(|id| {
+                        // Borrowed replicas answer only redirect-following
+                        // requests: a broadcast observing one could serve
+                        // reads after the owner's copy was deleted (the
+                        // duplication left by an ambiguous spill).
+                        let local = if req.redirected || inner.ledger.borrowed_owner(id).is_none() {
+                            inner.core.get_local(id)
+                        } else {
+                            None
+                        };
+                        match local {
+                            Some(loc) => {
+                                inner.remote_refs.pin(req.requester, loc.id);
+                                inner.heat.record(id, req.requester);
+                                GetManyEntry {
+                                    id,
+                                    status: GetManyStatus::Pinned,
+                                    location: Some(loc),
+                                    moved_to: None,
+                                }
                             }
+                            // Not held here, but lent out: answer with a
+                            // one-hop redirect instead of NotFound, so the
+                            // ring owner keeps resolving ids it spilled away.
+                            None => match inner.ledger.lent_holder(id) {
+                                Some(holder) => {
+                                    inner.metrics.redirects_served.inc();
+                                    GetManyEntry {
+                                        id,
+                                        status: GetManyStatus::Moved,
+                                        location: None,
+                                        moved_to: Some(holder),
+                                    }
+                                }
+                                None => GetManyEntry {
+                                    id,
+                                    status: GetManyStatus::NotFound,
+                                    location: None,
+                                    moved_to: None,
+                                },
+                            },
                         }
-                        None => GetManyEntry {
-                            id,
-                            status: GetManyStatus::NotFound,
-                            location: None,
-                        },
                     })
                     .collect();
                 Ok(GetManyResp {
@@ -2074,6 +2621,27 @@ impl Service for Interconnect {
                         };
                         return Ok(resp.encode());
                     }
+                }
+                // A lent object still exists (its bytes live at the
+                // holder): refuse re-creation or the id would fork.
+                if inner.ledger.lent_holder(req.id).is_some() {
+                    return Ok(CreateAtResp {
+                        status: CreateAtStatus::Exists,
+                        location: None,
+                        epoch,
+                    }
+                    .encode());
+                }
+                // Admission gate sits *after* the idempotent-retry check:
+                // a requester re-asking about its own staged create must
+                // get its location back even under overload.
+                if let Err(PlasmaError::Overloaded { retry_after_ms }) =
+                    self.store.check_admission()
+                {
+                    return Err(Status::new(
+                        StatusCode::ResourceExhausted,
+                        format!("overloaded: retry_after_ms={retry_after_ms}"),
+                    ));
                 }
                 // The core's id map is the uniqueness arbiter: no
                 // pre-check, `create` itself refuses duplicates.
@@ -2168,6 +2736,122 @@ impl Service for Interconnect {
                         .map_err(|e| Status::internal(e.to_string()))?;
                 }
                 Ok(BoolResp { value: staged }.encode())
+            }
+            method::SPILL_AT => {
+                let req = SpillAtReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                self.store.maybe_adopt_epoch(req.requester, req.epoch);
+                let epoch = self.store.ring_epoch();
+                let id = req.location.id;
+                let refused = |epoch| {
+                    Ok(SpillAtResp {
+                        status: SpillAtStatus::Refused,
+                        epoch,
+                    }
+                    .encode())
+                };
+                // Idempotent retry: a spill whose response was lost left
+                // the replica sealed here — re-acknowledge adoption so the
+                // owner can finish its half of the handoff.
+                if inner.core.peek(id).is_some() {
+                    inner
+                        .ledger
+                        .record_borrowed(id, req.requester, req.location.total_size());
+                    self.store.sync_ledger_gauges();
+                    return Ok(SpillAtResp {
+                        status: SpillAtStatus::Adopted,
+                        epoch,
+                    }
+                    .encode());
+                }
+                // Headroom gate: never let borrowed bytes push this node
+                // past its own lending watermark, or spills would cascade.
+                let st = inner.core.stats();
+                let after = u128::from(st.allocated_bytes) + u128::from(req.location.total_size());
+                if st.capacity == 0
+                    || after * 1_000_000 / u128::from(st.capacity)
+                        > u128::from(inner.elastic.lend_headroom_ppm)
+                {
+                    return refused(epoch);
+                }
+                // Copy the (immutable, owner-pinned) bytes over the fabric
+                // and seal a replica under the same id. Any failure before
+                // seal aborts the staged copy and refuses — the owner's
+                // copy is untouched.
+                let adopt = || -> Result<(), PlasmaError> {
+                    let mapping = inner.core.fabric().attach(inner.node, req.location.seg)?;
+                    let bytes = mapping
+                        .view(req.location.offset, req.location.total_size())?
+                        .read_all()?;
+                    let loc = inner.core.create(
+                        id,
+                        req.location.data_size,
+                        req.location.metadata_size,
+                    )?;
+                    let staged = StagedCreateGuard::new(&self.store, id);
+                    let local_map = inner.core.mapping_for(&loc)?;
+                    local_map.write_at(loc.offset, &bytes)?;
+                    inner.core.seal(id)?;
+                    staged.disarm();
+                    inner.core.release(id)?; // creator's reference
+                    Ok(())
+                };
+                if adopt().is_err() {
+                    return refused(epoch);
+                }
+                inner
+                    .ledger
+                    .record_borrowed(id, req.requester, req.location.total_size());
+                self.store.sync_ledger_gauges();
+                Ok(SpillAtResp {
+                    status: SpillAtStatus::Adopted,
+                    epoch,
+                }
+                .encode())
+            }
+            method::BORROW_RECONCILE => {
+                let req = BorrowReconcileReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                // Owner-side view of one holder's report. For each id the
+                // holder claims: if we re-acquired a local copy the
+                // delegation is redundant — tell the holder to drop its
+                // replica; otherwise the holder's replica is the only copy,
+                // so (re)install the lent entry (heals a lost SPILL_AT
+                // response). Entries the holder did *not* report are dead —
+                // trim them.
+                let mut drop_ids = Vec::new();
+                let mut reported = HashSet::with_capacity(req.borrowed.len());
+                for id in req.borrowed {
+                    reported.insert(id);
+                    if inner.core.peek(id).is_some() {
+                        inner.ledger.remove_lent(id);
+                        drop_ids.push(id);
+                        continue;
+                    }
+                    match inner.ledger.lent_holder(id) {
+                        // Already leased to a *different* holder: an
+                        // ambiguous spill left this reporter a redundant
+                        // duplicate. The recorded lease is the truth (it
+                        // was confirmed adopted, so that replica exists)
+                        // — overwriting it here would orphan the other
+                        // holder's entry and fork the lease. Drop the
+                        // reporter's replica instead.
+                        Some(holder) if holder != req.requester => {
+                            drop_ids.push(id);
+                        }
+                        _ => {
+                            let bytes = inner.ledger.lent_bytes(id).unwrap_or_default();
+                            inner.ledger.record_lent(id, req.requester, bytes);
+                        }
+                    }
+                }
+                let trimmed = inner.ledger.trim_lent(req.requester, &reported);
+                self.store.sync_ledger_gauges();
+                Ok(BorrowReconcileResp {
+                    drop: drop_ids,
+                    trimmed,
+                }
+                .encode())
             }
             method::MEMBERSHIP => {
                 let membership = self.store.membership();

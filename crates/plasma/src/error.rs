@@ -32,6 +32,14 @@ pub enum PlasmaError {
     /// A peer store required to satisfy the operation is unreachable
     /// (down, or unresponsive past its deadline and retries).
     PeerUnavailable(String),
+    /// The store is shedding load: too many creates are already in
+    /// flight (or memory pressure is critical). Retry after roughly
+    /// `retry_after_ms` milliseconds — the operation was *not* started,
+    /// so retrying is always safe.
+    Overloaded {
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for PlasmaError {
@@ -59,6 +67,9 @@ impl fmt::Display for PlasmaError {
             PlasmaError::Protocol(m) => write!(f, "protocol error: {m}"),
             PlasmaError::Timeout => write!(f, "timed out"),
             PlasmaError::PeerUnavailable(m) => write!(f, "peer unavailable: {m}"),
+            PlasmaError::Overloaded { retry_after_ms } => {
+                write!(f, "store overloaded: retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -99,6 +110,7 @@ impl PlasmaError {
             PlasmaError::Protocol(_) => 10,
             PlasmaError::Timeout => 11,
             PlasmaError::PeerUnavailable(_) => 12,
+            PlasmaError::Overloaded { .. } => 13,
         }
     }
 
@@ -118,6 +130,7 @@ impl PlasmaError {
             9 => PlasmaError::Transport(detail.to_string()),
             11 => PlasmaError::Timeout,
             12 => PlasmaError::PeerUnavailable(detail.to_string()),
+            13 => PlasmaError::Overloaded { retry_after_ms: a },
             _ => PlasmaError::Protocol(detail.to_string()),
         }
     }
@@ -146,6 +159,7 @@ mod tests {
             PlasmaError::Protocol("p".into()),
             PlasmaError::Timeout,
             PlasmaError::PeerUnavailable("peer-2 down".into()),
+            PlasmaError::Overloaded { retry_after_ms: 25 },
         ];
         for e in cases {
             let (a, b) = match &e {
@@ -153,6 +167,7 @@ mod tests {
                     requested,
                     capacity,
                 } => (*requested, *capacity),
+                PlasmaError::Overloaded { retry_after_ms } => (*retry_after_ms, 0),
                 _ => (0, 0),
             };
             let detail = match &e {

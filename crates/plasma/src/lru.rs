@@ -63,6 +63,12 @@ impl LruIndex {
         self.seq_of.remove(&id);
         Some(id)
     }
+
+    /// Iterate ids coldest-first without mutating the index (the spill
+    /// picker reads candidates; only eviction pops them).
+    pub fn iter_lru(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.by_seq.values().copied()
+    }
 }
 
 #[cfg(test)]

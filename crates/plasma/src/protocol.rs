@@ -285,6 +285,7 @@ impl Response {
                         requested,
                         capacity,
                     } => (*requested, *capacity),
+                    PlasmaError::Overloaded { retry_after_ms } => (*retry_after_ms, 0),
                     _ => (0, 0),
                 };
                 e.u64(a).u64(b);

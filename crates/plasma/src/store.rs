@@ -28,7 +28,7 @@ use crate::lru::LruIndex;
 use crate::object::{ObjectEntry, ObjectInfo, ObjectLocation, ObjectState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use memalloc::{Buddy, DlSeg, FirstFit, RegionAllocator, SizeMap};
-use obs::{Counter, Histogram, Registry};
+use obs::{Counter, Gauge, Histogram, Registry};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -168,6 +168,12 @@ struct StoreMetrics {
     release: Arc<Histogram>,
     evictions: Arc<Counter>,
     evicted_bytes: Arc<Counter>,
+    /// Capacity-advertisement gauges: the elastic tier reads these out
+    /// of peers' `MetricsSnapshot`s to pick lenders, so they are kept in
+    /// sync with the allocator on every path that changes occupancy.
+    capacity_bytes: Arc<Gauge>,
+    used_bytes: Arc<Gauge>,
+    free_bytes: Arc<Gauge>,
 }
 
 impl StoreMetrics {
@@ -179,8 +185,19 @@ impl StoreMetrics {
             release: registry.histogram("plasma.release.latency_ns"),
             evictions: registry.counter("plasma.evictions"),
             evicted_bytes: registry.counter("plasma.evicted_bytes"),
+            capacity_bytes: registry.gauge("plasma.capacity_bytes"),
+            used_bytes: registry.gauge("plasma.used_bytes"),
+            free_bytes: registry.gauge("plasma.free_bytes"),
             registry,
         }
+    }
+
+    fn sync_capacity(&self, st: &State) {
+        let capacity = st.stats.capacity as i64;
+        let used = st.stats.allocated_bytes as i64;
+        self.capacity_bytes.set(capacity);
+        self.used_bytes.set(used);
+        self.free_bytes.set(capacity - used);
     }
 }
 
@@ -207,6 +224,9 @@ impl StoreCore {
     pub fn new(fabric: &Fabric, node: NodeId, config: StoreConfig) -> Result<Self, PlasmaError> {
         let seg = fabric.donate(node, config.memory_bytes)?;
         let capacity = config.memory_bytes as u64;
+        let metrics = StoreMetrics::new(Registry::new());
+        metrics.capacity_bytes.set(capacity as i64);
+        metrics.free_bytes.set(capacity as i64);
         Ok(StoreCore {
             inner: Arc::new(Inner {
                 name: config.name,
@@ -231,7 +251,7 @@ impl StoreCore {
                     },
                 }),
                 seal_cv: Condvar::new(),
-                metrics: StoreMetrics::new(Registry::new()),
+                metrics,
             }),
         })
     }
@@ -336,6 +356,7 @@ impl StoreCore {
         st.stats.creates += 1;
         st.stats.objects += 1;
         st.stats.allocated_bytes = st.allocated_bytes();
+        self.inner.metrics.sync_capacity(&st);
         drop(st);
         self.inner.metrics.create.record_duration(t0.elapsed());
         Ok(loc)
@@ -373,6 +394,7 @@ impl StoreCore {
         });
         st.stats.capacity += capacity;
         st.stats.segments += 1;
+        self.inner.metrics.sync_capacity(st);
         Ok(true)
     }
 
@@ -592,6 +614,7 @@ impl StoreCore {
             }
             st.stats.objects -= 1;
             st.stats.allocated_bytes = st.allocated_bytes();
+            self.inner.metrics.sync_capacity(st);
         }
     }
 
@@ -680,6 +703,23 @@ impl StoreCore {
         let mut s = st.stats;
         s.allocated_bytes = st.allocated_bytes();
         s
+    }
+
+    /// Up to `max` eviction candidates, coldest first: sealed,
+    /// unreferenced objects in LRU order, with their total sizes. This is
+    /// the spill picker's menu — the same objects plain eviction would
+    /// destroy, offered for relocation instead. Read-only; membership may
+    /// change the moment the lock drops.
+    pub fn cold_candidates(&self, max: usize) -> Vec<(ObjectId, u64)> {
+        let st = self.inner.state.lock();
+        st.lru
+            .iter_lru()
+            .take(max)
+            .map(|id| {
+                let bytes = st.objects.get(&id).map(|e| e.total_size()).unwrap_or(0);
+                (id, bytes)
+            })
+            .collect()
     }
 }
 
@@ -1033,6 +1073,52 @@ mod tests {
         let snap = s.registry().snapshot();
         assert_eq!(snap.counter("plasma.evictions"), st.evictions);
         assert_eq!(snap.counter("plasma.evicted_bytes"), st.evicted_bytes);
+    }
+
+    #[test]
+    fn capacity_gauges_track_occupancy() {
+        let s = store(1 << 20);
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.gauge("plasma.capacity_bytes"), 1 << 20);
+        assert_eq!(snap.gauge("plasma.used_bytes"), 0);
+        assert_eq!(snap.gauge("plasma.free_bytes"), 1 << 20);
+
+        s.create(id(1), 4096, 0).unwrap();
+        let snap = s.registry().snapshot();
+        let used = snap.gauge("plasma.used_bytes");
+        assert!(used >= 4096, "used={used}");
+        assert_eq!(snap.gauge("plasma.free_bytes"), (1 << 20) - used);
+
+        s.seal(id(1)).unwrap();
+        s.release(id(1)).unwrap();
+        s.delete(id(1)).unwrap();
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.gauge("plasma.used_bytes"), 0);
+        assert_eq!(snap.gauge("plasma.free_bytes"), 1 << 20);
+    }
+
+    #[test]
+    fn cold_candidates_follow_lru_order() {
+        let s = store(1 << 20);
+        for n in 1..=3u8 {
+            s.create(id(n), 1000, 0).unwrap();
+            s.seal(id(n)).unwrap();
+            s.release(id(n)).unwrap();
+        }
+        // Touch 1 so 2 becomes coldest; pin 3 so it leaves the menu.
+        s.get_local(id(1)).unwrap();
+        s.release(id(1)).unwrap();
+        let pin = s.get_local(id(3)).unwrap();
+        let _ = pin;
+        let cands = s.cold_candidates(8);
+        assert_eq!(
+            cands.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![id(2), id(1)]
+        );
+        assert!(cands.iter().all(|&(_, b)| b == 1000));
+        assert_eq!(s.cold_candidates(1).len(), 1);
+        // Non-destructive: nothing was evicted by looking.
+        assert!(s.contains(id(1)) && s.contains(id(2)));
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub enum StatusCode {
     NotFound = 5,
     /// The entity already exists.
     AlreadyExists = 6,
+    /// The service is shedding load (quota / admission control); the
+    /// caller should back off and retry.
+    ResourceExhausted = 8,
     /// The operation is not valid in the entity's current state.
     FailedPrecondition = 9,
     /// The service failed internally.
@@ -44,6 +47,7 @@ impl StatusCode {
             4 => StatusCode::DeadlineExceeded,
             5 => StatusCode::NotFound,
             6 => StatusCode::AlreadyExists,
+            8 => StatusCode::ResourceExhausted,
             9 => StatusCode::FailedPrecondition,
             12 => StatusCode::Unimplemented,
             14 => StatusCode::Unavailable,
@@ -138,6 +142,7 @@ mod tests {
             StatusCode::DeadlineExceeded,
             StatusCode::NotFound,
             StatusCode::AlreadyExists,
+            StatusCode::ResourceExhausted,
             StatusCode::FailedPrecondition,
             StatusCode::Internal,
             StatusCode::Unavailable,

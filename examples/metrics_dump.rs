@@ -58,4 +58,18 @@ fn main() {
         remote_hits.p50() as f64 / 1e3,
         remote_hits.p99() as f64 / 1e3,
     );
+
+    // Capacity gauges feed the elastic tier's pressure gossip; the same
+    // numbers any peer sees over METRICS when deciding where to spill.
+    println!("\nper-node capacity (plasma.* gauges):");
+    for (node, snap) in &per_node {
+        println!(
+            "  node {}: capacity={} used={} free={} spilled={}",
+            node.0,
+            snap.gauge("plasma.capacity_bytes"),
+            snap.gauge("plasma.used_bytes"),
+            snap.gauge("plasma.free_bytes"),
+            snap.gauge("plasma.spilled_bytes"),
+        );
+    }
 }

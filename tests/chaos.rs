@@ -12,11 +12,15 @@ use chaos::{
 use ipc::fault::Direction;
 
 /// Fixed seed matrix for the CI soak. Each seed fully determines its
-/// fault schedule; a new seed here is a new adversary forever. The last
-/// two were added with the rendezvous ring: every soak now also audits
-/// ring placement at quiesce (one copy, on the computed owner, epochs
-/// agreed), so these seeds pin adversaries against the forwarded-create
-/// protocol specifically.
+/// fault schedule; a new seed here is a new adversary forever. Seeds 5–6
+/// were added with the rendezvous ring: every soak now also audits ring
+/// placement at quiesce (one copy, on the computed owner, epochs
+/// agreed), so they pin adversaries against the forwarded-create
+/// protocol specifically. Seeds 7–8 were added with the elastic tier —
+/// the workload now spills and rebalances under fire, and the quiesce
+/// audit cross-checks every borrow ledger — so they pin adversaries
+/// against the spill handoff (partition while a `SPILL_AT` is in
+/// flight) and the heat-driven rebalance path (links frozen mid-pass).
 const SEED_MATRIX: &[u64] = &[
     0xC0FFEE,
     42,
@@ -24,6 +28,8 @@ const SEED_MATRIX: &[u64] = &[
     0xDEAD_2026,
     0x11A5_41F0,
     0xB1D5_0FF5,
+    0x5117_0D0D,
+    0xFBA1_A4CE,
 ];
 
 fn soak_one(seed: u64) {
@@ -193,5 +199,7 @@ fn quiet_plan_is_a_clean_control() {
     let report = run_plan(&plan, &cfg).unwrap();
     assert!(report.verdict.ok(), "{}", report.verdict);
     assert_eq!(report.injected_faults, 0);
-    assert!(report.events >= 3 * 80);
+    // The elastic mix (~5% of draws) issues store ops that are not
+    // client-visible events, so the floor allows for that slice.
+    assert!(report.events >= 3 * 80 * 85 / 100);
 }

@@ -228,3 +228,70 @@ fn epoch_bump_gossips_and_off_ring_objects_stay_reachable() {
     // And the object is still visible cluster-wide after convergence.
     assert!(cluster.client(1).unwrap().contains(id).unwrap());
 }
+
+/// Epoch-transition regression: an object created under epoch 1 stays
+/// reachable across a membership bump that reassigns its ring owner —
+/// first through the broadcast fallback, then, once the new owner
+/// re-adopts it via `migrate_to_local`, through a plain one-RPC ring
+/// hit. A further bump restoring the original member set keeps it
+/// reachable again.
+#[test]
+fn objects_survive_epoch_bump_via_fallback_then_readoption() {
+    let cluster = Cluster::launch(ClusterConfig::functional(3, 4 << 20)).unwrap();
+    let id = ObjectId::from_name(&cluster.owned_id(2, "epoch/survivor"));
+    cluster.client(2).unwrap().put(id, &[4; 1024], &[]).unwrap();
+
+    // Epoch 2 drains node 2; the id's new ring owner is node 0 or 1.
+    let survivors = vec![cluster.node_id(0), cluster.node_id(1)];
+    assert!(cluster
+        .store(0)
+        .set_membership(Membership::new(2, survivors.clone())));
+    let new_owner = cluster.store(0).ring_owner(id).unwrap();
+    let owner_idx = (0..2).find(|&i| cluster.node_id(i) == new_owner).unwrap();
+    let reader_idx = 1 - owner_idx;
+
+    // Fallback phase: the new owner doesn't hold the object yet, so a
+    // get routed by the epoch-2 ring must fall back to the broadcast —
+    // and still find the copy stranded on node 2.
+    let reader = cluster.store(reader_idx).clone();
+    let before = reader.disagg_stats();
+    let got = reader.get(&[id], Duration::from_secs(1)).unwrap();
+    assert!(got[0].is_some(), "epoch bump must not strand the object");
+    assert!(
+        reader.disagg_stats().ring_fallbacks > before.ring_fallbacks,
+        "pre-migration read must use the fallback"
+    );
+    reader.release(id).unwrap();
+
+    // Re-adoption: the new owner pulls the object onto the ring.
+    cluster
+        .store(owner_idx)
+        .migrate_to_local(id, Duration::from_secs(1))
+        .unwrap();
+    assert!(cluster.store(owner_idx).core().contains(id));
+
+    // Post-migration reads are ordinary ring hits again: one targeted
+    // RPC, zero new fallbacks.
+    let before = reader.disagg_stats();
+    let got = reader.get(&[id], Duration::from_secs(1)).unwrap();
+    assert!(got[0].is_some());
+    let after = reader.disagg_stats();
+    assert_eq!(after.ring_fallbacks, before.ring_fallbacks);
+    assert_eq!(after.ring_hits, before.ring_hits + 1);
+    reader.release(id).unwrap();
+
+    // Epoch 3 restores the full member set; ownership may move again,
+    // and the object stays reachable from every node regardless.
+    let full = (0..3).map(|i| cluster.node_id(i)).collect();
+    assert!(cluster.store(1).set_membership(Membership::new(3, full)));
+    let s2 = cluster.store(2).clone();
+    let got = s2.get(&[id], Duration::from_secs(1)).unwrap();
+    assert!(
+        got[0].is_some(),
+        "re-adding a node must not strand the object"
+    );
+    s2.release(id).unwrap();
+    for node in 0..3 {
+        assert!(cluster.store(node).contains(id).unwrap(), "node {node}");
+    }
+}
