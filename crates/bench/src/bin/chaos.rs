@@ -95,6 +95,7 @@ fn main() {
         "{{\n  \"bench\": \"chaos\",\n  \"seed\": {},\n  \"nodes\": {},\n  \
          \"events\": {},\n  \"injected_faults\": {},\n  \"evictions\": {},\n  \
          \"reconciled\": {},\n  \"borrow_drops\": {},\n  \"borrow_trims\": {},\n  \
+         \"replica_drops\": {},\n  \"replica_trims\": {},\n  \
          \"consistent\": {}\n}}\n",
         plan.seed,
         opts.nodes,
@@ -104,6 +105,8 @@ fn main() {
         report.reconciled,
         report.borrow_drops,
         report.borrow_trims,
+        report.replica_drops,
+        report.replica_trims,
         report.verdict.ok(),
     );
     std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");

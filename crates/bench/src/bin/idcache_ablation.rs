@@ -14,7 +14,7 @@
 //! Usage: `cargo run -p bench --bin idcache_ablation --release [-- --reps N]`
 
 use bench::{commit_objects, render_table, BenchSpec, HarnessOpts, Summary};
-use disagg::{CacheMode, Cluster, ClusterConfig};
+use disagg::{CacheMode, Cluster, ClusterConfig, DataPlaneKind};
 use std::time::Duration;
 
 fn run_config(
@@ -34,8 +34,13 @@ fn run_config(
     cfg.id_cache = cache;
     // Ablate the cache under the legacy epoch-0 lookup broadcast the
     // paper describes; ring routing is a separate remedy for the same
-    // cost, measured on its own in `--bin placement` (A5).
+    // cost, measured on its own in `--bin placement` (A5). The data
+    // plane is pinned to the framed copy path for the same reason: the
+    // recorded tables predate the zero-copy split, and this harness
+    // isolates lookup cost — the transport comparison lives in
+    // `--bin fabric_dp` (A8).
     cfg.ring = false;
+    cfg.data_plane = DataPlaneKind::Framed;
     let cluster = Cluster::launch(cfg).expect("launch");
     let producer = cluster.client(3).expect("producer");
     let consumer = cluster.client(1).expect("consumer");

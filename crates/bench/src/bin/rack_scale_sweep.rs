@@ -13,7 +13,7 @@
 //! Usage: `cargo run -p bench --bin rack_scale_sweep --release [-- --reps N]`
 
 use bench::{commit_objects, render_table, BenchSpec, HarnessOpts, Summary};
-use disagg::{CacheMode, Cluster, ClusterConfig};
+use disagg::{CacheMode, Cluster, ClusterConfig, DataPlaneKind};
 use std::time::Duration;
 
 fn main() {
@@ -37,7 +37,11 @@ fn main() {
         // lookups, producer-local placement) — the design the paper's
         // future-work quote is about. The ring removes the broadcast
         // entirely; `--bin placement` (A5) quantifies that comparison.
+        // The data plane is likewise pinned to the framed copy path the
+        // recorded sweep was measured on; the zero-copy comparison is
+        // `--bin fabric_dp` (A8).
         cfg.ring = false;
+        cfg.data_plane = DataPlaneKind::Framed;
         let cluster = Cluster::launch(cfg).expect("launch");
 
         // Objects live on the LAST node, so a consumer on node 0 probing

@@ -246,16 +246,21 @@ fn check_create_uniqueness(
             if name != name_b {
                 continue;
             }
-            let (first, last) = if span_a.invoke_us <= span_b.invoke_us {
-                (span_a, span_b)
-            } else {
-                (span_b, span_a)
-            };
             // Any delete attempt (acked or not — a lost ack may hide a
-            // delete that executed) whose interval could fall between
-            // the two puts excuses the pair.
+            // delete that executed) that could fall between the two puts
+            // excuses the pair. Overlapping puts may linearize in either
+            // order, so both real-time-feasible orderings are tried: the
+            // delete separates `x` then `y` if that order is possible at
+            // all (`y` did not complete before `x` was invoked) and the
+            // delete's interval can sit after `x`'s effect and before
+            // `y`'s — a long-running retried put can take effect late in
+            // its span, after a delete that was *invoked* after the
+            // other put completed.
+            let between = |x: &Span, d: &Span, y: &Span| {
+                !y.precedes(x) && d.complete_us > x.invoke_us && d.invoke_us < y.complete_us
+            };
             let separated = deletes.iter().any(|(dname, _, d)| {
-                *dname == name && d.complete_us > first.invoke_us && d.invoke_us < last.complete_us
+                *dname == name && (between(&span_a, d, &span_b) || between(&span_b, d, &span_a))
             });
             if !separated {
                 verdict.violations.push(format!(
@@ -362,6 +367,31 @@ mod tests {
             put(20, 30, 1, 101, true),
         ];
         assert!(check(&history, 0).ok());
+    }
+
+    #[test]
+    fn overlapping_puts_may_linearize_in_either_order() {
+        // A long-running retried put (invoked first, effect late in its
+        // span) overlaps a fast put; a delete invoked after the fast put
+        // completed can still separate them — fast put, then delete,
+        // then the slow put's late effect. Not a duplicate create.
+        let history = vec![
+            put(0, 100, 1, 100, true), // slow: dropped CREATE_AT, retried
+            put(50, 55, 1, 101, true), // fast, inside the slow put's span
+            delete(60, 70, 1, false),  // executed, ack lost
+        ];
+        assert!(check(&history, 0).ok(), "{}", check(&history, 0));
+        // But with no delete at all the pair stays a violation, and a
+        // delete that completed before *both* puts were invoked cannot
+        // separate them in either order.
+        let history = vec![put(0, 100, 1, 100, true), put(50, 55, 1, 101, true)];
+        assert_eq!(check(&history, 0).violations.len(), 1);
+        let history = vec![
+            delete(0, 5, 1, true),
+            put(10, 100, 1, 100, true),
+            put(50, 55, 1, 101, true),
+        ];
+        assert_eq!(check(&history, 0).violations.len(), 1);
     }
 
     #[test]

@@ -18,13 +18,17 @@
 //!    probes until parked remote releases have flushed (any successful
 //!    interconnect call flushes them), then reconcile pins so owners
 //!    can trim pins orphaned by responses the nemesis dropped, and
-//!    reconcile borrow ledgers so ambiguous spills converge back to a
-//!    single accounted replica.
+//!    reconcile borrow and replica ledgers so ambiguous spills converge
+//!    back to a single accounted copy and replica records match what
+//!    holders actually seal.
 //! 4. Quiesce audit: every pin ledger must be empty — owner-side remote
 //!    pins, requester-side held pins, parked releases — and the borrow
 //!    ledgers must be mutually consistent: every off-ring sealed object
 //!    accounted for by exactly one owner-side lent entry, no orphans on
-//!    either side.
+//!    either side — and the replica ledgers likewise: every extra sealed
+//!    copy recorded by its ring owner, every holder inside the
+//!    membership, every replica backed by a live owner copy, and no id
+//!    both lent and replicated.
 //! 5. Run the [`crate::checker`] over the recorded history.
 //!
 //! Fault decisions are deterministic per (link, direction, seq) — see
@@ -121,6 +125,12 @@ pub struct SoakReport {
     /// Owner-side lent entries trimmed because the holder no longer
     /// honors them (the replica was deleted behind the owner's back).
     pub borrow_trims: u64,
+    /// Stale read replicas dropped by settle-phase replica
+    /// reconciliation (the owner no longer backs them).
+    pub replica_drops: u64,
+    /// Owner-side replica entries trimmed because the holder no longer
+    /// honors them.
+    pub replica_trims: u64,
 }
 
 /// The object id of workload name `n` (shared by all workers).
@@ -191,7 +201,13 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
     // retry drains it). Rounds repeat until both backlogs are empty or
     // the deadline passes (the quiesce audit below reports what's left).
     let mut failed_releases = failed_releases;
-    let settle_deadline = Instant::now() + Duration::from_secs(5);
+    // Debug builds run the whole matrix several times slower, and the
+    // tier-1 suite runs many test binaries concurrently — give the
+    // sweep more wall-clock there so a contended scheduler can't cut
+    // it short. The quiesce audit below still runs either way, so a
+    // real invariant violation fails regardless of the deadline.
+    let settle_secs = if cfg!(debug_assertions) { 20 } else { 5 };
+    let settle_deadline = Instant::now() + Duration::from_secs(settle_secs);
     loop {
         // The functional cluster runs on a virtual clock, and `Down`
         // peers re-arm their recovery-probe window in *modeled* time —
@@ -257,6 +273,21 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
         }
     }
 
+    // 3e: replica reconciliation. A REPLICATE_AT response the nemesis
+    // dropped left the holder with a sealed replica the owner never
+    // recorded (or the owner with an entry no replica backs, when the
+    // adopt itself was lost). Each holder reports its surviving replica
+    // set; owners heal missing entries, declare stale replicas
+    // droppable, and trim entries no holder honors.
+    let mut replica_drops = 0u64;
+    let mut replica_trims = 0u64;
+    for i in 0..cfg.nodes {
+        if let Ok((drops, trims)) = cluster.store(i).reconcile_replicas() {
+            replica_drops += drops;
+            replica_trims += trims;
+        }
+    }
+
     // Phase 4: quiesce audit — all pin ledgers must be empty, and every
     // surviving object must sit where the rendezvous ring says it does
     // (or where the owner's borrow ledger says it was delegated).
@@ -283,6 +314,8 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
         reconciled,
         borrow_drops,
         borrow_trims,
+        replica_drops,
+        replica_trims,
     })
 }
 
@@ -366,6 +399,23 @@ fn check_ring_placement(cluster: &Cluster, nodes: usize) -> Verdict {
             }
         }
     }
+    // replica_held[(owner idx, id)] = holder idxs, from the owners'
+    // replica ledgers. Every recorded holder must be a cluster member
+    // (replica set ⊆ membership).
+    let mut replica_held: HashMap<(usize, ObjectId), HashSet<usize>> = HashMap::new();
+    for i in 0..nodes {
+        for (id, holder) in cluster.store(i).replica_held_snapshot() {
+            match index_of.get(&holder) {
+                Some(&h) => {
+                    replica_held.entry((i, id)).or_default().insert(h);
+                }
+                None => verdict.violations.push(format!(
+                    "replica violation: node {i} records a replica of {id:?} on unknown \
+                     node {holder:?} (replica set outside membership)"
+                )),
+            }
+        }
+    }
 
     for (i, sealed) in sealed_at.iter().enumerate() {
         let node_id = cluster.node_id(i);
@@ -375,22 +425,41 @@ fn check_ring_placement(cluster: &Cluster, nodes: usize) -> Verdict {
                 continue; // on-ring: the normal case
             }
             // Off-ring: legitimate only as the recorded holder of the
-            // ring owner's delegation.
-            let accounted = owner
-                .and_then(|o| index_of.get(&o))
-                .is_some_and(|&o| lent.get(&(o, id)) == Some(&i));
+            // ring owner's delegation (lease) or read replica.
+            let accounted = owner.and_then(|o| index_of.get(&o)).is_some_and(|&o| {
+                lent.get(&(o, id)) == Some(&i)
+                    || replica_held.get(&(o, id)).is_some_and(|hs| hs.contains(&i))
+            });
             if !accounted {
                 verdict.violations.push(format!(
                     "ring violation: node {i} holds {id:?} off-ring with no matching \
-                     lent entry at its ring owner {owner:?}"
+                     lent or replica entry at its ring owner {owner:?}"
                 ));
             }
         }
     }
-    for (id, nodes) in &holders {
-        if nodes.len() > 1 {
+    for (id, sealers) in &holders {
+        if sealers.len() <= 1 {
+            continue;
+        }
+        // Multiple sealed copies are legal only for read replication:
+        // one sealer is the ring owner (the write/metadata authority)
+        // and every other sealer is recorded in that owner's replica
+        // ledger. Anything else is a fork.
+        let owner_idx = ring.owner_of(*id).and_then(|o| index_of.get(&o)).copied();
+        let legal = owner_idx.is_some_and(|o| {
+            sealers.contains(&o)
+                && sealers.iter().all(|&h| {
+                    h == o
+                        || replica_held
+                            .get(&(o, *id))
+                            .is_some_and(|hs| hs.contains(&h))
+                })
+        });
+        if !legal {
             verdict.violations.push(format!(
-                "ring violation: {id:?} is sealed on multiple nodes {nodes:?}"
+                "ring violation: {id:?} is sealed on multiple nodes {sealers:?} not \
+                 accounted for by the ring owner's replica ledger"
             ));
         }
     }
@@ -433,6 +502,63 @@ fn check_ring_placement(cluster: &Cluster, nodes: usize) -> Verdict {
                 verdict.violations.push(format!(
                     "borrow violation: node {i} borrows {id:?} from node {owner}, \
                      which has no matching lent entry (orphaned borrowed entry)"
+                ));
+            }
+        }
+    }
+
+    // Replica ledgers must be two-sided consistent, back every replica
+    // with a live owner copy, and never coexist with a lease.
+    for (&(owner, id), holder_set) in &replica_held {
+        if lent.contains_key(&(owner, id)) {
+            verdict.violations.push(format!(
+                "replica violation: node {owner} both lends {id:?} and records replicas \
+                 of it (lent and replicated are mutually exclusive)"
+            ));
+        }
+        if !sealed_at[owner].contains(&id) {
+            verdict.violations.push(format!(
+                "replica violation: node {owner} records replicas of {id:?} but seals no \
+                 owner copy (stale replica outlives its object)"
+            ));
+        }
+        for &h in holder_set {
+            if !sealed_at[h].contains(&id) {
+                verdict.violations.push(format!(
+                    "replica violation: node {owner} records a replica of {id:?} on node \
+                     {h}, which seals no copy (orphaned owner-side entry)"
+                ));
+            }
+            let backref = cluster
+                .store(h)
+                .replica_snapshot()
+                .into_iter()
+                .any(|(rid, from)| rid == id && index_of.get(&from) == Some(&owner));
+            if !backref {
+                verdict.violations.push(format!(
+                    "replica violation: node {owner} records a replica of {id:?} on node \
+                     {h}, but the holder has no matching replica entry"
+                ));
+            }
+        }
+    }
+    // Holder-side replica entries must be backed by the owner's ledger.
+    for i in 0..nodes {
+        for (id, from) in cluster.store(i).replica_snapshot() {
+            let Some(&owner) = index_of.get(&from) else {
+                verdict.violations.push(format!(
+                    "replica violation: node {i} holds a replica of {id:?} from unknown \
+                     node {from:?}"
+                ));
+                continue;
+            };
+            if !replica_held
+                .get(&(owner, id))
+                .is_some_and(|hs| hs.contains(&i))
+            {
+                verdict.violations.push(format!(
+                    "replica violation: node {i} holds a replica of {id:?} from node \
+                     {owner}, which has no matching owner-side entry"
                 ));
             }
         }
@@ -517,15 +643,20 @@ fn worker(
                     recorder.record(node, invoke, EventKind::Contains { name, present });
                 }
             }
-            // 5%: elastic-tier store ops — spill a ring-owned sealed
-            // object to a random peer, or run a heat-driven rebalance
-            // pass. Not client-visible, so nothing is recorded; the
-            // borrow-ledger quiesce audit and the redirect-following
-            // gets above are what hold them to account.
+            // 5%: elastic-tier store ops — spill or replicate a
+            // ring-owned sealed object to a random peer, run a
+            // heat-driven rebalance pass, or offer replicas to hot
+            // readers. Not client-visible, so nothing is recorded; the
+            // borrow/replica-ledger quiesce audits and the
+            // redirect-following gets above are what hold them to
+            // account.
             _ if cfg.elastic && cfg.nodes > 1 => {
                 let store = cluster.store(node);
-                if rng.gen_bool(0.3) {
+                let op = rng.gen_range(0..4u32);
+                if op == 0 {
                     let _ = store.rebalance_once();
+                } else if op == 1 {
+                    let _ = store.replicate_hot();
                 } else {
                     let self_id = cluster.node_id(node);
                     let target = {
@@ -542,7 +673,11 @@ fn worker(
                             store.ring_owner(id) == Some(self_id) && store.core().peek(id).is_some()
                         });
                     if let Some(id) = candidate {
-                        let _ = store.spill_to(id, target);
+                        if op == 2 {
+                            let _ = store.replicate_to(id, target);
+                        } else {
+                            let _ = store.spill_to(id, target);
+                        }
                     }
                 }
             }

@@ -8,8 +8,10 @@
 //! "rack-scale solutions \[with\] multiple nodes" (paper §V-B).
 
 use crate::elastic::ElasticConfig;
+use crate::fabric::DataPlaneKind;
 use crate::idcache::CacheMode;
 use crate::proto::method;
+use crate::replicate::ReplicationConfig;
 use crate::ring::Membership;
 use crate::store::{DisaggConfig, DisaggStore, InterconnectConfig, Peer};
 use ipc::fault::{FaultConn, FaultPolicy};
@@ -62,6 +64,12 @@ pub struct ClusterConfig {
     /// Elastic capacity tier: spill/lend watermarks, admission control,
     /// rebalance heat threshold. Applied to every store.
     pub elastic: ElasticConfig,
+    /// Bulk data plane every store moves remote payloads over: `Mapped`
+    /// (zero-copy reads of the owner's sealed segment) or `Framed`
+    /// (payloads embedded in control-channel frames).
+    pub data_plane: DataPlaneKind,
+    /// Hot-object read replication policy, applied to every store.
+    pub replication: ReplicationConfig,
     /// Optional wire-level fault policy: every interconnect connection
     /// node `i` dials to node `j` is wrapped in an [`FaultConn`] labeled
     /// `"i->j"`, so a chaos harness can drop, delay, duplicate, corrupt
@@ -90,6 +98,8 @@ impl std::fmt::Debug for ClusterConfig {
             .field("seed", &self.seed)
             .field("interconnect", &self.interconnect)
             .field("elastic", &self.elastic)
+            .field("data_plane", &self.data_plane)
+            .field("replication", &self.replication)
             .field(
                 "fault_policy",
                 &self.fault_policy.as_ref().map(|_| "<policy>"),
@@ -116,6 +126,8 @@ impl ClusterConfig {
             seed: 0x7F1A,
             interconnect: InterconnectConfig::default(),
             elastic: ElasticConfig::default(),
+            data_plane: DataPlaneKind::Mapped,
+            replication: ReplicationConfig::default(),
             fault_policy: None,
             ring: true,
         }
@@ -136,6 +148,8 @@ impl ClusterConfig {
             seed: 1,
             interconnect: InterconnectConfig::default(),
             elastic: ElasticConfig::default(),
+            data_plane: DataPlaneKind::Mapped,
+            replication: ReplicationConfig::default(),
             fault_policy: None,
             ring: true,
         }
@@ -193,6 +207,8 @@ impl Cluster {
                     id_cache: config.id_cache,
                     interconnect: config.interconnect.clone(),
                     elastic: config.elastic,
+                    data_plane: config.data_plane,
+                    replication: config.replication,
                 },
             );
             let rpc_listener = hub.bind(&format!("rpc-{i}"))?;

@@ -44,17 +44,21 @@
 
 pub mod cluster;
 pub mod elastic;
+pub mod fabric;
 pub mod health;
 pub mod idcache;
 pub mod proto;
+pub mod replicate;
 pub mod ring;
 pub mod store;
 pub mod usage;
 
 pub use cluster::{Cluster, ClusterConfig, LinkMap};
 pub use elastic::{BorrowLedger, ElasticConfig, HeatMap, LedgerCounts};
+pub use fabric::{DataPlaneKind, Fabric, FramedFabric, MappedFabric};
 pub use health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 pub use idcache::{CacheMode, CachedEntry, IdCache};
+pub use replicate::{ReplicaCounts, ReplicaLedger, ReplicationConfig};
 pub use ring::{Membership, Ring};
 pub use store::{DisaggConfig, DisaggStats, DisaggStore, InterconnectConfig, Peer};
 pub use tfsim::NodeId;

@@ -74,9 +74,51 @@ pub mod method {
     /// its own lent entries down to the reported set. Like RECONCILE,
     /// only sound at quiesce.
     pub const BORROW_RECONCILE: u32 = 16;
+    /// Framed data-plane read (`DataReadReq` → `DataReadResp`): return a
+    /// pinned object's payload bytes *inside the rpclite frame*. Only the
+    /// framed fallback backend sends this — the mapped backend reads the
+    /// bytes straight out of the tfsim segment and never copies payload
+    /// through the control channel. Every payload byte answered here is
+    /// counted by `disagg.fabric.framed_payload_bytes`.
+    pub const DATA_READ: u32 = 17;
+    /// Framed data-plane write (`DataWriteReq` → `BoolResp` accepted):
+    /// carry a staged object's payload bytes inside the rpclite frame and
+    /// write them into the staged location on the responder. The framed
+    /// counterpart of the requester writing through its own fabric
+    /// mapping after CREATE_AT.
+    pub const DATA_WRITE: u32 = 18;
+    /// Hot-object read replication (`SpillAtReq` → `SpillAtResp`): the
+    /// id's ring owner asks a frequent reader to adopt a *read replica*
+    /// of a sealed object. Unlike SPILL_AT the owner keeps its copy and
+    /// remains the write/metadata authority; the holder records a
+    /// replica-ledger entry and serves subsequent local gets from the
+    /// replica. Deletes on the owner fan out INVALIDATE to every holder.
+    pub const REPLICATE_AT: u32 = 19;
+    /// Replica invalidation (`InvalidateReq` → `BoolResp` dropped-now):
+    /// the owner deleted (or reclaimed) an object; the holder must flush
+    /// the replica's cache lines, drop the local copy, and erase its
+    /// replica-ledger entry. Modeled with the `tfsim::cache`
+    /// flush/invalidate machinery so staleness is observable.
+    pub const INVALIDATE: u32 = 20;
+    /// Replica-ledger reconciliation (`BorrowReconcileReq` →
+    /// `BorrowReconcileResp`, reusing the borrow shapes): a holder
+    /// reports every replica it keeps for the responder; the responder
+    /// answers which must drop (the source object is gone) and trims its
+    /// own replica entries down to the reported set. Like RECONCILE,
+    /// only sound at quiesce.
+    pub const REPLICA_RECONCILE: u32 = 21;
+    /// Owner-directed delete of a *delegated* copy (`IdReq` → empty):
+    /// issued only by the owner's delete chase (`delete_at_holder`)
+    /// when the authoritative delete must retire a copy it lent out.
+    /// The generic DELETE/DELETE_DEFERRED handlers refuse to consume a
+    /// borrowed or replicated copy — a fan-out delete that reached a
+    /// mere holder would otherwise ack while the owner's primary (or an
+    /// ambiguous-spill duplicate) kept serving reads. This verb is the
+    /// one channel through which a delegated copy dies.
+    pub const DELETE_HELD: u32 = 22;
 
     /// Highest assigned method id (bounds exhaustiveness checks).
-    pub const MAX: u32 = BORROW_RECONCILE;
+    pub const MAX: u32 = DELETE_HELD;
 
     /// Method-id → verb-name table (metric labels, diagnostics).
     pub const VERBS: &[(u32, &str)] = &[
@@ -96,6 +138,12 @@ pub mod method {
         (MEMBERSHIP, "membership"),
         (SPILL_AT, "spill_at"),
         (BORROW_RECONCILE, "borrow_reconcile"),
+        (DATA_READ, "data_read"),
+        (DATA_WRITE, "data_write"),
+        (REPLICATE_AT, "replicate_at"),
+        (INVALIDATE, "invalidate"),
+        (REPLICA_RECONCILE, "replica_reconcile"),
+        (DELETE_HELD, "delete_held"),
     ];
 }
 
@@ -630,8 +678,10 @@ impl MembershipResp {
 /// responder (the lender) to adopt the sealed object described by
 /// `location`. The owner guarantees the source copy stays pinned until
 /// the response arrives, so the lender can read the bytes over the
-/// fabric at any point during the call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// fabric at any point during the call. Also the request body of
+/// [`method::REPLICATE_AT`], where the adopted copy is a read replica
+/// and the owner keeps its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpillAtReq {
     /// The id's ring owner initiating the spill.
     pub requester: NodeId,
@@ -639,6 +689,11 @@ pub struct SpillAtReq {
     pub epoch: u64,
     /// Fabric descriptor of the (pinned) source copy on the owner.
     pub location: ObjectLocation,
+    /// Payload bytes riding inside the frame. `None` on the mapped data
+    /// plane (the adopter pulls the bytes over the fabric from
+    /// `location`); `Some` on the framed fallback, where the owner
+    /// embeds the payload so the adopter never needs a nested RPC.
+    pub payload: Option<Bytes>,
 }
 
 impl SpillAtReq {
@@ -647,16 +702,142 @@ impl SpillAtReq {
         let mut e = MsgEnc::new();
         e.uint(1, u64::from(self.requester.0)).uint(2, self.epoch);
         e.message(3, enc_location(&self.location));
+        if let Some(p) = &self.payload {
+            e.uint(4, 1).bytes(5, p);
+        }
         e.finish()
     }
 
     /// Parse from wire bytes.
     pub fn decode(b: Bytes) -> Result<Self, WireError> {
         let f = MsgDec::new(b).collect()?;
+        let payload = if f.uint_or(4, 0) != 0 {
+            Some(f.bytes(5)?)
+        } else {
+            None
+        };
         Ok(SpillAtReq {
             requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
             epoch: f.uint_or(2, 0),
             location: dec_location(f.bytes(3)?)?,
+            payload,
+        })
+    }
+}
+
+/// Framed data-plane read: return the payload bytes of the (pinned)
+/// object described by `location` inside the response frame. Only the
+/// framed fallback backend issues this; see [`method::DATA_READ`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataReadReq {
+    /// Node asking for the bytes.
+    pub requester: NodeId,
+    /// Fabric descriptor previously negotiated over the control plane.
+    pub location: ObjectLocation,
+}
+
+impl DataReadReq {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0));
+        e.message(2, enc_location(&self.location));
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(DataReadReq {
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            location: dec_location(f.bytes(2)?)?,
+        })
+    }
+}
+
+/// Response to a framed data-plane read: the raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataReadResp {
+    /// The object's payload + metadata bytes (may be empty).
+    pub payload: Bytes,
+}
+
+impl DataReadResp {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.bytes(1, &self.payload);
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(DataReadResp {
+            payload: f.bytes(1)?,
+        })
+    }
+}
+
+/// Framed data-plane write: carry a staged object's payload bytes in
+/// the frame and write them into `location` on the responder. Only the
+/// framed fallback backend issues this; see [`method::DATA_WRITE`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataWriteReq {
+    /// Node pushing the bytes (the staged create's writer).
+    pub requester: NodeId,
+    /// Staged fabric descriptor to write into.
+    pub location: ObjectLocation,
+    /// The bytes to write at `location.offset`.
+    pub payload: Bytes,
+}
+
+impl DataWriteReq {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.requester.0));
+        e.message(2, enc_location(&self.location));
+        e.bytes(3, &self.payload);
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(DataWriteReq {
+            requester: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            location: dec_location(f.bytes(2)?)?,
+            payload: f.bytes(3)?,
+        })
+    }
+}
+
+/// Replica invalidation: the owner deleted the object, so the holder
+/// must flush and drop its read replica. See [`method::INVALIDATE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidateReq {
+    /// The object's ring owner issuing the invalidation.
+    pub owner: NodeId,
+    /// The deleted object whose replicas must die.
+    pub id: ObjectId,
+}
+
+impl InvalidateReq {
+    /// Serialize to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut e = MsgEnc::new();
+        e.uint(1, u64::from(self.owner.0));
+        enc_id(&mut e, 2, &self.id);
+        e.finish()
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(b: Bytes) -> Result<Self, WireError> {
+        let f = MsgDec::new(b).collect()?;
+        Ok(InvalidateReq {
+            owner: NodeId(u16::try_from(f.uint(1)?).map_err(|_| WireError::MissingField(1))?),
+            id: dec_id(&f.bytes(2)?)?,
         })
     }
 }
@@ -1253,8 +1434,18 @@ mod tests {
             requester: NodeId(2),
             epoch: 9,
             location: loc(4),
+            payload: None,
         };
         assert_eq!(SpillAtReq::decode(req.encode()).unwrap(), req);
+        // Framed fallback embeds the payload — including a zero-length
+        // one, which must survive as Some(empty), not None.
+        for body in [Bytes::from_static(b"abc"), Bytes::new()] {
+            let framed = SpillAtReq {
+                payload: Some(body),
+                ..req.clone()
+            };
+            assert_eq!(SpillAtReq::decode(framed.encode()).unwrap(), framed);
+        }
         for status in [SpillAtStatus::Adopted, SpillAtStatus::Refused] {
             let resp = SpillAtResp { status, epoch: 3 };
             assert_eq!(SpillAtResp::decode(resp.encode()).unwrap(), resp);
@@ -1287,6 +1478,39 @@ mod tests {
             trimmed: 0,
         };
         assert_eq!(BorrowReconcileResp::decode(none.encode()).unwrap(), none);
+    }
+
+    #[test]
+    fn data_plane_roundtrip() {
+        let read = DataReadReq {
+            requester: NodeId(1),
+            location: loc(6),
+        };
+        assert_eq!(DataReadReq::decode(read.encode()).unwrap(), read);
+        for payload in [Bytes::from_static(&[9; 32]), Bytes::new()] {
+            let resp = DataReadResp { payload };
+            assert_eq!(DataReadResp::decode(resp.encode()).unwrap(), resp);
+        }
+        let write = DataWriteReq {
+            requester: NodeId(3),
+            location: loc(7),
+            payload: Bytes::from_static(b"staged bytes"),
+        };
+        assert_eq!(DataWriteReq::decode(write.encode()).unwrap(), write);
+        let empty = DataWriteReq {
+            payload: Bytes::new(),
+            ..write
+        };
+        assert_eq!(DataWriteReq::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn invalidate_roundtrip() {
+        let r = InvalidateReq {
+            owner: NodeId(2),
+            id: ObjectId::from_name("hot"),
+        };
+        assert_eq!(InvalidateReq::decode(r.encode()).unwrap(), r);
     }
 
     #[test]

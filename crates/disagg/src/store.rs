@@ -31,14 +31,17 @@
 //! optional [`IdCache`] accelerates repeat lookups.
 
 use crate::elastic::{BorrowLedger, ElasticConfig, HeatMap, LedgerCounts};
+use crate::fabric::{ControlLink, DataPlaneKind, DataPlaneMetrics};
 use crate::health::{Admission, HealthConfig, PeerHealth, PeerState, PeerStats, RetryPolicy};
 use crate::idcache::{CacheMode, CachedEntry, IdCache};
 use crate::proto::{
     method, BoolResp, BorrowReconcileReq, BorrowReconcileResp, CreateAtReq, CreateAtResp,
-    CreateAtStatus, ForwardReq, GetManyEntry, GetManyReq, GetManyResp, GetManyStatus, IdReq,
-    ListEntry, ListResp, LookupReq, LookupResp, MembershipResp, MetricsResp, ReconcileReq,
-    ReconcileResp, ReleaseReq, ReserveReq, ReserveResp, SpillAtReq, SpillAtResp, SpillAtStatus,
+    CreateAtStatus, DataReadReq, DataReadResp, DataWriteReq, ForwardReq, GetManyEntry, GetManyReq,
+    GetManyResp, GetManyStatus, IdReq, InvalidateReq, ListEntry, ListResp, LookupReq, LookupResp,
+    MembershipResp, MetricsResp, ReconcileReq, ReconcileResp, ReleaseReq, ReserveReq, ReserveResp,
+    SpillAtReq, SpillAtResp, SpillAtStatus,
 };
+use crate::replicate::{ReplicaCounts, ReplicaLedger, ReplicationConfig};
 use crate::ring::{Membership, Ring};
 use crate::usage::{RemoteRefs, Reservations, ReserveOutcome};
 use bytes::Bytes;
@@ -146,6 +149,11 @@ pub struct DisaggConfig {
     /// Elastic capacity tier: spill watermarks, lender headroom,
     /// admission control, heat threshold.
     pub elastic: ElasticConfig,
+    /// Which bulk data-plane backend payload bytes move over
+    /// (zero-copy mapped segments vs the framed rpclite fallback).
+    pub data_plane: DataPlaneKind,
+    /// Hot-object read replication policy.
+    pub replication: ReplicationConfig,
 }
 
 impl Default for DisaggConfig {
@@ -155,6 +163,8 @@ impl Default for DisaggConfig {
             id_cache: None,
             interconnect: InterconnectConfig::default(),
             elastic: ElasticConfig::default(),
+            data_plane: DataPlaneKind::default(),
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -209,6 +219,19 @@ struct DisaggMetrics {
     lent_objects: Arc<Gauge>,
     /// Objects currently held for other owners (holder-side ledger size).
     borrowed_objects: Arc<Gauge>,
+    /// Replicas confirmed adopted by a holder (owner side).
+    replicas_created: Arc<Counter>,
+    /// Replica offers a holder refused (or that failed en route).
+    replicas_refused: Arc<Counter>,
+    /// Replicas dropped by an owner-initiated invalidation (holder side).
+    replicas_invalidated: Arc<Counter>,
+    /// Local `get` slots served by a held replica instead of a remote
+    /// round trip — the replication win, countable.
+    replica_local_hits: Arc<Counter>,
+    /// Objects of ours currently replicated elsewhere (owner ledger).
+    replicas_outstanding: Arc<Gauge>,
+    /// Replicas currently held here for other owners (holder ledger).
+    replicas_held: Arc<Gauge>,
 }
 
 impl DisaggMetrics {
@@ -238,6 +261,12 @@ impl DisaggMetrics {
             spilled_bytes: registry.gauge("plasma.spilled_bytes"),
             lent_objects: registry.gauge("disagg.elastic.lent_objects"),
             borrowed_objects: registry.gauge("disagg.elastic.borrowed_objects"),
+            replicas_created: registry.counter("disagg.replica.created"),
+            replicas_refused: registry.counter("disagg.replica.refused"),
+            replicas_invalidated: registry.counter("disagg.replica.invalidated"),
+            replica_local_hits: registry.counter("disagg.replica.local_hits"),
+            replicas_outstanding: registry.gauge("disagg.replica.outstanding"),
+            replicas_held: registry.gauge("disagg.replica.held"),
         }
     }
 }
@@ -280,9 +309,16 @@ struct Inner {
     remote_refs: RemoteRefs,
     /// Both ends of every elastic delegation this node participates in.
     ledger: BorrowLedger,
+    /// Both sides of every read-replica this node participates in.
+    replicas: ReplicaLedger,
     /// Owner-side remote-hit attribution driving rebalancing.
     heat: HeatMap,
     elastic: ElasticConfig,
+    replication: ReplicationConfig,
+    /// The bulk data-plane backend payload bytes move over.
+    data_plane: Arc<dyn crate::fabric::Fabric>,
+    /// Byte counters proving which plane payloads took.
+    dp: DataPlaneMetrics,
     counters: DisaggCounters,
     metrics: DisaggMetrics,
     health: PeerHealth,
@@ -319,6 +355,9 @@ impl DisaggStore {
         let node = core.node();
         let clock = core.fabric().clock().clone();
         let metrics = DisaggMetrics::new(core.registry());
+        let dp = DataPlaneMetrics::register(core.registry());
+        let data_plane =
+            crate::fabric::build(config.data_plane, core.fabric().clone(), node, dp.clone());
         DisaggStore {
             inner: Arc::new(Inner {
                 health: PeerHealth::with_metrics(
@@ -345,8 +384,12 @@ impl DisaggStore {
                 reservations: Reservations::new(),
                 remote_refs: RemoteRefs::new(),
                 ledger: BorrowLedger::new(),
+                replicas: ReplicaLedger::new(),
                 heat: HeatMap::new(),
                 elastic: config.elastic,
+                replication: config.replication,
+                data_plane,
+                dp,
                 counters: DisaggCounters::default(),
             }),
         }
@@ -668,6 +711,329 @@ impl DisaggStore {
         m.borrowed_objects.set(counts.borrowed as i64);
     }
 
+    fn sync_replica_gauges(&self) {
+        let counts = self.inner.replicas.counts();
+        let m = &self.inner.metrics;
+        m.replicas_outstanding.set(counts.outstanding as i64);
+        m.replicas_held.set(counts.held as i64);
+    }
+
+    /// The name of the configured data-plane backend (`"mapped"` or
+    /// `"framed"`), for diagnostics and bench labels.
+    pub fn data_plane_name(&self) -> &'static str {
+        self.inner.data_plane.name()
+    }
+
+    /// Replica-ledger occupancy (both sides).
+    pub fn replica_counts(&self) -> ReplicaCounts {
+        self.inner.replicas.counts()
+    }
+
+    /// Owner-side replica ledger: every `(id, holder)` pair this node
+    /// has replicated out. The chaos quiesce audit cross-checks these
+    /// against each holder's [`DisaggStore::replica_snapshot`].
+    pub fn replica_held_snapshot(&self) -> Vec<(ObjectId, NodeId)> {
+        self.inner.replicas.held_snapshot()
+    }
+
+    /// Holder-side replica ledger: every `(id, owner)` replica this
+    /// node currently holds for another owner.
+    pub fn replica_snapshot(&self) -> Vec<(ObjectId, NodeId)> {
+        self.inner.replicas.replica_snapshot()
+    }
+
+    /// Resolve `id` and read its full payload (data + metadata bytes)
+    /// through the data plane — the complete descriptor lifecycle in
+    /// one call: **negotiate** (pinning get over the control plane) →
+    /// **map/read** (the configured [`crate::fabric::Fabric`] backend)
+    /// → **release**. Returns `None` when the id did not resolve within
+    /// `timeout`.
+    pub fn get_bytes(
+        &self,
+        id: ObjectId,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>, PlasmaError> {
+        let found = ObjectStore::get(self, &[id], timeout)?;
+        let Some(loc) = found[0] else {
+            return Ok(None);
+        };
+        let pin = RemotePinGuard::new(self, id);
+        let bytes = self.read_payload(&loc)?;
+        pin.release()?;
+        Ok(Some(bytes))
+    }
+
+    /// Read the payload bytes behind a negotiated descriptor: local
+    /// objects straight from the local segment, remote ones through the
+    /// configured data-plane backend. The caller must hold the pin the
+    /// negotiation took (see [`DisaggStore::get_bytes`]).
+    pub fn read_payload(&self, loc: &ObjectLocation) -> Result<Vec<u8>, PlasmaError> {
+        if loc.seg.owner == self.inner.node {
+            let mapping = self.inner.core.mapping_for(loc)?;
+            Ok(mapping.view(loc.offset, loc.total_size())?.read_all()?)
+        } else {
+            self.inner
+                .data_plane
+                .pull(&StoreLink(self), loc.seg.owner, loc)
+        }
+    }
+
+    /// Write `data` into a staged descriptor through the data plane —
+    /// the payload step of a forwarded create (`CREATE_AT` returned the
+    /// descriptor; this moves the bytes; `seal` completes it).
+    pub fn write_payload(&self, loc: &ObjectLocation, data: &[u8]) -> Result<(), PlasmaError> {
+        if loc.seg.owner == self.inner.node {
+            let mapping = self.inner.core.mapping_for(loc)?;
+            Ok(mapping.write_at(loc.offset, data)?)
+        } else {
+            self.inner
+                .data_plane
+                .push(&StoreLink(self), loc.seg.owner, loc, data)
+        }
+    }
+
+    /// On the framed backend, read `loc`'s payload from the local
+    /// segment and embed it in an outgoing spill/replicate request
+    /// (counted as framed bytes — the receiver must not issue a nested
+    /// RPC back at us from inside its handler). On the mapped backend
+    /// return `None`: the receiver reads the segment directly.
+    fn framed_payload_for(&self, loc: &ObjectLocation) -> Result<Option<Bytes>, PlasmaError> {
+        if !self.inner.data_plane.framed() {
+            return Ok(None);
+        }
+        let mapping = self.inner.core.mapping_for(loc)?;
+        let bytes = mapping.view(loc.offset, loc.total_size())?.read_all()?;
+        self.inner.dp.framed_payload_bytes.add(bytes.len() as u64);
+        Ok(Some(Bytes::from(bytes)))
+    }
+
+    /// Invalidate every replica of `id` **before** its delete proceeds.
+    /// Any holder that cannot confirm fails the delete — the object
+    /// stays intact. This ordering is the protocol's safety story: a
+    /// *successful* delete implies no live replica survived it, which
+    /// is exactly the invariant the chaos quiesce audit asserts.
+    fn invalidate_replicas(&self, id: ObjectId) -> Result<(), PlasmaError> {
+        let holders = self.inner.replicas.holders(id);
+        if holders.is_empty() {
+            return Ok(());
+        }
+        let peers = self.peers_snapshot();
+        for holder in holders {
+            let Some(peer) = peers.iter().find(|p| p.node == holder) else {
+                return Err(PlasmaError::PeerUnavailable(format!(
+                    "no peer for replica holder {holder}"
+                )));
+            };
+            let req = InvalidateReq {
+                owner: self.inner.node,
+                id,
+            };
+            match self.peer_call(peer, method::INVALIDATE, req.encode()) {
+                // Confirmed: dropped now, or the holder had no entry —
+                // either way no replica survives there.
+                Ok(_) => {
+                    self.inner.replicas.remove_holder(id, holder);
+                }
+                Err(PeerFail::Skipped) => {
+                    return Err(PlasmaError::PeerUnavailable(format!(
+                        "replica holder {} is down",
+                        peer.name
+                    )));
+                }
+                Err(PeerFail::Unreachable(m)) => return Err(PlasmaError::PeerUnavailable(m)),
+                Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
+            }
+        }
+        self.sync_replica_gauges();
+        Ok(())
+    }
+
+    /// Propagate a read replica of one sealed, locally-held object to
+    /// `holder` over the data plane (`REPLICATE_AT`). Unlike
+    /// [`DisaggStore::spill_to`], the owner **keeps its copy** and
+    /// remains the write/metadata authority; the holder serves its own
+    /// future reads locally. The source copy is pinned while the holder
+    /// copies — which is what makes a delete racing the propagation
+    /// safe (the owner's local delete fails `ObjectInUse` until the pin
+    /// drops, and after the ledger entry lands the delete invalidates
+    /// first). Returns whether the holder adopted.
+    pub fn replicate_to(&self, id: ObjectId, holder: NodeId) -> Result<bool, PlasmaError> {
+        if !self.inner.replication.enabled || holder == self.inner.node {
+            return Ok(false);
+        }
+        // Single-lease interaction: a lent object's bytes live at its
+        // holder, not here — it is never replicated.
+        if self.inner.ledger.lent_holder(id).is_some() {
+            return Ok(false);
+        }
+        let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == holder) else {
+            return Err(PlasmaError::Transport(format!("no peer for {holder}")));
+        };
+        let Some(loc) = self.inner.core.get_local(id) else {
+            return Err(PlasmaError::ObjectNotFound(id));
+        };
+        let payload = match self.framed_payload_for(&loc) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = self.inner.core.release(id);
+                return Err(e);
+            }
+        };
+        let req = SpillAtReq {
+            requester: self.inner.node,
+            epoch: self.ring_epoch(),
+            location: loc,
+            payload,
+        };
+        let adopted = match self.peer_call(&peer, method::REPLICATE_AT, req.encode()) {
+            Ok(body) => match SpillAtResp::decode(body) {
+                Ok(resp) => {
+                    self.maybe_adopt_epoch(holder, resp.epoch);
+                    resp.status == SpillAtStatus::Adopted
+                }
+                // A response arrived but did not decode (corrupted on
+                // the wire): the handler ran and may have adopted —
+                // same ambiguity direction as the transport errors
+                // below, so the entry is recorded before bailing.
+                Err(e) => {
+                    self.inner
+                        .replicas
+                        .record_held(id, holder, loc.total_size());
+                    self.sync_replica_gauges();
+                    let _ = self.inner.core.release(id);
+                    return Err(PlasmaError::Protocol(format!("replicate_at response: {e}")));
+                }
+            },
+            // Ambiguous outcomes: the holder may have sealed a replica.
+            // Record the owner-side entry anyway — an entry without a
+            // replica is trimmed at reconcile, but a replica without an
+            // entry would dodge invalidation and serve stale reads
+            // after a delete. `Unreachable` is the obvious case;
+            // `Rpc` with a non-Status error means a response arrived
+            // but could not be decoded (e.g. corrupted on the wire) —
+            // the handler ran, so it may well have adopted.
+            Err(PeerFail::Unreachable(_)) => {
+                self.inner
+                    .replicas
+                    .record_held(id, holder, loc.total_size());
+                self.sync_replica_gauges();
+                false
+            }
+            Err(PeerFail::Skipped) => false,
+            // A Status reply was authored by the handler itself, which
+            // only answers `REPLICATE_AT` with a status *before* any
+            // adopt: definite non-adoption.
+            Err(PeerFail::Rpc(RpcError::Status(s))) => {
+                let _ = self.inner.core.release(id);
+                return Err(Self::rpc_err(RpcError::Status(s)));
+            }
+            Err(PeerFail::Rpc(e)) => {
+                self.inner
+                    .replicas
+                    .record_held(id, holder, loc.total_size());
+                self.sync_replica_gauges();
+                let _ = self.inner.core.release(id);
+                return Err(Self::rpc_err(e));
+            }
+        };
+        if !adopted {
+            self.inner.metrics.replicas_refused.inc();
+            self.inner.core.release(id)?;
+            return Ok(false);
+        }
+        self.inner
+            .replicas
+            .record_held(id, holder, loc.total_size());
+        self.sync_replica_gauges();
+        self.inner.metrics.replicas_created.inc();
+        self.inner.core.release(id)?;
+        Ok(true)
+    }
+
+    /// One heat-driven replication pass: every owned object whose
+    /// dominant remote reader accumulated at least
+    /// [`ReplicationConfig::min_hits`] remote hits gets a replica *at
+    /// that reader* (up to [`ReplicationConfig::max_holders`]),
+    /// converting its future remote reads into local ones while the
+    /// owner keeps serving everyone else. Returns replicas created.
+    pub fn replicate_hot(&self) -> Result<u64, PlasmaError> {
+        if !self.inner.replication.enabled {
+            return Ok(0);
+        }
+        let min_hits = self.inner.replication.min_hits;
+        let mut created = 0u64;
+        for (id, reader, _) in self.inner.heat.drain_hot(min_hits) {
+            if reader == self.inner.node
+                || self.ring_owner(id) != Some(self.inner.node)
+                || self.inner.ledger.lent_holder(id).is_some()
+                || self.inner.replicas.holder_count(id) >= self.inner.replication.max_holders
+                || self.inner.replicas.is_holder(id, reader)
+                || self.inner.core.peek(id).is_none()
+            {
+                continue;
+            }
+            if matches!(self.replicate_to(id, reader), Ok(true)) {
+                created += 1;
+            }
+        }
+        Ok(created)
+    }
+
+    /// Quiesce-time replica reconciliation (holder-initiated): report
+    /// to every owner exactly which of its replicas this node still
+    /// holds, and act on the answer — replicas the owner declared dead
+    /// (object deleted/evicted, or the id is lent) are dropped here,
+    /// and the owner trims entries this node no longer honors. Heals
+    /// both halves of a lost `REPLICATE_AT` exchange.
+    ///
+    /// Like [`DisaggStore::reconcile_borrows`], only sound while no
+    /// replication or delete traffic involving this node is in flight.
+    /// Returns `(replicas dropped here, owner-side entries trimmed)`.
+    pub fn reconcile_replicas(&self) -> Result<(u64, u64), PlasmaError> {
+        let peers = self.peers_snapshot();
+        let mut dropped = 0u64;
+        let mut trimmed = 0u64;
+        for peer in &peers {
+            // Report only replicas still actually sealed here: an entry
+            // whose local copy was evicted must not be healed back into
+            // the owner's ledger.
+            let held: Vec<ObjectId> = self
+                .inner
+                .replicas
+                .replicas_from(peer.node)
+                .into_iter()
+                .filter(|id| {
+                    let alive = self.inner.core.peek(*id).is_some();
+                    if !alive {
+                        self.inner.replicas.remove_replica(*id, peer.node);
+                    }
+                    alive
+                })
+                .collect();
+            let req = BorrowReconcileReq {
+                requester: self.inner.node,
+                borrowed: held,
+            };
+            match self.peer_call(peer, method::REPLICA_RECONCILE, req.encode()) {
+                Ok(body) => {
+                    let resp = BorrowReconcileResp::decode(body)
+                        .map_err(|e| PlasmaError::Protocol(e.to_string()))?;
+                    trimmed += resp.trimmed;
+                    for id in resp.drop {
+                        let _ = self.inner.core.delete_deferred(id);
+                        self.inner.replicas.remove_replica(id, peer.node);
+                        dropped += 1;
+                    }
+                }
+                Err(PeerFail::Skipped) => {}
+                Err(PeerFail::Unreachable(m)) => return Err(PlasmaError::PeerUnavailable(m)),
+                Err(PeerFail::Rpc(e)) => return Err(Self::rpc_err(e)),
+            }
+        }
+        self.sync_replica_gauges();
+        Ok((dropped, trimmed))
+    }
+
     /// Each reachable peer's advertised free bytes, read from the
     /// `plasma.free_bytes` gauge of its METRICS snapshot — the capacity
     /// gossip lender selection ranks on. Unreachable peers are omitted.
@@ -754,6 +1120,12 @@ impl DisaggStore {
         if holder == self.inner.node {
             return Ok(false);
         }
+        // Single-lease interaction: an object with outstanding replicas
+        // is never lent — its delete path must stay a pure invalidation
+        // fan-out, not a lease chase on top of one.
+        if self.inner.replicas.holder_count(id) > 0 {
+            return Ok(false);
+        }
         let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == holder) else {
             return Err(PlasmaError::Transport(format!("no peer for {holder}")));
         };
@@ -761,10 +1133,18 @@ impl DisaggStore {
         let Some(loc) = self.inner.core.get_local(id) else {
             return Err(PlasmaError::ObjectNotFound(id));
         };
+        let payload = match self.framed_payload_for(&loc) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = self.inner.core.release(id);
+                return Err(e);
+            }
+        };
         let req = SpillAtReq {
             requester: self.inner.node,
             epoch: self.ring_epoch(),
             location: loc,
+            payload,
         };
         let adopted = match self.peer_call(&peer, method::SPILL_AT, req.encode()) {
             Ok(body) => {
@@ -815,6 +1195,7 @@ impl DisaggStore {
             if reader == self.inner.node
                 || self.ring_owner(id) != Some(self.inner.node)
                 || self.inner.ledger.lent_holder(id).is_some()
+                || self.inner.replicas.holder_count(id) > 0
                 || self.inner.core.peek(id).is_none()
             {
                 continue;
@@ -875,7 +1256,7 @@ impl DisaggStore {
         let Some(peer) = self.peers_snapshot().into_iter().find(|p| p.node == holder) else {
             return Err(PlasmaError::Transport(format!("no peer for {holder}")));
         };
-        match self.peer_call(&peer, method::DELETE, IdReq { id }.encode()) {
+        match self.peer_call(&peer, method::DELETE_HELD, IdReq { id }.encode()) {
             Ok(_) => {}
             Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::NotFound => {}
             Err(PeerFail::Rpc(RpcError::Status(s))) if s.code == StatusCode::FailedPrecondition => {
@@ -1146,15 +1527,13 @@ impl DisaggStore {
         }
         let owner = remote_loc.seg.owner;
 
-        // Copy the (immutable) bytes over the fabric.
-        let mapping = self
+        // Copy the (immutable) bytes through the data plane — mapped
+        // segments on the zero-copy backend, DATA_READ frames on the
+        // framed fallback.
+        let bytes = self
             .inner
-            .core
-            .fabric()
-            .attach(self.inner.node, remote_loc.seg)?;
-        let bytes = mapping
-            .view(remote_loc.offset, remote_loc.total_size())?
-            .read_all()?;
+            .data_plane
+            .pull(&StoreLink(self), owner, &remote_loc)?;
 
         // Stage the local copy (bypassing the reserve handshake: the id is
         // legitimately owned by the cluster already). Aborted on any
@@ -1782,6 +2161,15 @@ impl DisaggStore {
             for (slot, id) in out.iter_mut().zip(ids) {
                 if slot.is_none() && self.inner.ledger.borrowed_owner(*id).is_none() {
                     *slot = self.inner.core.get_local(*id);
+                    // A held replica serving a local get is the whole
+                    // point of replication: a remote round trip the hot
+                    // reader no longer pays. (Safe to serve without
+                    // consulting the owner — invalidation runs *before*
+                    // the owner's delete, so a live replica implies the
+                    // object still exists.)
+                    if slot.is_some() && self.inner.replicas.replica_owner(*id).is_some() {
+                        self.inner.metrics.replica_local_hits.inc();
+                    }
                 }
             }
             if out.iter().all(Option::is_some) {
@@ -1842,6 +2230,32 @@ impl DisaggStore {
             if out.iter().all(Option::is_some) || Instant::now() >= deadline {
                 return Ok(out);
             }
+        }
+    }
+}
+
+/// The store's control channel, lent to the data-plane backend: calls
+/// ride the same guarded peer-call machinery (health admission,
+/// deadlines, bounded retries) as every other interconnect RPC.
+struct StoreLink<'a>(&'a DisaggStore);
+
+impl ControlLink for StoreLink<'_> {
+    fn local_node(&self) -> NodeId {
+        self.0.inner.node
+    }
+
+    fn call(&self, peer: NodeId, method: u32, body: Bytes) -> Result<Bytes, PlasmaError> {
+        let Some(p) = self.0.peers_snapshot().into_iter().find(|p| p.node == peer) else {
+            return Err(PlasmaError::Transport(format!("no peer for {peer}")));
+        };
+        match self.0.peer_call(&p, method, body) {
+            Ok(b) => Ok(b),
+            Err(PeerFail::Skipped) => Err(PlasmaError::PeerUnavailable(format!(
+                "peer {} is down",
+                p.name
+            ))),
+            Err(PeerFail::Unreachable(m)) => Err(PlasmaError::PeerUnavailable(m)),
+            Err(PeerFail::Rpc(e)) => Err(DisaggStore::rpc_err(e)),
         }
     }
 }
@@ -1931,6 +2345,12 @@ impl ObjectStore for DisaggStore {
         // An object this node lent out still exists — the bytes just
         // live at the holder. Re-creating it here would fork the id.
         if self.inner.ledger.lent_holder(id).is_some() {
+            return Err(PlasmaError::ObjectExists(id));
+        }
+        // Outstanding replicas likewise: even if the owner copy was
+        // evicted, a holder still serves the old bytes — re-creating
+        // the id here would fork it against those replicas.
+        if self.inner.replicas.holder_count(id) > 0 {
             return Err(PlasmaError::ObjectExists(id));
         }
         // Singleton cluster: no peer could hold or contest the id, so the
@@ -2163,12 +2583,18 @@ impl ObjectStore for DisaggStore {
     }
 
     fn delete(&self, id: ObjectId) -> Result<(), PlasmaError> {
-        // A borrowed replica is not deleted locally: the owner's copy (or
-        // ledger entry) is the authoritative one, so the delete routes
-        // through the owner like any remote delete — which forwards back
-        // here only if the delegation is real.
-        let borrowed = self.inner.ledger.borrowed_owner(id).is_some();
-        if !borrowed && self.inner.core.exists_any_state(id) {
+        // A borrowed or replicated copy is not deleted locally: the
+        // owner (ring authority) runs the delete — for a read replica
+        // that means invalidating every holder, us included, before its
+        // own copy goes. Deleting just the local replica would leave
+        // the object alive everywhere else.
+        let delegated = self.inner.ledger.borrowed_owner(id).is_some()
+            || self.inner.replicas.replica_owner(id).is_some();
+        if !delegated && self.inner.core.exists_any_state(id) {
+            // Invalidate every replica *before* the local delete: if any
+            // holder cannot confirm, the delete fails with the object
+            // intact — no stale replica can survive a successful delete.
+            self.invalidate_replicas(id)?;
             return self.inner.core.delete(id);
         }
         // An object this node lent out is still this node's to delete:
@@ -2213,8 +2639,12 @@ impl ObjectStore for DisaggStore {
     }
 
     fn delete_deferred(&self, id: ObjectId) -> Result<bool, PlasmaError> {
-        let borrowed = self.inner.ledger.borrowed_owner(id).is_some();
-        if !borrowed && self.inner.core.exists_any_state(id) {
+        let delegated = self.inner.ledger.borrowed_owner(id).is_some()
+            || self.inner.replicas.replica_owner(id).is_some();
+        if !delegated && self.inner.core.exists_any_state(id) {
+            // Same replica-invalidation ordering as `delete`: a deferred
+            // delete hides the object at once, so replicas must go first.
+            self.invalidate_replicas(id)?;
             return self.inner.core.delete_deferred(id);
         }
         if let Some(holder) = self.inner.ledger.lent_holder(id) {
@@ -2372,9 +2802,11 @@ impl Service for Interconnect {
                     inner.node,
                     req.requester,
                     req.id,
-                    // A lent object exists even without local bytes.
+                    // A lent or replicated object exists even without
+                    // local bytes.
                     inner.core.exists_any_state(req.id)
-                        || inner.ledger.lent_holder(req.id).is_some(),
+                        || inner.ledger.lent_holder(req.id).is_some()
+                        || inner.replicas.holder_count(req.id) > 0,
                 );
                 Ok(ReserveResp {
                     granted: outcome == ReserveOutcome::Granted,
@@ -2411,6 +2843,28 @@ impl Service for Interconnect {
             method::DELETE => {
                 let req =
                     IdReq::decode(request).map_err(|e| Status::invalid_argument(e.to_string()))?;
+                // A delegated copy — a held read replica or a borrowed
+                // (spilled) object — cannot satisfy a fan-out delete: the
+                // ring owner is the delete authority, and only its
+                // invalidate-before-delete / lend-chase ordering clears
+                // every copy. Consuming the local copy here would ack a
+                // delete the owner never saw, leaving the owner's primary
+                // (or an ambiguous-spill duplicate) serving reads.
+                // NotFound sends the caller's fan-out on to the owner;
+                // the owner retires delegated copies via DELETE_HELD.
+                if inner.replicas.replica_owner(req.id).is_some()
+                    || inner.ledger.borrowed_owner(req.id).is_some()
+                {
+                    return Err(Status::not_found(
+                        "delegated copy: owner arbitrates deletes",
+                    ));
+                }
+                // Replicas go before the local copy (same ordering as the
+                // owner-local delete path): an unconfirmed invalidation
+                // fails the delete with the object intact.
+                if let Err(e) = self.store.invalidate_replicas(req.id) {
+                    return Err(Status::new(StatusCode::Unavailable, e.to_string()));
+                }
                 match inner.core.delete(req.id) {
                     Ok(()) => {
                         // If this node held the object on another's behalf,
@@ -2444,6 +2898,18 @@ impl Service for Interconnect {
             method::DELETE_DEFERRED => {
                 let req =
                     IdReq::decode(request).map_err(|e| Status::invalid_argument(e.to_string()))?;
+                // Same gate as DELETE: a delegated copy is the owner's
+                // to retire, never this node's to consume.
+                if inner.replicas.replica_owner(req.id).is_some()
+                    || inner.ledger.borrowed_owner(req.id).is_some()
+                {
+                    return Err(Status::not_found(
+                        "delegated copy: owner arbitrates deletes",
+                    ));
+                }
+                if let Err(e) = self.store.invalidate_replicas(req.id) {
+                    return Err(Status::new(StatusCode::Unavailable, e.to_string()));
+                }
                 match inner.core.delete_deferred(req.id) {
                     Ok(now) => {
                         // Even a deferred delete hides the object at once,
@@ -2461,6 +2927,33 @@ impl Service for Interconnect {
                             };
                         }
                         Err(Status::not_found("object not found"))
+                    }
+                    Err(e) => Err(Status::internal(e.to_string())),
+                }
+            }
+            method::DELETE_HELD => {
+                let req =
+                    IdReq::decode(request).map_err(|e| Status::invalid_argument(e.to_string()))?;
+                // The owner's delete chase: unlike the generic DELETE,
+                // this verb *is* allowed to consume a delegated copy —
+                // the owner already decided the object dies, and this
+                // node's copy (lent or replicated) dies with it.
+                match inner.core.delete(req.id) {
+                    Ok(()) => {
+                        if inner.ledger.remove_borrowed(req.id) {
+                            self.store.sync_ledger_gauges();
+                        }
+                        if let Some(owner) = inner.replicas.replica_owner(req.id) {
+                            inner.replicas.remove_replica(req.id, owner);
+                            self.store.sync_replica_gauges();
+                        }
+                        Ok(Bytes::new())
+                    }
+                    Err(PlasmaError::ObjectNotFound(_)) => {
+                        Err(Status::not_found("object not found"))
+                    }
+                    Err(PlasmaError::ObjectInUse(_)) => {
+                        Err(Status::new(StatusCode::FailedPrecondition, "object in use"))
                     }
                     Err(e) => Err(Status::internal(e.to_string())),
                 }
@@ -2623,8 +3116,11 @@ impl Service for Interconnect {
                     }
                 }
                 // A lent object still exists (its bytes live at the
-                // holder): refuse re-creation or the id would fork.
-                if inner.ledger.lent_holder(req.id).is_some() {
+                // holder): refuse re-creation or the id would fork. The
+                // same goes for an id with outstanding replicas.
+                if inner.ledger.lent_holder(req.id).is_some()
+                    || inner.replicas.holder_count(req.id) > 0
+                {
                     return Ok(CreateAtResp {
                         status: CreateAtStatus::Exists,
                         location: None,
@@ -2779,10 +3275,26 @@ impl Service for Interconnect {
                 // seal aborts the staged copy and refuses — the owner's
                 // copy is untouched.
                 let adopt = || -> Result<(), PlasmaError> {
-                    let mapping = inner.core.fabric().attach(inner.node, req.location.seg)?;
-                    let bytes = mapping
-                        .view(req.location.offset, req.location.total_size())?
-                        .read_all()?;
+                    // On the framed plane the payload rides inside the
+                    // request (embedding avoids a nested RPC back into the
+                    // owner, which is blocked in this very call); on the
+                    // mapped plane it is pulled straight from the owner's
+                    // sealed segment with no intermediate frame.
+                    let bytes = match &req.payload {
+                        Some(p) => p.to_vec(),
+                        None => {
+                            if inner.data_plane.framed() {
+                                return Err(PlasmaError::Protocol(
+                                    "framed spill without payload".into(),
+                                ));
+                            }
+                            inner.data_plane.pull(
+                                &StoreLink(&self.store),
+                                req.requester,
+                                &req.location,
+                            )?
+                        }
+                    };
                     let loc = inner.core.create(
                         id,
                         req.location.data_size,
@@ -2806,6 +3318,210 @@ impl Service for Interconnect {
                 Ok(SpillAtResp {
                     status: SpillAtStatus::Adopted,
                     epoch,
+                }
+                .encode())
+            }
+            method::DATA_READ => {
+                let req = DataReadReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                // Framed-plane bulk read: serve the sealed bytes named by
+                // the descriptor out of the local segment. The mapped
+                // plane never sends this — peers read the segment
+                // directly.
+                let mapping = inner
+                    .core
+                    .mapping_for(&req.location)
+                    .map_err(|e| Status::internal(e.to_string()))?;
+                let bytes = mapping
+                    .view(req.location.offset, req.location.total_size())
+                    .and_then(|v| v.read_all())
+                    .map_err(|e| Status::internal(e.to_string()))?;
+                Ok(DataReadResp {
+                    payload: Bytes::from(bytes),
+                }
+                .encode())
+            }
+            method::DATA_WRITE => {
+                let req = DataWriteReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                // Framed-plane bulk write into a staged remote create.
+                // Only the creator that holds the CREATE_AT stage may
+                // write — anyone else is refused without touching memory.
+                let allowed = inner
+                    .staged_remote
+                    .lock()
+                    .get(&req.location.id)
+                    .is_some_and(|&(r, _)| r == req.requester);
+                if !allowed {
+                    return Ok(BoolResp { value: false }.encode());
+                }
+                let mapping = inner
+                    .core
+                    .mapping_for(&req.location)
+                    .map_err(|e| Status::internal(e.to_string()))?;
+                mapping
+                    .write_at(req.location.offset, &req.payload)
+                    .map_err(|e| Status::internal(e.to_string()))?;
+                Ok(BoolResp { value: true }.encode())
+            }
+            method::REPLICATE_AT => {
+                let req = SpillAtReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                self.store.maybe_adopt_epoch(req.requester, req.epoch);
+                let epoch = self.store.ring_epoch();
+                let id = req.location.id;
+                let refused = |epoch| {
+                    Ok(SpillAtResp {
+                        status: SpillAtStatus::Refused,
+                        epoch,
+                    }
+                    .encode())
+                };
+                if !inner.replication.enabled {
+                    return refused(epoch);
+                }
+                // Idempotent retry: a replicate whose response was lost
+                // left the replica sealed here — re-acknowledge it. A
+                // local copy that is *not* a recorded replica from this
+                // owner exists for some other reason (e.g. we are mid
+                // re-own); refuse rather than fork the accounting.
+                if inner.core.peek(id).is_some() {
+                    return if inner.replicas.replica_owner(id) == Some(req.requester) {
+                        inner.replicas.record_replica(id, req.requester);
+                        self.store.sync_replica_gauges();
+                        Ok(SpillAtResp {
+                            status: SpillAtStatus::Adopted,
+                            epoch,
+                        }
+                        .encode())
+                    } else {
+                        refused(epoch)
+                    };
+                }
+                // A lent object's only bytes live at its holder; it must
+                // never also gain replicas (single-lease invariant).
+                if inner.ledger.borrowed_owner(id).is_some() {
+                    return refused(epoch);
+                }
+                // Same headroom gate as SPILL_AT: replicas are strictly
+                // optional, so never let them push us past the lending
+                // watermark.
+                let st = inner.core.stats();
+                let after = u128::from(st.allocated_bytes) + u128::from(req.location.total_size());
+                if st.capacity == 0
+                    || after * 1_000_000 / u128::from(st.capacity)
+                        > u128::from(inner.elastic.lend_headroom_ppm)
+                {
+                    return refused(epoch);
+                }
+                let adopt = || -> Result<(), PlasmaError> {
+                    let bytes = match &req.payload {
+                        Some(p) => p.to_vec(),
+                        None => {
+                            if inner.data_plane.framed() {
+                                return Err(PlasmaError::Protocol(
+                                    "framed replicate without payload".into(),
+                                ));
+                            }
+                            inner.data_plane.pull(
+                                &StoreLink(&self.store),
+                                req.requester,
+                                &req.location,
+                            )?
+                        }
+                    };
+                    let loc = inner.core.create(
+                        id,
+                        req.location.data_size,
+                        req.location.metadata_size,
+                    )?;
+                    let staged = StagedCreateGuard::new(&self.store, id);
+                    let local_map = inner.core.mapping_for(&loc)?;
+                    local_map.write_at(loc.offset, &bytes)?;
+                    inner.core.seal(id)?;
+                    staged.disarm();
+                    inner.core.release(id)?; // creator's reference
+                    Ok(())
+                };
+                if adopt().is_err() {
+                    return refused(epoch);
+                }
+                // Unlike SPILL_AT, the owner keeps its copy — this is a
+                // read replica, not a lease handoff.
+                inner.replicas.record_replica(id, req.requester);
+                self.store.sync_replica_gauges();
+                Ok(SpillAtResp {
+                    status: SpillAtStatus::Adopted,
+                    epoch,
+                }
+                .encode())
+            }
+            method::INVALIDATE => {
+                let req = InvalidateReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                // Owner is deleting: drop our replica (owner-checked so a
+                // racing re-replication under a newer owner epoch is not
+                // clobbered) and flush the simulated cache lines covering
+                // it before the segment bytes are reused.
+                let removed = inner.replicas.remove_replica(req.id, req.owner);
+                if removed {
+                    if let Some(loc) = inner.core.peek(req.id) {
+                        if let (Ok(cache), Ok(mapping)) = (
+                            inner.core.fabric().node_cache(inner.node),
+                            inner.core.mapping_for(&loc),
+                        ) {
+                            cache.invalidate_range(
+                                mapping.segment(),
+                                loc.offset,
+                                loc.total_size() as usize,
+                            );
+                        }
+                        // Deferred: a read pinning the replica right now
+                        // finishes; the bytes go when the pin drops. The
+                        // ledger entry is already gone, so no *new* read
+                        // can be attributed to a stale replica.
+                        let _ = inner.core.delete_deferred(req.id);
+                    }
+                    inner.metrics.replicas_invalidated.inc();
+                    self.store.sync_replica_gauges();
+                }
+                Ok(BoolResp { value: removed }.encode())
+            }
+            method::REPLICA_RECONCILE => {
+                let req = BorrowReconcileReq::decode(request)
+                    .map_err(|e| Status::invalid_argument(e.to_string()))?;
+                // Owner-side view of one holder's replica report. An
+                // entry is kept only while the owner still has its own
+                // sealed copy and the id is not lent — otherwise the
+                // replica is stale (or violates the lent⊕replicated
+                // exclusion) and the holder is told to drop it. Entries
+                // the holder did not report are dead — trim them.
+                let mut drop_ids = Vec::new();
+                let mut reported = HashSet::with_capacity(req.borrowed.len());
+                for id in req.borrowed {
+                    reported.insert(id);
+                    let keep = match inner.core.peek(id) {
+                        Some(_) => inner.ledger.lent_holder(id).is_none(),
+                        None => false,
+                    };
+                    if keep {
+                        let bytes = inner
+                            .core
+                            .peek(id)
+                            .map(|l| l.total_size())
+                            .unwrap_or_default();
+                        // Heals a lost REPLICATE_AT response.
+                        inner.replicas.record_held(id, req.requester, bytes);
+                    } else {
+                        inner.replicas.remove_holder(id, req.requester);
+                        drop_ids.push(id);
+                    }
+                }
+                let trimmed = inner.replicas.trim_held(req.requester, &reported);
+                self.store.sync_replica_gauges();
+                Ok(BorrowReconcileResp {
+                    drop: drop_ids,
+                    trimmed,
                 }
                 .encode())
             }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# docs-drift: fail when a documented interconnect verb number disagrees
+# with the method constant in crates/disagg/src/proto.rs.
+#
+# The docs reference wire verbs as `VERB` (method id N) — every such
+# pair is cross-checked against `pub const VERB: u32 = N;`. A verb the
+# docs name but proto.rs no longer defines is drift too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+while IFS=: read -r file line verb id; do
+    [ -n "$verb" ] || continue
+    actual=$(sed -n "s/^ *pub const ${verb}: u32 = \([0-9]*\);.*/\1/p" crates/disagg/src/proto.rs)
+    if [ -z "$actual" ]; then
+        echo "docs-drift: $file:$line documents \`$verb\` but proto.rs does not define it" >&2
+        status=1
+    elif [ "$actual" != "$id" ]; then
+        echo "docs-drift: $file:$line says \`$verb\` is method id $id but proto.rs says $actual" >&2
+        status=1
+    fi
+done < <(grep -nH -oE '`[A-Z_]+`[^()]*\(method id [0-9]+\)' DESIGN.md README.md EXPERIMENTS.md ROADMAP.md 2>/dev/null |
+    sed -E 's/^([^:]+):([0-9]+):`([A-Z_]+)`[^0-9]*([0-9]+)\)$/\1:\2:\3:\4/')
+
+if [ "$status" -eq 0 ]; then
+    echo "docs-drift: documented method ids agree with proto.rs"
+fi
+exit $status

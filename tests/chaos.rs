@@ -21,6 +21,12 @@ use ipc::fault::Direction;
 /// audit cross-checks every borrow ledger — so they pin adversaries
 /// against the spill handoff (partition while a `SPILL_AT` is in
 /// flight) and the heat-driven rebalance path (links frozen mid-pass).
+/// Seeds 9–10 were added with read replication — the workload now also
+/// replicates hot objects and the quiesce audit cross-checks both
+/// replica-ledger sides — so they pin adversaries against the
+/// invalidate-before-delete ordering (a delete racing a `REPLICATE_AT`
+/// still in flight must leave either no replica or a failed delete,
+/// never a stale replica that outlives its object).
 const SEED_MATRIX: &[u64] = &[
     0xC0FFEE,
     42,
@@ -30,6 +36,8 @@ const SEED_MATRIX: &[u64] = &[
     0xB1D5_0FF5,
     0x5117_0D0D,
     0xFBA1_A4CE,
+    0x4E91_1CA5,
+    0xDE1E_0BAD,
 ];
 
 fn soak_one(seed: u64) {
