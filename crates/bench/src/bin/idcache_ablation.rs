@@ -15,6 +15,7 @@
 
 use bench::{commit_objects, render_table, BenchSpec, HarnessOpts, Summary};
 use disagg::{CacheMode, Cluster, ClusterConfig, DataPlaneKind};
+use plasma::AllocatorKind;
 use std::time::Duration;
 
 fn run_config(
@@ -41,6 +42,12 @@ fn run_config(
     // `--bin fabric_dp` (A8).
     cfg.ring = false;
     cfg.data_plane = DataPlaneKind::Framed;
+    // Allocator and table layout are likewise pinned: the recorded
+    // tables predate the slab allocator and the sharded object table,
+    // and this harness measures lookup RPCs, not the store hot path —
+    // the allocator/sharding comparison lives in `--bin hotpath` (A9).
+    cfg.allocator = AllocatorKind::FirstFit;
+    cfg.shards = 1;
     let cluster = Cluster::launch(cfg).expect("launch");
     let producer = cluster.client(3).expect("producer");
     let consumer = cluster.client(1).expect("consumer");

@@ -14,6 +14,7 @@
 
 use bench::{commit_objects, render_table, BenchSpec, HarnessOpts, Summary};
 use disagg::{CacheMode, Cluster, ClusterConfig, DataPlaneKind};
+use plasma::AllocatorKind;
 use std::time::Duration;
 
 fn main() {
@@ -42,6 +43,11 @@ fn main() {
         // `--bin fabric_dp` (A8).
         cfg.ring = false;
         cfg.data_plane = DataPlaneKind::Framed;
+        // Allocator and table layout pinned for the same reason: the
+        // recorded sweep predates the slab allocator and the sharded
+        // object table; the hot-path comparison is `--bin hotpath` (A9).
+        cfg.allocator = AllocatorKind::FirstFit;
+        cfg.shards = 1;
         let cluster = Cluster::launch(cfg).expect("launch");
 
         // Objects live on the LAST node, so a consumer on node 0 probing

@@ -42,7 +42,7 @@ use crate::history::{EventKind, HistoryRecorder, Observed};
 use crate::inject::ChaosInjector;
 use crate::plan::FaultPlan;
 use disagg::{Cluster, ClusterConfig, HealthConfig, InterconnectConfig, RetryPolicy};
-use plasma::{checksum, ObjectId, PlasmaError};
+use plasma::{checksum, AllocatorKind, ObjectId, PlasmaError};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -70,6 +70,11 @@ pub struct SoakConfig {
     /// rebalance) into the workload, and reconcile + audit the borrow
     /// ledgers at quiesce. Exercises delegation under fault injection.
     pub elastic: bool,
+    /// Region allocator used by every store (the matrix reruns with
+    /// `Slab` to soak the size-class hot path under faults).
+    pub allocator: AllocatorKind,
+    /// Object-table shards per store (see `plasma::StoreConfig::shards`).
+    pub shards: usize,
 }
 
 impl std::fmt::Debug for SoakConfig {
@@ -83,6 +88,8 @@ impl std::fmt::Debug for SoakConfig {
             .field("get_timeout", &self.get_timeout)
             .field("links", &self.links.as_ref().map(|_| "<map>"))
             .field("elastic", &self.elastic)
+            .field("allocator", &self.allocator)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -100,7 +107,17 @@ impl SoakConfig {
             get_timeout: Duration::from_millis(50),
             links: None,
             elastic: true,
+            allocator: AllocatorKind::SizeMap,
+            shards: plasma::store::DEFAULT_SHARDS,
         }
+    }
+
+    /// The same soak over the concurrent hot-path configuration: slab
+    /// allocator + sharded object table.
+    pub fn with_hotpath(mut self) -> SoakConfig {
+        self.allocator = AllocatorKind::Slab;
+        self.shards = plasma::store::DEFAULT_SHARDS;
+        self
     }
 }
 
@@ -167,6 +184,8 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
     let injector = ChaosInjector::new(plan.clone());
     let mut cluster_config = ClusterConfig::functional(cfg.nodes, cfg.memory_per_node);
     cluster_config.seed = plan.seed;
+    cluster_config.allocator = cfg.allocator;
+    cluster_config.shards = cfg.shards;
     cluster_config.interconnect = soak_interconnect();
     cluster_config.fault_policy = Some(injector.clone());
     cluster_config.link_map = cfg.links.clone();
@@ -241,7 +260,24 @@ pub fn run_plan(plan: &FaultPlan, cfg: &SoakConfig) -> Result<SoakReport, Plasma
                 .filter(|&j| j != i)
                 .all(|j| store.peer_state(cluster.node_id(j)) == disagg::PeerState::Up)
         });
-        if (failed_releases.is_empty() && parked == 0 && all_up) || Instant::now() > settle_deadline
+        // 3b: ledger drain. Once the backlogs are empty the only pins
+        // left in the requester-side ledgers are ones the workload
+        // absorbed without a paired buffer (duplicate slots in a batch
+        // lookup) — release them now, while every peer is reachable, so
+        // owners aren't left with unevictable copies. Runs inside the
+        // loop because a drain can itself fail transiently; the exit
+        // condition requires the ledgers to actually reach zero.
+        let mut leftover = 0u64;
+        if failed_releases.is_empty() && parked == 0 && all_up {
+            for i in 0..cfg.nodes {
+                cluster.store(i).drain_remote_pins();
+            }
+            leftover = (0..cfg.nodes)
+                .map(|i| cluster.store(i).held_remote_pins())
+                .sum();
+        }
+        if (failed_releases.is_empty() && parked == 0 && all_up && leftover == 0)
+            || Instant::now() > settle_deadline
         {
             break;
         }

@@ -41,6 +41,8 @@ pub struct ClusterConfig {
     pub memory_per_node: usize,
     /// Allocator used by every store.
     pub allocator: AllocatorKind,
+    /// Object-table shards per store (see `plasma::StoreConfig::shards`).
+    pub shards: usize,
     /// Virtual (deterministic accounting) or Throttle (wall-clock) time.
     pub clock_mode: ClockMode,
     /// Delay model of the store-to-store RPC channel (every pair, unless
@@ -89,6 +91,7 @@ impl std::fmt::Debug for ClusterConfig {
             .field("nodes", &self.nodes)
             .field("memory_per_node", &self.memory_per_node)
             .field("allocator", &self.allocator)
+            .field("shards", &self.shards)
             .field("clock_mode", &self.clock_mode)
             .field("rpc_link", &self.rpc_link)
             .field("link_map", &self.link_map.as_ref().map(|_| "<map>"))
@@ -117,6 +120,7 @@ impl ClusterConfig {
             nodes: 2,
             memory_per_node,
             allocator: AllocatorKind::SizeMap,
+            shards: plasma::store::DEFAULT_SHARDS,
             clock_mode: ClockMode::Virtual,
             rpc_link: LinkModel::grpc_lan(),
             link_map: None,
@@ -139,6 +143,7 @@ impl ClusterConfig {
             nodes,
             memory_per_node,
             allocator: AllocatorKind::SizeMap,
+            shards: plasma::store::DEFAULT_SHARDS,
             clock_mode: ClockMode::Virtual,
             rpc_link: LinkModel::instant(),
             link_map: None,
@@ -191,6 +196,7 @@ impl Cluster {
                     name: format!("store-{i}"),
                     memory_bytes: config.memory_per_node,
                     allocator: config.allocator,
+                    shards: config.shards,
                     enable_eviction: true,
                     growth: config.growth.map(|(increment_bytes, max_total_bytes)| {
                         plasma::store::GrowthPolicy {

@@ -610,6 +610,46 @@ impl DisaggStore {
             .sum()
     }
 
+    /// Quiesce-time pin drain: release every pin still in the
+    /// requester-side ledger. Workload paths deliberately absorb some
+    /// pins into the ledger without a paired buffer (e.g. a batch lookup
+    /// that returns the same object in several slots pins once per slot
+    /// but hands out one buffer); those are correct during the run and
+    /// garbage once it ends — an undrained pin keeps the owner's copy
+    /// unevictable and undeletable forever. Returns the number of pins
+    /// released. Errors on individual releases are ignored: the follow-up
+    /// `reconcile_pins` sweep trims whatever an unreachable owner missed.
+    ///
+    /// Like `reconcile_pins`, only sound after the workload has drained —
+    /// a ledgered pin may pair with a buffer still in flight.
+    pub fn drain_remote_pins(&self) -> u64 {
+        let mut drained = 0u64;
+        loop {
+            let snapshot: Vec<(ObjectId, u64)> = self
+                .inner
+                .remote_held
+                .lock()
+                .iter()
+                .map(|(id, entries)| (*id, entries.iter().map(|(_, c)| *c).sum::<u64>()))
+                .collect();
+            let mut progressed = false;
+            for (id, count) in snapshot {
+                for _ in 0..count {
+                    if self.release(id).is_ok() {
+                        progressed = true;
+                        drained += 1;
+                    }
+                }
+            }
+            if !progressed {
+                // Either the ledger is empty or every remaining owner is
+                // unreachable; leave stragglers for reconciliation rather
+                // than spinning on them.
+                return drained;
+            }
+        }
+    }
+
     /// Quiesce-time pin reconciliation: tell every peer exactly which of
     /// its objects this node still ledgers pins on, so the peer can trim
     /// owner-side pins orphaned by lost responses (it pinned while
@@ -1147,12 +1187,16 @@ impl DisaggStore {
             payload,
         };
         let adopted = match self.peer_call(&peer, method::SPILL_AT, req.encode()) {
-            Ok(body) => {
-                let resp = SpillAtResp::decode(body)
-                    .map_err(|e| PlasmaError::Protocol(format!("spill_at response: {e}")))?;
-                self.maybe_adopt_epoch(holder, resp.epoch);
-                resp.status == SpillAtStatus::Adopted
-            }
+            // A garbled response is as ambiguous as a lost one: treat it
+            // like Unreachable below instead of bailing out — an early
+            // return here would leak the source pin taken above.
+            Ok(body) => match SpillAtResp::decode(body) {
+                Ok(resp) => {
+                    self.maybe_adopt_epoch(holder, resp.epoch);
+                    resp.status == SpillAtStatus::Adopted
+                }
+                Err(_) => false,
+            },
             // Ambiguous outcome (request may have executed, response
             // lost): keep the local copy. If the lender did adopt, both
             // immutable copies coexist harmlessly until borrow
@@ -2494,37 +2538,49 @@ impl ObjectStore for DisaggStore {
     }
 
     fn release(&self, id: ObjectId) -> Result<(), PlasmaError> {
-        // Remote-held reference? Feed back to the owner over RPC. The
-        // local count is decremented optimistically and restored if the
-        // RPC fails — otherwise the pin would be lost locally while the
-        // owner still counts it, leaving the object unevictable forever.
-        let owner = {
-            let mut held = self.inner.remote_held.lock();
-            match held.get_mut(&id) {
-                Some(entries) => {
-                    // Pins on the same immutable object are fungible: any
-                    // owner's count may be drained first, as long as each
-                    // owner eventually receives exactly its own total.
-                    // Prefer one that isn't Down so a dead peer doesn't
-                    // block releasing pins held on live ones.
-                    let i = entries
-                        .iter()
-                        .position(|(node, _)| self.inner.health.state(*node) != PeerState::Down)
-                        .unwrap_or(0);
-                    let node = entries[i].0;
-                    entries[i].1 -= 1;
-                    if entries[i].1 == 0 {
-                        entries.remove(i);
+        // Remote-held references are fed back to their owners over RPC.
+        // Each ledger entry is decremented optimistically and restored if
+        // the RPC fails — otherwise the pin would be lost locally while
+        // the owner still counts it, leaving the object unevictable
+        // forever. The restore is ambiguous, though: a release whose
+        // *response* was lost did land, so the restored entry is a
+        // phantom the owner no longer counts. The owner's ack (`false` =
+        // no pin ledgered for us) detects exactly that case, and the
+        // loop re-routes this release at the next candidate — another
+        // owner's entry or the local refcount — instead of letting a
+        // phantom entry swallow a release some real pin needed.
+        let mut phantom = false;
+        loop {
+            let owner = {
+                let mut held = self.inner.remote_held.lock();
+                match held.get_mut(&id) {
+                    Some(entries) => {
+                        // Pins on the same immutable object are fungible:
+                        // any owner's count may be drained first, as long
+                        // as each owner eventually receives exactly its
+                        // own total. Prefer one that isn't Down so a dead
+                        // peer doesn't block releasing pins held on live
+                        // ones.
+                        let i = entries
+                            .iter()
+                            .position(|(node, _)| self.inner.health.state(*node) != PeerState::Down)
+                            .unwrap_or(0);
+                        let node = entries[i].0;
+                        entries[i].1 -= 1;
+                        if entries[i].1 == 0 {
+                            entries.remove(i);
+                        }
+                        if entries.is_empty() {
+                            held.remove(&id);
+                        }
+                        Some(node)
                     }
-                    if entries.is_empty() {
-                        held.remove(&id);
-                    }
-                    Some(node)
+                    None => None,
                 }
-                None => None,
-            }
-        };
-        if let Some(owner) = owner {
+            };
+            let Some(owner) = owner else {
+                break;
+            };
             let result = (|| {
                 let peer = self
                     .peers_snapshot()
@@ -2536,20 +2592,27 @@ impl ObjectStore for DisaggStore {
                     id,
                 };
                 match self.peer_call(&peer, method::RELEASE, req.encode()) {
-                    Ok(_) => Ok(()),
+                    Ok(body) => Ok(BoolResp::decode(body).map(|r| r.value).unwrap_or(true)),
                     Err(PeerFail::Skipped) | Err(PeerFail::Unreachable(_)) => Err(
                         PlasmaError::PeerUnavailable(format!("owner {} unreachable", peer.name)),
                     ),
                     Err(PeerFail::Rpc(e)) => Err(Self::rpc_err(e)),
                 }
             })();
-            return match result {
-                Ok(()) => {
+            match result {
+                Ok(true) => {
                     self.inner
                         .counters
                         .releases_forwarded
                         .fetch_add(1, Ordering::Relaxed);
-                    Ok(())
+                    return Ok(());
+                }
+                Ok(false) => {
+                    // Phantom entry: the owner executed an earlier release
+                    // whose response we never saw. The stale entry is
+                    // already gone from the ledger — route this release at
+                    // the next candidate.
+                    phantom = true;
                 }
                 Err(e) => {
                     // Restore the decrement: the owner still counts this
@@ -2560,9 +2623,9 @@ impl ObjectStore for DisaggStore {
                         Some(entry) => entry.1 += 1,
                         None => entries.push((owner, 1)),
                     }
-                    Err(e)
+                    return Err(e);
                 }
-            };
+            }
         }
         // The creator's reference of a forwarded create was consumed by
         // SEAL_AT at the owner; the put flow's trailing release is
@@ -2571,13 +2634,23 @@ impl ObjectStore for DisaggStore {
             return Ok(());
         }
         if self.inner.core.exists_any_state(id) {
-            return self.inner.core.release(id);
+            return match self.inner.core.release(id) {
+                Ok(()) => Ok(()),
+                // On the phantom chain the pin this release pairs with may
+                // already be gone (healed by an earlier duplicated
+                // delivery); a missing refcount is success, not an error.
+                Err(_) if phantom => Ok(()),
+                Err(e) => Err(e),
+            };
         }
         // Direct-mode cache reads hold no reference: release is a no-op.
         if let Some(cache) = &self.inner.idcache {
             if cache.mode() == CacheMode::Direct && cache.lookup(id).is_some() {
                 return Ok(());
             }
+        }
+        if phantom {
+            return Ok(());
         }
         Err(PlasmaError::ObjectNotFound(id))
     }

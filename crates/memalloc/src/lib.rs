@@ -16,6 +16,10 @@
 //!   equivalently, best-fit).
 //! * [`DlSeg`] — a dlmalloc-flavoured segregated-bin allocator standing in
 //!   for the dlmalloc baseline the paper removed.
+//! * [`Slab`] — size-class slabs over segment arenas tuned to the Table I
+//!   object-size distribution: O(1) allocation from per-class free-slot
+//!   lists, oversize requests falling through to first-fit (the store's
+//!   concurrent hot-path allocator; see `slab.rs`).
 //!
 //! All allocators implement [`RegionAllocator`], operate on offsets into a
 //! caller-owned region (they never touch memory themselves), coalesce
@@ -27,6 +31,7 @@ pub mod dlseg;
 pub mod firstfit;
 pub mod freemap;
 pub mod sizemap;
+pub mod slab;
 pub mod stats;
 pub mod trace;
 
@@ -34,7 +39,8 @@ pub use buddy::Buddy;
 pub use dlseg::DlSeg;
 pub use firstfit::FirstFit;
 pub use sizemap::SizeMap;
-pub use stats::AllocStats;
+pub use slab::{Slab, SIZE_CLASSES};
+pub use stats::{AllocStats, ClassOccupancy};
 pub use trace::{Trace, TraceOp, TraceSpec};
 
 use std::fmt;
@@ -94,6 +100,12 @@ pub trait RegionAllocator: Send {
     /// Current statistics.
     fn stats(&self) -> AllocStats;
 
+    /// Per-size-class occupancy, for allocators that segregate by class.
+    /// Empty for allocators without classes.
+    fn class_stats(&self) -> Vec<ClassOccupancy> {
+        Vec::new()
+    }
+
     /// Short human-readable allocator name (for benchmark tables).
     fn name(&self) -> &'static str;
 }
@@ -128,6 +140,7 @@ mod conformance {
             Box::new(SizeMap::new(capacity)),
             Box::new(DlSeg::new(capacity)),
             Box::new(Buddy::new(capacity)),
+            Box::new(Slab::new(capacity)),
         ]
     }
 
@@ -302,6 +315,11 @@ mod conformance {
         #[test]
         fn model_buddy(ops in proptest::collection::vec((any::<bool>(), any::<u64>()), 1..200)) {
             run_model(Box::new(Buddy::new(1 << 20)), &ops);
+        }
+
+        #[test]
+        fn model_slab(ops in proptest::collection::vec((any::<bool>(), any::<u64>()), 1..200)) {
+            run_model(Box::new(Slab::new(1 << 20)), &ops);
         }
     }
 }

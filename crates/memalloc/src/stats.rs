@@ -51,6 +51,27 @@ impl AllocStats {
     }
 }
 
+/// Occupancy of one size class of a segregated allocator (see
+/// [`crate::Slab`]). `live_bytes` is requested bytes; `held_bytes` is
+/// extent bytes reserved by the class's slabs, so
+/// `live_bytes / held_bytes` is the class's fill ratio (internal
+/// fragmentation indicator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassOccupancy {
+    /// Slot size of the class in bytes.
+    pub class_size: u64,
+    /// Slab extents currently held by the class.
+    pub slabs: u64,
+    /// Total slots across those slabs.
+    pub total_slots: u64,
+    /// Slots currently live.
+    pub live_slots: u64,
+    /// Requested bytes across live slots.
+    pub live_bytes: u64,
+    /// Extent bytes reserved by the class (slabs × slab size).
+    pub held_bytes: u64,
+}
+
 /// Internal helper shared by allocator implementations.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct StatsCore {

@@ -17,6 +17,9 @@ pub enum ObjectState {
 pub(crate) struct ObjectEntry {
     /// Index of the store segment holding the object.
     pub seg_idx: usize,
+    /// Key of that segment (cached so shard-local reads never touch the
+    /// allocator lock).
+    pub seg: SegKey,
     pub offset: u64,
     pub data_size: u64,
     pub metadata_size: u64,
@@ -74,6 +77,10 @@ mod tests {
     fn total_size_sums_data_and_metadata() {
         let e = ObjectEntry {
             seg_idx: 0,
+            seg: SegKey {
+                owner: tfsim::NodeId(0),
+                index: 0,
+            },
             offset: 0,
             data_size: 100,
             metadata_size: 28,

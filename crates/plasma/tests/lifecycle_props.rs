@@ -236,4 +236,9 @@ proptest! {
     fn lifecycle_model_buddy(ops in proptest::collection::vec(op_strategy(), 1..120)) {
         run(AllocatorKind::Buddy, ops)?;
     }
+
+    #[test]
+    fn lifecycle_model_slab(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run(AllocatorKind::Slab, ops)?;
+    }
 }

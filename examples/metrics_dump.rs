@@ -11,11 +11,16 @@
 
 use disagg::{Cluster, ClusterConfig};
 use obs::MetricsSnapshot;
-use plasma::ObjectId;
+use plasma::{AllocatorKind, ObjectId};
 use std::time::Duration;
 
 fn main() {
-    let cluster = Cluster::launch(ClusterConfig::paper_testbed(64 << 20)).expect("launch");
+    // Run the hot-path store configuration (size-class slab allocator +
+    // 16-way sharded object table) so the per-class occupancy and
+    // per-shard gauges below are live.
+    let mut cfg = ClusterConfig::paper_testbed(64 << 20);
+    cfg.allocator = AllocatorKind::Slab;
+    let cluster = Cluster::launch(cfg).expect("launch");
 
     // Traffic: node 0 produces, node 1 consumes remotely (and once more,
     // so repeat-lookup paths record too), node 0 reads its own object.
@@ -71,5 +76,37 @@ fn main() {
             snap.gauge("plasma.free_bytes"),
             snap.gauge("plasma.spilled_bytes"),
         );
+    }
+
+    // Hot-path observability: the sharded table exposes one object
+    // gauge per shard (plus a try-lock contention counter), and the
+    // slab allocator one live/held pair per size class — held − live is
+    // internal fragmentation, visible without touching the store.
+    let (node0, snap0) = &per_node[0];
+    println!(
+        "\nnode {} object-table shards (plasma.shard.* gauges):",
+        node0.0
+    );
+    let occupied: Vec<String> = snap0
+        .gauges
+        .iter()
+        .filter(|(name, v)| name.starts_with("plasma.shard.") && **v > 0)
+        .map(|(name, v)| format!("{}={v}", name.trim_start_matches("plasma.shard.")))
+        .collect();
+    println!(
+        "  occupied: {} (contention events: {})",
+        occupied.join(" "),
+        snap0.counter("plasma.shard.contention")
+    );
+
+    println!(
+        "\nnode {} slab classes (plasma.alloc.class.* gauges):",
+        node0.0
+    );
+    for (name, live) in snap0.gauges.iter().filter(|(name, v)| {
+        name.ends_with(".live_bytes") && name.starts_with("plasma.alloc.class.") && **v > 0
+    }) {
+        let held = snap0.gauge(&name.replace(".live_bytes", ".held_bytes"));
+        println!("  {name}: live={live} held={held} (slack={})", held - live);
     }
 }

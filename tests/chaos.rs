@@ -40,18 +40,20 @@ const SEED_MATRIX: &[u64] = &[
     0xDE1E_0BAD,
 ];
 
-fn soak_one(seed: u64) {
-    let nodes = 3;
-    let plan = FaultPlan::generate(seed, nodes, 4, 150);
-    let cfg = SoakConfig::quick(nodes);
-    let report = run_plan(&plan, &cfg).expect("soak must launch");
+fn soak_with(seed: u64, cfg: &SoakConfig, label: &str) {
+    let plan = FaultPlan::generate(seed, cfg.nodes, 4, 150);
+    let report = run_plan(&plan, cfg).expect("soak must launch");
     assert!(report.events > 0, "soak recorded no operations");
     assert!(
         report.verdict.ok(),
-        "seed {seed} violated consistency:\n{}\nreplay plan:\n{}",
+        "seed {seed} ({label}) violated consistency:\n{}\nreplay plan:\n{}",
         report.verdict,
         plan.serialize()
     );
+}
+
+fn soak_one(seed: u64) {
+    soak_with(seed, &SoakConfig::quick(3), "default");
 }
 
 #[test]
@@ -59,6 +61,48 @@ fn soak_seed_matrix_holds_consistency() {
     for &seed in SEED_MATRIX {
         soak_one(seed);
     }
+}
+
+/// The full seed matrix again, over the concurrent hot-path
+/// configuration: slab allocator + 16-way sharded object table. Same
+/// adversaries, same quiesce audits — consistency must not depend on
+/// which allocator or table layout the store runs.
+#[test]
+fn soak_seed_matrix_holds_on_slab_sharded_stores() {
+    for &seed in SEED_MATRIX {
+        soak_with(seed, &SoakConfig::quick(3).with_hotpath(), "slab+sharded");
+    }
+}
+
+/// Eviction under contention: the hot-path configuration with per-node
+/// memory squeezed until creates must evict mid-soak, so the cross-shard
+/// LRU scan, victim revalidation, and slab frees all run concurrently
+/// with faulted client traffic. The seed is pinned; the run must both
+/// stay consistent *and* actually evict (or it isn't testing anything).
+#[test]
+fn soak_evicts_under_contention_on_slab_sharded_stores() {
+    let seed: u64 = 0xE71C_7C0B;
+    let cfg = SoakConfig {
+        // 8 names × 8 KiB payloads against 16 KiB/node: only two
+        // live objects fit a store, so puts (and replication/spill
+        // copies) must evict sealed LRU objects throughout the run.
+        value_len: 8192,
+        memory_per_node: 16 << 10,
+        ..SoakConfig::quick(3).with_hotpath()
+    };
+    let plan = FaultPlan::generate(seed, cfg.nodes, 4, 150);
+    let report = run_plan(&plan, &cfg).expect("soak must launch");
+    assert!(report.events > 0, "soak recorded no operations");
+    assert!(
+        report.verdict.ok(),
+        "eviction-under-contention seed {seed:#x} violated consistency:\n{}\nreplay plan:\n{}",
+        report.verdict,
+        plan.serialize()
+    );
+    assert!(
+        report.evictions > 0,
+        "store never evicted — shrink memory_per_node so the test bites"
+    );
 }
 
 /// `RANDOM_SEED=n cargo test -q --test chaos soak_random_seed` — the CI
